@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation studies called out in DESIGN.md:
+ *
+ *  1. Cashmere's exclusive-mode optimisation (paper §2.1 replaced the
+ *     simulated protocol's "weak state" with exclusive mode + explicit
+ *     write notices to handle private pages and producer-consumer
+ *     sharing): run with the optimisation disabled.
+ *
+ *  2. Interrupt-latency sensitivity (the paper blames Digital Unix's
+ *     ~1 ms signals for the interrupt variants' collapse): sweep the
+ *     end-to-end signal latency.
+ *
+ *  3. Second-generation Memory Channel (the paper's conclusion: half
+ *     the latency, an order of magnitude more bandwidth): rerun the
+ *     Cashmere variants with those parameters.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+    const int np = std::stoi(flags.get("procs", "16"));
+    const auto apps =
+        splitList(flags.get("apps", "sor,em3d,gauss"));
+
+    // ---- 1. exclusive mode ------------------------------------------------
+    std::printf("Ablation 1: Cashmere exclusive mode (csm_poll, %d "
+                "procs)\n\n", np);
+    {
+        TextTable t({"App", "on: time(s)", "off: time(s)",
+                     "on: notices", "off: notices", "slowdown"});
+        for (const auto& app : apps) {
+            RunOpts on = opts;
+            ExpResult with = runExperiment(app, ProtocolKind::CsmPoll,
+                                           np, on);
+            RunOpts off = opts;
+            DsmConfig cfg;
+            cfg.cashmereExclusiveMode = false;
+            off.base = cfg;
+            ExpResult without = runExperiment(
+                app, ProtocolKind::CsmPoll, np, off);
+            auto notices = [](const RunStats& s) {
+                return s.total([](const ProcStats& p) {
+                    return p.writeNoticesSent;
+                });
+            };
+            t.addRow({app, TextTable::num(with.seconds(), 2),
+                      TextTable::num(without.seconds(), 2),
+                      TextTable::count(notices(with.stats)),
+                      TextTable::count(notices(without.stats)),
+                      TextTable::num(without.seconds() / with.seconds(),
+                                     2)});
+        }
+        t.print();
+    }
+
+    // ---- 2. interrupt latency ------------------------------------------------
+    std::printf("\nAblation 2: end-to-end interrupt latency "
+                "(csm_int / tmk_mc_int, %d procs)\n\n", np);
+    {
+        TextTable t({"App", "latency", "csm_int (s)", "tmk_mc_int (s)"});
+        for (const auto& app : apps) {
+            for (Time lat : {Time(10), Time(100), Time(1000)}) {
+                RunOpts o = opts;
+                DsmConfig cfg;
+                cfg.costs.remoteSignalLatency = lat * kMicrosecond;
+                o.base = cfg;
+                ExpResult ci =
+                    runExperiment(app, ProtocolKind::CsmInt, np, o);
+                ExpResult ti =
+                    runExperiment(app, ProtocolKind::TmkMcInt, np, o);
+                t.addRow({app, strprintf("%lld us", (long long)lat),
+                          TextTable::num(ci.seconds(), 2),
+                          TextTable::num(ti.seconds(), 2)});
+            }
+        }
+        t.print();
+    }
+
+    // ---- 3. second-generation Memory Channel ---------------------------------
+    std::printf("\nAblation 3: second-generation Memory Channel "
+                "(half latency, 10x bandwidth; %d procs)\n\n", np);
+    {
+        TextTable t({"App", "System", "MC1 (s)", "MC2 (s)", "gain"});
+        for (const auto& app : apps) {
+            for (ProtocolKind k :
+                 {ProtocolKind::CsmPoll, ProtocolKind::TmkMcPoll}) {
+                ExpResult gen1 = runExperiment(app, k, np, opts);
+                RunOpts o = opts;
+                DsmConfig cfg;
+                cfg.costs.mcLatency /= 2;
+                cfg.costs.mcLinkBw *= 10;
+                cfg.costs.mcAggBw *= 10;
+                o.base = cfg;
+                ExpResult gen2 = runExperiment(app, k, np, o);
+                t.addRow({app, protocolName(k),
+                          TextTable::num(gen1.seconds(), 2),
+                          TextTable::num(gen2.seconds(), 2),
+                          TextTable::num(gen1.seconds() / gen2.seconds(),
+                                         2)});
+            }
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries: a small
+ * flag parser and the default experiment grids.
+ */
+
+#ifndef MCDSM_BENCH_BENCH_COMMON_H
+#define MCDSM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace mcdsm::bench {
+
+/** Very small --key=value flag parser. */
+class Flags
+{
+  public:
+    Flags(int argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+    }
+
+    std::string
+    get(const std::string& key, const std::string& def) const
+    {
+        const std::string prefix = "--" + key + "=";
+        for (const auto& a : args_) {
+            if (a.rfind(prefix, 0) == 0)
+                return a.substr(prefix.size());
+        }
+        return def;
+    }
+
+    bool
+    has(const std::string& key) const
+    {
+        const std::string flag = "--" + key;
+        for (const auto& a : args_) {
+            if (a == flag || a.rfind(flag + "=", 0) == 0)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::string> args_;
+};
+
+inline std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+inline AppScale
+scaleFromName(const std::string& name)
+{
+    if (name == "tiny")
+        return AppScale::Tiny;
+    if (name == "large")
+        return AppScale::Large;
+    return AppScale::Small;
+}
+
+inline std::vector<std::string>
+appList(const Flags& flags)
+{
+    std::string def;
+    for (const char* a : kAppNames) {
+        if (!def.empty())
+            def += ",";
+        def += a;
+    }
+    return splitList(flags.get("apps", def));
+}
+
+inline std::vector<ProtocolKind>
+protocolList(const Flags& flags)
+{
+    std::vector<ProtocolKind> out;
+    for (const auto& name : splitList(flags.get(
+             "protocols",
+             "csm_pp,csm_int,csm_poll,tmk_udp_int,tmk_mc_int,tmk_mc_poll")))
+        out.push_back(protocolFromName(name));
+    return out;
+}
+
+inline std::vector<int>
+procList(const Flags& flags, const char* def = "1,2,4,8,16,24,32")
+{
+    std::vector<int> out;
+    for (const auto& s : splitList(flags.get("procs", def)))
+        out.push_back(std::stoi(s));
+    return out;
+}
+
+inline RunOpts
+optsFrom(const Flags& flags)
+{
+    RunOpts opts;
+    opts.scale = scaleFromName(flags.get("scale", "small"));
+    opts.seed = std::stoull(flags.get("seed", "1"));
+    return opts;
+}
+
+} // namespace mcdsm::bench
+
+#endif // MCDSM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 5: speedups of the eight applications on up to
+ * 32 processors for all six protocol variants. Speedups are relative
+ * to the unlinked sequential run (Table 2), as in the paper.
+ *
+ * Flags: --apps=..., --protocols=..., --procs=..., --scale=...
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+
+    const auto apps = appList(flags);
+    const auto kinds = protocolList(flags);
+    const auto procs = procList(flags);
+
+    std::printf("Figure 5: speedups (scale=%s)\n\n",
+                flags.get("scale", "small").c_str());
+
+    for (const auto& app : apps) {
+        ExpResult seq = runSequential(app, opts);
+        std::printf("%s  (sequential: %.2f s)\n", app.c_str(),
+                    seq.seconds());
+
+        std::vector<std::string> headers = {"procs"};
+        for (ProtocolKind k : kinds)
+            headers.push_back(protocolName(k));
+        TextTable table(std::move(headers));
+
+        for (int np : procs) {
+            std::vector<std::string> row = {std::to_string(np)};
+            for (ProtocolKind k : kinds) {
+                if (!configSupported(k, np)) {
+                    row.push_back("n/a");
+                    continue;
+                }
+                ExpResult r = runExperiment(app, k, np, opts);
+                row.push_back(
+                    TextTable::num(seq.seconds() / r.seconds(), 2));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

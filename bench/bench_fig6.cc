@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Figure 6: breakdown of execution time for the polling
+ * versions of Cashmere and TreadMarks (Barnes at 16 processors, the
+ * others at 32), normalized to total Cashmere execution time.
+ *
+ * Categories: User, Polling, Write doubling (Cashmere only),
+ * Protocol, Comm & Wait. Unlike the paper (which extrapolates the
+ * first three from single-processor runs), the simulator measures
+ * every category directly.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+    const int procs = std::stoi(flags.get("procs", "32"));
+
+    std::printf("Figure 6: normalized execution-time breakdown "
+                "(%% of Cashmere total)\n\n");
+
+    TextTable table({"App", "System", "User", "Polling", "Doubling",
+                     "Protocol", "Comm&Wait", "Total"});
+
+    for (const auto& app : appList(flags)) {
+        const int np = (app == "barnes") ? procs / 2 : procs;
+        ExpResult csm = runExperiment(app, ProtocolKind::CsmPoll, np,
+                                      opts);
+        ExpResult tmk = runExperiment(app, ProtocolKind::TmkMcPoll, np,
+                                      opts);
+
+        // Normalize by summed per-processor Cashmere time.
+        double csm_total = 0;
+        for (int c = 0; c < kTimeCatCount; ++c)
+            csm_total += static_cast<double>(
+                csm.stats.totalTime(static_cast<TimeCat>(c)));
+
+        auto add = [&](const char* sys_name, const RunStats& s) {
+            double total = 0;
+            std::vector<std::string> row = {app, sys_name};
+            for (int c = 0; c < kTimeCatCount; ++c) {
+                const double frac =
+                    100.0 *
+                    static_cast<double>(
+                        s.totalTime(static_cast<TimeCat>(c))) /
+                    csm_total;
+                total += frac;
+                row.push_back(TextTable::num(frac, 1));
+            }
+            row.push_back(TextTable::num(total, 1));
+            table.addRow(std::move(row));
+        };
+        add("CSM", csm.stats);
+        add("TMK", tmk.stats);
+    }
+    table.print();
+    return 0;
+}

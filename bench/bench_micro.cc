@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Microbenchmarks of the simulator substrates (google-benchmark):
+ * cache model, diff engine, Memory Channel accounting, scheduler
+ * context switching, vector-timestamp algebra and page-table ops.
+ * These measure *host* performance of the simulator itself — useful
+ * for keeping large sweeps affordable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "cache/cache_model.h"
+#include "net/memory_channel.h"
+#include "sim/scheduler.h"
+#include "treadmarks/types.h"
+#include "vm/page_table.h"
+
+namespace mcdsm {
+namespace {
+
+void
+BM_CacheAccessHit(benchmark::State& state)
+{
+    CostModel costs;
+    CacheModel cache(CacheConfig{}, costs);
+    cache.access(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMissStream(benchmark::State& state)
+{
+    CostModel costs;
+    CacheModel cache(CacheConfig{}, costs);
+    std::uint64_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a));
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessMissStream);
+
+void
+BM_CacheTouchPage(benchmark::State& state)
+{
+    CostModel costs;
+    CacheModel cache(CacheConfig{}, costs);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.touchRange(0, kPageSize));
+}
+BENCHMARK(BM_CacheTouchPage);
+
+void
+BM_DiffCreate(benchmark::State& state)
+{
+    std::vector<std::uint8_t> page(kPageSize, 0), twin(kPageSize, 0);
+    // Dirty the fraction requested by the benchmark argument (in %).
+    const std::size_t dirty =
+        kPageSize * static_cast<std::size_t>(state.range(0)) / 100;
+    for (std::size_t i = 0; i < dirty; ++i)
+        page[(i * 37) % kPageSize] ^= 0xff;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(computeRuns(page.data(), twin.data()));
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(5)->Arg(50)->Arg(100);
+
+void
+BM_DiffApply(benchmark::State& state)
+{
+    std::vector<std::uint8_t> page(kPageSize, 0), twin(kPageSize, 0);
+    for (std::size_t i = 0; i < kPageSize; i += 16)
+        page[i] = 1;
+    auto runs = computeRuns(page.data(), twin.data());
+    std::vector<std::uint8_t> target(kPageSize, 0);
+    for (auto _ : state) {
+        applyRuns(target.data(), runs);
+        benchmark::DoNotOptimize(target.data());
+    }
+}
+BENCHMARK(BM_DiffApply);
+
+void
+BM_McTransfer(benchmark::State& state)
+{
+    CostModel costs;
+    MemoryChannel mc(costs, 8);
+    Time t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mc.transfer(0, 1, 8192, t));
+        t += 1000;
+    }
+}
+BENCHMARK(BM_McTransfer);
+
+void
+BM_SchedulerPingPong(benchmark::State& state)
+{
+    // Cost of a full task switch round-trip, amortized.
+    const int kSwitches = 1000;
+    for (auto _ : state) {
+        Scheduler s;
+        s.spawn("a", [&](TaskId) {
+            for (int i = 0; i < kSwitches; ++i) {
+                s.advance(1);
+                s.yield();
+            }
+        });
+        s.spawn("b", [&](TaskId) {
+            for (int i = 0; i < kSwitches; ++i) {
+                s.advance(1);
+                s.yield();
+            }
+        });
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * kSwitches);
+}
+BENCHMARK(BM_SchedulerPingPong);
+
+void
+BM_VtMerge(benchmark::State& state)
+{
+    VTime a(32, 1), b(32, 2);
+    for (auto _ : state) {
+        vtMax(a, b);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_VtMerge);
+
+void
+BM_PageTableProtect(benchmark::State& state)
+{
+    PageTable pt(8192);
+    PageNum pn = 0;
+    for (auto _ : state) {
+        pt.setProtection(pn & 8191, ProtRw);
+        pn += 7;
+    }
+}
+BENCHMARK(BM_PageTableProtect);
+
+} // namespace
+} // namespace mcdsm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates the section 4.1 instrumentation-overhead measurements:
+ * the single-processor cost of polling (0-36% in the paper) and of
+ * write doubling (0-39%), per application, plus the fixed basic
+ * operation costs of the cost model.
+ */
+
+#include "bench_common.h"
+
+#include "common/costs.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+
+    CostModel costs;
+    std::printf("Section 4.1 basic operation costs (model constants):\n");
+    std::printf("  memory protection           %5.0f us\n",
+                costs.mprotect / 1000.0);
+    std::printf("  page fault                  %5.0f us\n",
+                costs.pageFault / 1000.0);
+    std::printf("  local signal delivery       %5.0f us\n",
+                costs.localSignal / 1000.0);
+    std::printf("  remote signal send          %5.0f us\n",
+                costs.remoteSignalSend / 1000.0);
+    std::printf("  remote signal end-to-end    %5.0f us\n",
+                costs.remoteSignalLatency / 1000.0);
+    std::printf("  MC write latency            %5.1f us\n",
+                costs.mcLatency / 1000.0);
+    std::printf("  directory modify            %5.0f us (locked: %.0f)\n",
+                costs.dirModify / 1000.0, costs.dirModifyLocked / 1000.0);
+    std::printf("  lock acquire+release (MC)   %5.0f us\n",
+                costs.mcLockUncontended / 1000.0);
+    std::printf("  twin (8K page)              %5.0f us\n",
+                costs.twinCost / 1000.0);
+    std::printf("  diff creation               %5.0f - %.0f us\n",
+                costs.diffCreateMin / 1000.0, costs.diffCreateMax / 1000.0);
+    std::printf("\n");
+
+    std::printf("Single-processor instrumentation overhead "
+                "(paper: polling 0-36%%, doubling 0-39%%):\n\n");
+
+    TextTable table({"App", "Polling %", "Write doubling %"});
+    for (const auto& app : appList(flags)) {
+        // Polling overhead: 1-processor run of the polling TreadMarks
+        // variant; the Poll category is pure instrumentation.
+        ExpResult tmk =
+            runExperiment(app, ProtocolKind::TmkMcPoll, 1, opts);
+        const double user =
+            static_cast<double>(tmk.stats.totalTime(TimeCat::User));
+        const double poll =
+            static_cast<double>(tmk.stats.totalTime(TimeCat::Poll));
+
+        // Doubling overhead: 1-processor Cashmere run; the Doubling
+        // category covers the extra stores plus the cache pollution
+        // they cause is reflected in User (compare totals).
+        ExpResult csm =
+            runExperiment(app, ProtocolKind::CsmPoll, 1, opts);
+        const double dbl =
+            static_cast<double>(csm.stats.totalTime(TimeCat::Doubling)) +
+            static_cast<double>(csm.stats.totalTime(TimeCat::User)) -
+            user;
+
+        table.addRow({app, TextTable::num(100.0 * poll / user, 1),
+                      TextTable::num(100.0 * dbl / user, 1)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Regenerates Table 1: minimum cost of basic operations — lock
+ * acquire, lock release, barrier (2 and 16 processors) and page
+ * transfer — for all six protocol variants.
+ */
+
+#include "bench_common.h"
+
+#include "dsm/proc.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+
+namespace mcdsm::bench {
+namespace {
+
+DsmConfig
+cfgFor(ProtocolKind k, int nprocs)
+{
+    DsmConfig cfg;
+    cfg.protocol = k;
+    cfg.topo = Topology::standard(nprocs);
+    cfg.maxSharedBytes = 8 << 20;
+    return cfg;
+}
+
+/** Average uncontended lock acquire + release cost on one processor. */
+std::pair<Time, Time>
+lockCost(ProtocolKind k)
+{
+    constexpr int kIters = 50;
+    auto sys = DsmSystem::create(cfgFor(k, 2));
+    Time acq = 0, rel = 0;
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            for (int i = 0; i < kIters; ++i) {
+                const Time t0 = p.now();
+                p.acquire(7);
+                const Time t1 = p.now();
+                p.release(7);
+                acq += t1 - t0;
+                rel += p.now() - t1;
+            }
+        }
+        p.barrier(0);
+    });
+    return {acq / kIters, rel / kIters};
+}
+
+/** Average barrier episode cost with all processors arriving together. */
+Time
+barrierCost(ProtocolKind k, int nprocs)
+{
+    constexpr int kIters = 20;
+    auto sys = DsmSystem::create(cfgFor(k, nprocs));
+    Time total = 0;
+    sys->run([&](Proc& p) {
+        p.barrier(0); // warm up
+        const Time t0 = p.now();
+        for (int i = 0; i < kIters; ++i) {
+            p.pollPoint();
+            p.barrier(1);
+        }
+        if (p.id() == 0)
+            total = p.now() - t0;
+    });
+    return total / kIters;
+}
+
+/** Average cost for a processor to obtain a page dirtied remotely. */
+Time
+pageTransferCost(ProtocolKind k)
+{
+    constexpr int kPages = 24;
+    auto sys = DsmSystem::create(cfgFor(k, 2));
+    auto arr = SharedArray<std::int64_t>::allocate(
+        *sys, kPages * (kPageSize / sizeof(std::int64_t)));
+    Time total = 0;
+    int timed = 0;
+    sys->run([&](Proc& p) {
+        const std::size_t per = kPageSize / sizeof(std::int64_t);
+        if (p.id() == 0) {
+            // Dirty every word of every page.
+            for (std::size_t i = 0; i < kPages * per; ++i)
+                arr.set(p, i, static_cast<std::int64_t>(i));
+        }
+        p.barrier(0);
+        if (p.id() == 1) {
+            for (int pg = 0; pg < kPages; ++pg) {
+                const Time t0 = p.now();
+                (void)arr.get(p, static_cast<std::size_t>(pg) * per);
+                total += p.now() - t0;
+                ++timed;
+            }
+        }
+        p.barrier(1);
+    });
+    return total / timed;
+}
+
+} // namespace
+} // namespace mcdsm::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+
+    std::printf("Table 1: cost of basic operations (microseconds)\n");
+    std::printf("(paper: Table 1; barrier column shows 2-proc with "
+                "16-proc in parentheses)\n\n");
+
+    TextTable table({"Operation", "csm_pp", "csm_int", "csm_poll",
+                     "tmk_udp_int", "tmk_mc_int", "tmk_mc_poll"});
+
+    const ProtocolKind kinds[] = {
+        ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+        ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+        ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+    };
+
+    std::vector<std::string> acq_row = {"Lock Acquire"};
+    std::vector<std::string> rel_row = {"Lock Release"};
+    std::vector<std::string> bar_row = {"Barrier"};
+    std::vector<std::string> pt_row = {"Page Transfer"};
+
+    for (ProtocolKind k : kinds) {
+        auto [acq, rel] = lockCost(k);
+        acq_row.push_back(TextTable::num(acq / 1000.0, 1));
+        rel_row.push_back(TextTable::num(rel / 1000.0, 1));
+        const Time b2 = barrierCost(k, 2);
+        const Time b16 = barrierCost(k, 16);
+        bar_row.push_back(TextTable::num(b2 / 1000.0, 0) + " (" +
+                          TextTable::num(b16 / 1000.0, 0) + ")");
+        pt_row.push_back(TextTable::num(pageTransferCost(k) / 1000.0, 0));
+    }
+
+    table.addRow(acq_row);
+    table.addRow(rel_row);
+    table.addRow(bar_row);
+    table.addRow(pt_row);
+    table.print();
+    (void)flags;
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Table 2: data-set sizes and sequential execution time
+ * of the eight applications (run unlinked: ProtocolKind::None).
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+
+    std::printf("Table 2: data set sizes and sequential execution time\n");
+    std::printf("(paper: Table 2; simulated 233 MHz 21064A; scale=%s)\n\n",
+                flags.get("scale", "small").c_str());
+
+    TextTable table(
+        {"Program", "Problem Size", "Shared MB", "Time (sec.)"});
+
+    for (const auto& app_name : appList(flags)) {
+        auto app = makeApp(app_name, opts.scale, opts.seed);
+        const std::string desc = app->problemDesc();
+        const double mb =
+            static_cast<double>(app->sharedBytes()) / (1 << 20);
+        ExpResult r = runSequential(app_name, opts);
+        table.addRow({app_name, desc, TextTable::num(mb, 1),
+                      TextTable::num(r.seconds(), 2)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Table 3: detailed communication statistics for the
+ * polling versions of Cashmere and TreadMarks at 32 processors
+ * (Barnes at 16, as in the paper).
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    RunOpts opts = optsFrom(flags);
+    const int procs = std::stoi(flags.get("procs", "32"));
+
+    std::printf("Table 3: detailed statistics for the polling versions\n");
+    std::printf("(paper: Table 3; Barnes at %d, others at %d "
+                "processors; counts aggregated over processors)\n\n",
+                procs / 2, procs);
+
+    const auto apps = appList(flags);
+
+    // Cashmere block.
+    {
+        TextTable t({"CSM", "Exec(s)", "Barriers", "Locks", "Read flt",
+                     "Write flt", "Page transfers", "Data KB"});
+        for (const auto& app : apps) {
+            const int np = (app == "barnes") ? procs / 2 : procs;
+            ExpResult r =
+                runExperiment(app, ProtocolKind::CsmPoll, np, opts);
+            const RunStats& s = r.stats;
+            t.addRow({app, TextTable::num(r.seconds(), 2),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.barriers;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.lockAcquires;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.readFaults;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.writeFaults;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.pageTransfers;
+                      })),
+                      TextTable::count(s.mcBytes / 1024)});
+        }
+        t.print();
+    }
+
+    std::printf("\n");
+
+    // TreadMarks block.
+    {
+        TextTable t({"TMK", "Exec(s)", "Barriers", "Locks", "Read flt",
+                     "Write flt", "Messages", "Data KB"});
+        for (const auto& app : apps) {
+            const int np = (app == "barnes") ? procs / 2 : procs;
+            ExpResult r =
+                runExperiment(app, ProtocolKind::TmkMcPoll, np, opts);
+            const RunStats& s = r.stats;
+            std::uint64_t bytes = 0;
+            for (const auto& p : s.procs)
+                bytes += p.bytesSent;
+            t.addRow({app, TextTable::num(r.seconds(), 2),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.barriers;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.lockAcquires;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.readFaults;
+                      })),
+                      TextTable::count(s.total([](const ProcStats& p) {
+                          return p.writeFaults;
+                      })),
+                      TextTable::count(s.messages),
+                      TextTable::count(bytes / 1024)});
+        }
+        t.print();
+    }
+    return 0;
+}

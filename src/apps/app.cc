@@ -1,0 +1,91 @@
+#include "apps/app.h"
+
+#include "apps/barnes.h"
+#include "apps/em3d.h"
+#include "apps/gauss.h"
+#include "apps/ilink.h"
+#include "apps/lu.h"
+#include "apps/sor.h"
+#include "apps/tsp.h"
+#include "apps/water.h"
+#include "common/log.h"
+
+namespace mcdsm {
+
+const char* const kAppNames[8] = {"sor",   "lu",    "water", "tsp",
+                                  "gauss", "ilink", "em3d",  "barnes"};
+
+std::unique_ptr<App>
+makeApp(const std::string& name, AppScale scale, std::uint64_t seed)
+{
+    const bool tiny = scale == AppScale::Tiny;
+    const bool large = scale == AppScale::Large;
+
+    if (name == "sor") {
+        // Paper: 3072x4096. Small keeps band >> page at 32 procs.
+        if (tiny)
+            return std::make_unique<SorApp>(66, 64, 3);
+        if (large)
+            return std::make_unique<SorApp>(2050, 2048, 8);
+        return std::make_unique<SorApp>(1538, 1536, 8);
+    }
+    if (name == "lu") {
+        // Paper: 2048x2048 with 32x32 blocks (one 8 KB page each).
+        if (tiny)
+            return std::make_unique<LuApp>(64, 32, seed);
+        if (large)
+            return std::make_unique<LuApp>(768, 32, seed);
+        return std::make_unique<LuApp>(512, 32, seed);
+    }
+    if (name == "water") {
+        // Paper: 4096 molecules.
+        if (tiny)
+            return std::make_unique<WaterApp>(32, 2, seed);
+        if (large)
+            return std::make_unique<WaterApp>(3072, 3, seed);
+        return std::make_unique<WaterApp>(2048, 3, seed);
+    }
+    if (name == "tsp") {
+        // Paper: 17 cities.
+        if (tiny)
+            return std::make_unique<TspApp>(9, 6, seed);
+        if (large)
+            return std::make_unique<TspApp>(15, 10, seed);
+        return std::make_unique<TspApp>(14, 10, seed);
+    }
+    if (name == "gauss") {
+        // Paper: 2048x2048.
+        if (tiny)
+            return std::make_unique<GaussApp>(64, seed);
+        if (large)
+            return std::make_unique<GaussApp>(768, seed);
+        return std::make_unique<GaussApp>(512, seed);
+    }
+    if (name == "ilink") {
+        // Paper: CLP pedigree (~15 MB of sparse arrays).
+        if (tiny)
+            return std::make_unique<IlinkApp>(8, 1024, 128, 2, seed);
+        if (large)
+            return std::make_unique<IlinkApp>(128, 8192, 2048, 4, seed);
+        return std::make_unique<IlinkApp>(64, 8192, 2048, 4, seed);
+    }
+    if (name == "em3d") {
+        // Paper: 61440 nodes.
+        if (tiny)
+            return std::make_unique<Em3dApp>(1024, 4, 10, 3, seed);
+        if (large)
+            return std::make_unique<Em3dApp>(131072, 5, 10, 12, seed);
+        return std::make_unique<Em3dApp>(65536, 5, 10, 10, seed);
+    }
+    if (name == "barnes") {
+        // Paper: 128K bodies.
+        if (tiny)
+            return std::make_unique<BarnesApp>(128, 2, seed);
+        if (large)
+            return std::make_unique<BarnesApp>(16384, 3, seed);
+        return std::make_unique<BarnesApp>(8192, 3, seed);
+    }
+    mcdsm_fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace mcdsm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Application framework: the eight benchmarks of the paper's §4.2,
+ * each with a DSM-parallel body that is also the sequential reference
+ * when run with ProtocolKind::None on one processor.
+ */
+
+#ifndef MCDSM_APPS_APP_H
+#define MCDSM_APPS_APP_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/proc.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+
+namespace mcdsm {
+
+/** Problem-size presets. */
+enum class AppScale {
+    Tiny,  ///< integration tests: seconds of simulated time
+    Small, ///< default benchmark scale (documented in EXPERIMENTS.md)
+    Large, ///< closer to the paper's inputs; slow to simulate
+};
+
+/** Verification value produced by a run. */
+struct AppResult
+{
+    /** Algorithm-specific checksum; equal across protocols/configs. */
+    double checksum = 0.0;
+    /** Secondary value (e.g. TSP tour cost, solver residual). */
+    double aux = 0.0;
+};
+
+/**
+ * A benchmark application. Lifecycle:
+ *   1. configure(sys) — allocate + initialize shared memory (host side)
+ *   2. sys.run([&](Proc& p){ app.worker(p); })
+ *   3. result() — verification values (filled in by worker 0)
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual const char* name() const = 0;
+
+    /** Human-readable problem size, for Table 2. */
+    virtual std::string problemDesc() const = 0;
+
+    /** Shared-memory footprint in bytes, for Table 2. */
+    virtual std::size_t sharedBytes() const = 0;
+
+    virtual void configure(DsmSystem& sys) = 0;
+    virtual void worker(Proc& p) = 0;
+
+    const AppResult& result() const { return result_; }
+
+  protected:
+    AppResult result_;
+};
+
+/** The eight applications, in the paper's order. */
+extern const char* const kAppNames[8];
+
+/**
+ * Factory. @p name is one of kAppNames ("sor", "lu", "water", "tsp",
+ * "gauss", "ilink", "em3d", "barnes").
+ */
+std::unique_ptr<App> makeApp(const std::string& name, AppScale scale,
+                             std::uint64_t seed = 1);
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_APP_H

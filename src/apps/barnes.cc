@@ -1,0 +1,390 @@
+#include "apps/barnes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace mcdsm {
+
+namespace {
+// child_ slot encoding: 0 = empty, b+1 = body b, -(c+1) = cell c.
+inline std::int32_t
+encodeBody(int b)
+{
+    return b + 1;
+}
+
+inline std::int32_t
+encodeCell(int c)
+{
+    return -(c + 1);
+}
+
+constexpr int kWorkLock = 0;
+constexpr std::size_t kCellCount = 0;
+constexpr std::size_t kWorkIndex = 16;
+constexpr int kChunk = 128;
+constexpr double kTheta = 0.6;
+constexpr double kDt = 0.005;
+constexpr double kSoft2 = 0.05;
+} // namespace
+
+BarnesApp::BarnesApp(int bodies, int steps, std::uint64_t seed)
+    : n_(bodies), steps_(steps), seed_(seed), cellCap_(4 * bodies)
+{
+}
+
+std::string
+BarnesApp::problemDesc() const
+{
+    return strprintf("%d bodies, %d steps", n_, steps_);
+}
+
+std::size_t
+BarnesApp::sharedBytes() const
+{
+    return static_cast<std::size_t>(n_) * 10 * sizeof(double) +
+           static_cast<std::size_t>(cellCap_) *
+               (8 * sizeof(double) + 8 * 4);
+}
+
+void
+BarnesApp::configure(DsmSystem& sys)
+{
+    auto allocBodies = [&](SharedArray<double>& a) {
+        a = SharedArray<double>::allocate(sys, n_);
+    };
+    allocBodies(mass_);
+    allocBodies(px_);
+    allocBodies(py_);
+    allocBodies(pz_);
+    allocBodies(vx_);
+    allocBodies(vy_);
+    allocBodies(vz_);
+    allocBodies(ax_);
+    allocBodies(ay_);
+    allocBodies(az_);
+
+    auto allocCells = [&](SharedArray<double>& a) {
+        a = SharedArray<double>::allocate(sys, cellCap_);
+    };
+    allocCells(cmass_);
+    allocCells(cmx_);
+    allocCells(cmy_);
+    allocCells(cmz_);
+    allocCells(cx_);
+    allocCells(cy_);
+    allocCells(cz_);
+    allocCells(csize_);
+    child_ = SharedArray<std::int32_t>::allocate(
+        sys, static_cast<std::size_t>(cellCap_) * 8);
+    leaf_ = SharedArray<std::int32_t>::allocate(sys, cellCap_);
+    ctl_ = SharedArray<std::int32_t>::allocate(sys, 64);
+    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+
+    // Plummer-ish sphere of bodies.
+    Rng rng(seed_);
+    for (int i = 0; i < n_; ++i) {
+        mass_.init(sys, i, 1.0 / n_);
+        double x, y, z;
+        do {
+            x = rng.nextDouble(-1, 1);
+            y = rng.nextDouble(-1, 1);
+            z = rng.nextDouble(-1, 1);
+        } while (x * x + y * y + z * z > 1.0);
+        px_.init(sys, i, x);
+        py_.init(sys, i, y);
+        pz_.init(sys, i, z);
+        vx_.init(sys, i, 0.1 * y);
+        vy_.init(sys, i, -0.1 * x);
+        vz_.init(sys, i, 0.01 * z);
+    }
+}
+
+void
+BarnesApp::buildTree(Proc& p)
+{
+    // Bounding cube.
+    double maxc = 0;
+    for (int i = 0; i < n_; ++i) {
+        p.pollPoint();
+        maxc = std::max({maxc, std::abs(px_.get(p, i)),
+                         std::abs(py_.get(p, i)),
+                         std::abs(pz_.get(p, i))});
+    }
+    p.computeOps(4 * n_);
+    const double half = maxc * 1.01 + 1e-9;
+
+    // Root cell (leaf until it overflows).
+    auto clearCell = [&](int c) {
+        for (int k = 0; k < 8; ++k)
+            child_.set(p, static_cast<std::size_t>(c) * 8 + k, 0);
+    };
+    cx_.set(p, 0, 0.0);
+    cy_.set(p, 0, 0.0);
+    cz_.set(p, 0, 0.0);
+    csize_.set(p, 0, half);
+    leaf_.set(p, 0, 1);
+    clearCell(0);
+    int cell_count = 1;
+
+    auto octant = [&](int c, double x, double y, double z) {
+        int o = 0;
+        if (x >= cx_.get(p, c))
+            o |= 1;
+        if (y >= cy_.get(p, c))
+            o |= 2;
+        if (z >= cz_.get(p, c))
+            o |= 4;
+        return o;
+    };
+    auto newLeafChild = [&](int c, int o) {
+        mcdsm_assert(cell_count < cellCap_, "cell pool exhausted");
+        const int nc = cell_count++;
+        const double h = csize_.get(p, c) / 2;
+        cx_.set(p, nc, cx_.get(p, c) + ((o & 1) ? h : -h));
+        cy_.set(p, nc, cy_.get(p, c) + ((o & 2) ? h : -h));
+        cz_.set(p, nc, cz_.get(p, c) + ((o & 4) ? h : -h));
+        csize_.set(p, nc, h);
+        leaf_.set(p, nc, 1);
+        clearCell(nc);
+        child_.set(p, static_cast<std::size_t>(c) * 8 + o,
+                   encodeCell(nc));
+        p.computeOps(20);
+        return nc;
+    };
+
+    // Insert each body; leaves hold up to 8 bodies before splitting.
+    for (int b = 0; b < n_; ++b) {
+        p.pollPoint();
+        const double x = px_.get(p, b);
+        const double y = py_.get(p, b);
+        const double z = pz_.get(p, b);
+        int c = 0;
+        for (;;) {
+            p.computeOps(12);
+            if (leaf_.get(p, c) == 0) {
+                const int o = octant(c, x, y, z);
+                const std::int32_t v =
+                    child_.get(p, static_cast<std::size_t>(c) * 8 + o);
+                if (v == 0) {
+                    const int nc = newLeafChild(c, o);
+                    child_.set(p, static_cast<std::size_t>(nc) * 8,
+                               encodeBody(b));
+                    break;
+                }
+                c = -v - 1;
+                continue;
+            }
+            // Leaf: place in a free slot if any.
+            int free_slot = -1;
+            std::int32_t occupants[8];
+            for (int k = 0; k < 8; ++k) {
+                occupants[k] =
+                    child_.get(p, static_cast<std::size_t>(c) * 8 + k);
+                if (occupants[k] == 0 && free_slot < 0)
+                    free_slot = k;
+            }
+            if (free_slot >= 0) {
+                child_.set(p,
+                           static_cast<std::size_t>(c) * 8 + free_slot,
+                           encodeBody(b));
+                break;
+            }
+            // Overflow: convert to internal and redistribute.
+            leaf_.set(p, c, 0);
+            clearCell(c);
+            for (int k = 0; k < 8; ++k) {
+                const int ob = occupants[k] - 1;
+                const int o = octant(c, px_.get(p, ob), py_.get(p, ob),
+                                     pz_.get(p, ob));
+                const std::int32_t w =
+                    child_.get(p, static_cast<std::size_t>(c) * 8 + o);
+                int lc = (w == 0) ? newLeafChild(c, o) : (-w - 1);
+                for (int s = 0; s < 8; ++s) {
+                    const std::size_t slot =
+                        static_cast<std::size_t>(lc) * 8 + s;
+                    if (child_.get(p, slot) == 0) {
+                        child_.set(p, slot, encodeBody(ob));
+                        break;
+                    }
+                }
+                p.computeOps(20);
+            }
+            // Retry the insertion from this (now internal) cell.
+        }
+    }
+    ctl_.set(p, kCellCount, cell_count);
+
+    // Centers of mass, bottom-up (cells are created parents-first, so
+    // a reverse sweep sees children before parents).
+    for (int c = cell_count - 1; c >= 0; --c) {
+        p.pollPoint();
+        double m = 0, sx = 0, sy = 0, sz = 0;
+        for (int k = 0; k < 8; ++k) {
+            const std::int32_t v =
+                child_.get(p, static_cast<std::size_t>(c) * 8 + k);
+            if (v == 0)
+                continue;
+            double bm, bx, by, bz;
+            if (v > 0) {
+                const int b = v - 1;
+                bm = mass_.get(p, b);
+                bx = px_.get(p, b);
+                by = py_.get(p, b);
+                bz = pz_.get(p, b);
+            } else {
+                const int cc = -v - 1;
+                bm = cmass_.get(p, cc);
+                bx = cmx_.get(p, cc);
+                by = cmy_.get(p, cc);
+                bz = cmz_.get(p, cc);
+            }
+            m += bm;
+            sx += bm * bx;
+            sy += bm * by;
+            sz += bm * bz;
+        }
+        cmass_.set(p, c, m);
+        cmx_.set(p, c, m > 0 ? sx / m : 0.0);
+        cmy_.set(p, c, m > 0 ? sy / m : 0.0);
+        cmz_.set(p, c, m > 0 ? sz / m : 0.0);
+        p.computeOps(40);
+    }
+}
+
+void
+BarnesApp::computeForce(Proc& p, int body, double theta2)
+{
+    const double x = px_.get(p, body);
+    const double y = py_.get(p, body);
+    const double z = pz_.get(p, body);
+    double fx = 0, fy = 0, fz = 0;
+
+    std::vector<std::int32_t> stack;
+    stack.push_back(encodeCell(0));
+    while (!stack.empty()) {
+        const std::int32_t v = stack.back();
+        stack.pop_back();
+        double m, bx, by, bz;
+        bool open = false;
+        int cell = -1;
+        if (v > 0) {
+            const int b = v - 1;
+            if (b == body)
+                continue;
+            m = mass_.get(p, b);
+            bx = px_.get(p, b);
+            by = py_.get(p, b);
+            bz = pz_.get(p, b);
+        } else {
+            cell = -v - 1;
+            m = cmass_.get(p, cell);
+            bx = cmx_.get(p, cell);
+            by = cmy_.get(p, cell);
+            bz = cmz_.get(p, cell);
+        }
+        const double dx = bx - x;
+        const double dy = by - y;
+        const double dz = bz - z;
+        const double r2 = dx * dx + dy * dy + dz * dz + kSoft2;
+        if (cell >= 0) {
+            const double s = csize_.get(p, cell) * 2;
+            open = (s * s) > theta2 * r2;
+        }
+        p.computeOps(15);
+        if (open) {
+            for (int k = 0; k < 8; ++k) {
+                const std::int32_t w = child_.get(
+                    p, static_cast<std::size_t>(cell) * 8 + k);
+                if (w != 0)
+                    stack.push_back(w);
+            }
+        } else {
+            const double inv = m / (r2 * std::sqrt(r2));
+            fx += inv * dx;
+            fy += inv * dy;
+            fz += inv * dz;
+            p.computeOps(80);
+        }
+    }
+    ax_.set(p, body, fx);
+    ay_.set(p, body, fy);
+    az_.set(p, body, fz);
+}
+
+void
+BarnesApp::worker(Proc& p)
+{
+    const int np = p.nprocs();
+    const int id = p.id();
+    const double theta2 = kTheta * kTheta;
+
+    for (int step = 0; step < steps_; ++step) {
+        if (id == 0) {
+            buildTree(p);
+            ctl_.set(p, kWorkIndex, 0);
+        }
+        p.barrier(0);
+
+        // Force phase: dynamic chunks off a shared counter.
+        for (;;) {
+            p.pollPoint();
+            p.acquire(kWorkLock);
+            const int start = ctl_.get(p, kWorkIndex);
+            ctl_.set(p, kWorkIndex, start + kChunk);
+            p.release(kWorkLock);
+            if (start >= n_)
+                break;
+            const int end = std::min(n_, start + kChunk);
+            for (int b = start; b < end; ++b) {
+                p.pollPoint();
+                computeForce(p, b, theta2);
+            }
+        }
+        p.barrier(1);
+
+        // Integration: static bands.
+        const int lo =
+            static_cast<int>(static_cast<std::int64_t>(n_) * id / np);
+        const int hi = static_cast<int>(
+            static_cast<std::int64_t>(n_) * (id + 1) / np);
+        for (int b = lo; b < hi; ++b) {
+            p.pollPoint();
+            const double nvx = vx_.get(p, b) + ax_.get(p, b) * kDt;
+            const double nvy = vy_.get(p, b) + ay_.get(p, b) * kDt;
+            const double nvz = vz_.get(p, b) + az_.get(p, b) * kDt;
+            vx_.set(p, b, nvx);
+            vy_.set(p, b, nvy);
+            vz_.set(p, b, nvz);
+            px_.set(p, b, px_.get(p, b) + nvx * kDt);
+            py_.set(p, b, py_.get(p, b) + nvy * kDt);
+            pz_.set(p, b, pz_.get(p, b) + nvz * kDt);
+            p.computeOps(12);
+        }
+        p.barrier(2);
+    }
+
+    // Verification checksum over positions.
+    const int lo = static_cast<int>(static_cast<std::int64_t>(n_) * id / np);
+    const int hi =
+        static_cast<int>(static_cast<std::int64_t>(n_) * (id + 1) / np);
+    double sum = 0;
+    for (int b = lo; b < hi; ++b) {
+        p.pollPoint();
+        sum += px_.get(p, b) + py_.get(p, b) + pz_.get(p, b);
+    }
+    sums_.set(p, static_cast<std::size_t>(id) * 64, sum);
+    p.barrier(3);
+    if (id == 0) {
+        double total = 0;
+        for (int q = 0; q < np; ++q)
+            total += sums_.get(p, static_cast<std::size_t>(q) * 64);
+        result_.checksum = total;
+    }
+    p.barrier(4);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Barnes: hierarchical Barnes-Hut N-body simulation (SPLASH-1 style,
+ * paper §4.2).
+ *
+ * The tree is built sequentially (by processor 0) each step; the
+ * force phase is parallelized with dynamic load balancing (a shared
+ * work counter under a lock). The shared body and cell arrays exhibit
+ * fine-grain multi-writer false sharing — the pattern on which the
+ * paper finds Cashmere ahead of TreadMarks.
+ */
+
+#ifndef MCDSM_APPS_BARNES_H
+#define MCDSM_APPS_BARNES_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class BarnesApp final : public App
+{
+  public:
+    BarnesApp(int bodies, int steps, std::uint64_t seed);
+
+    const char* name() const override { return "barnes"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    void buildTree(Proc& p);
+    void computeForce(Proc& p, int body, double theta2);
+
+    int n_;
+    int steps_;
+    std::uint64_t seed_;
+    int cellCap_;
+
+    // Bodies (structure of arrays).
+    SharedArray<double> mass_, px_, py_, pz_, vx_, vy_, vz_, ax_, ay_,
+        az_;
+    // Cells. Leaves hold up to 8 bodies (SPLASH-style leaf capacity);
+    // internal cells hold child cells by octant.
+    SharedArray<double> cmass_, cmx_, cmy_, cmz_; ///< center of mass
+    SharedArray<double> cx_, cy_, cz_, csize_;    ///< spatial bounds
+    SharedArray<std::int32_t> child_;             ///< 8 per cell
+    SharedArray<std::int32_t> leaf_;              ///< 1 = leaf cell
+    SharedArray<std::int32_t> ctl_; ///< [0]=cellCount, [16]=workIndex
+    SharedArray<double> sums_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_BARNES_H

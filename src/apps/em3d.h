@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Em3d: electromagnetic wave propagation through 3D objects
+ * (paper §4.2, after Culler et al.).
+ *
+ * A bipartite graph of electric and magnetic field nodes; each node's
+ * potential is updated from its dependents' potentials in alternating
+ * half-steps separated by barriers. With the standard input, a node's
+ * dependencies fall on its own or neighboring processors only.
+ */
+
+#ifndef MCDSM_APPS_EM3D_H
+#define MCDSM_APPS_EM3D_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class Em3dApp final : public App
+{
+  public:
+    /**
+     * @param nodes field nodes per class (E and H)
+     * @param degree dependencies per node
+     * @param remote_pct percentage of edges crossing to a neighbor
+     *        processor's region
+     */
+    Em3dApp(int nodes, int degree, int remote_pct, int iters,
+            std::uint64_t seed);
+
+    const char* name() const override { return "em3d"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int n_;
+    int degree_;
+    int remotePct_;
+    int iters_;
+    std::uint64_t seed_;
+    SharedArray<double> eval_;
+    SharedArray<double> hval_;
+    SharedArray<std::int32_t> edep_; ///< degree_ H-indices per E node
+    SharedArray<std::int32_t> hdep_; ///< degree_ E-indices per H node
+    SharedArray<double> weights_;
+    SharedArray<double> sums_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_EM3D_H

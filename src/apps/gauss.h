@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Gauss: solver for A X = B by Gaussian elimination and
+ * back-substitution (paper §4.2).
+ *
+ * Rows are distributed cyclically over processors for load balance;
+ * a synchronization flag per row announces its availability as a
+ * pivot. The secondary working set (the processor's share of the
+ * matrix, ~matrixBytes/P) determines when a processor's rows start
+ * fitting in the board cache — the source of Cashmere's performance
+ * jump at large processor counts in the paper.
+ */
+
+#ifndef MCDSM_APPS_GAUSS_H
+#define MCDSM_APPS_GAUSS_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class GaussApp final : public App
+{
+  public:
+    GaussApp(int n, std::uint64_t seed);
+
+    const char* name() const override { return "gauss"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int n_;
+    std::size_t stride_; ///< row stride in doubles (page multiple)
+    int np_ = 1;         ///< processors (fixed at configure time)
+    std::uint64_t seed_;
+    GAddr a_ = 0; ///< n x (n+1) augmented matrix, padded rows
+    SharedArray<double> x_;
+
+    /**
+     * Physical row of logical row @p i: rows are stored owner-major
+     * (each processor's cyclically-assigned rows are contiguous), the
+     * usual DSM-friendly layout — first touch then homes each row at
+     * its owner and Cashmere's write-through stays node-local.
+     */
+    std::size_t
+    physRow(int i) const
+    {
+        const int rows_per = (n_ + np_ - 1) / np_;
+        return static_cast<std::size_t>(i % np_) * rows_per + i / np_;
+    }
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_GAUSS_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ilink: genetic linkage analysis (FASTLINK kernel, paper §4.2).
+ *
+ * We do not have the proprietary CLP pedigree input, so this is a
+ * synthetic workload with the same structure (documented in
+ * DESIGN.md): the main shared data is a pool of *sparse* arrays of
+ * genotype probabilities; a master processor assigns individual array
+ * elements to processors round-robin for load balance; after each
+ * parallel update phase the master sums the contributions (the
+ * inherent serial component). Only a small part of each page is
+ * modified between synchronizations, which is exactly the pattern
+ * that favors TreadMarks diffs over Cashmere whole-page fetches.
+ */
+
+#ifndef MCDSM_APPS_ILINK_H
+#define MCDSM_APPS_ILINK_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class IlinkApp final : public App
+{
+  public:
+    IlinkApp(int arrays, int array_len, int nonzeros, int iters,
+             std::uint64_t seed);
+
+    const char* name() const override { return "ilink"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int arrays_;
+    int len_;
+    int nonzeros_;
+    int iters_;
+    std::uint64_t seed_;
+    SharedArray<double> pool_;       ///< arrays_ x len_ probabilities
+    SharedArray<std::int32_t> idx_;  ///< nonzero positions per array
+    SharedArray<double> total_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_ILINK_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * LU: blocked dense LU factorization (SPLASH-2 kernel, paper §4.2).
+ *
+ * The matrix is stored block-contiguous: each 32x32 block of doubles
+ * is exactly one 8 KB page, owned by one processor (2D scatter
+ * assignment), which performs all computation on it. The inner loops
+ * work on one pivot block plus one target block — a 16 KB primary
+ * working set that exactly fits the 21064A's L1 and is blown out by
+ * Cashmere's write doubling (the paper's headline LU finding).
+ */
+
+#ifndef MCDSM_APPS_LU_H
+#define MCDSM_APPS_LU_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class LuApp final : public App
+{
+  public:
+    LuApp(int n, int block, std::uint64_t seed);
+
+    const char* name() const override { return "lu"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int owner(int bi, int bj, int nprocs) const;
+    GAddr blockAddr(int bi, int bj) const;
+
+    int n_;
+    int block_;
+    int nb_; ///< blocks per dimension
+    std::uint64_t seed_;
+    GAddr base_ = 0;
+    SharedArray<double> sums_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_LU_H

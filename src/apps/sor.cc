@@ -1,0 +1,88 @@
+#include "apps/sor.h"
+
+namespace mcdsm {
+
+SorApp::SorApp(int rows, int cols, int iters)
+    : rows_(rows), cols_(cols), iters_(iters)
+{
+}
+
+std::string
+SorApp::problemDesc() const
+{
+    return strprintf("%dx%d, %d iters", rows_, cols_, iters_);
+}
+
+std::size_t
+SorApp::sharedBytes() const
+{
+    return static_cast<std::size_t>(rows_) * cols_ * sizeof(double);
+}
+
+void
+SorApp::configure(DsmSystem& sys)
+{
+    grid_ = SharedArray<double>::allocate(
+        sys, static_cast<std::size_t>(rows_) * cols_);
+    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+
+    // Boundary conditions: hot top edge, cold elsewhere.
+    for (int j = 0; j < cols_; ++j)
+        grid_.init(sys, j, 1.0);
+}
+
+void
+SorApp::worker(Proc& p)
+{
+    const int id = p.id();
+    const int np = p.nprocs();
+    // Interior rows [1, rows-1) in bands.
+    const int interior = rows_ - 2;
+    const int lo = 1 + static_cast<int>(
+                           static_cast<std::int64_t>(interior) * id / np);
+    const int hi = 1 + static_cast<int>(static_cast<std::int64_t>(interior) *
+                                        (id + 1) / np);
+
+    auto at = [&](int i, int j) {
+        return static_cast<std::size_t>(i) * cols_ + j;
+    };
+
+    for (int iter = 0; iter < iters_; ++iter) {
+        for (int phase = 0; phase < 2; ++phase) {
+            for (int i = lo; i < hi; ++i) {
+                p.pollPoint();
+                const int start = 1 + ((i + phase) & 1);
+                for (int j = start; j < cols_ - 1; j += 2) {
+                    const double up = grid_.get(p, at(i - 1, j));
+                    const double down = grid_.get(p, at(i + 1, j));
+                    const double left = grid_.get(p, at(i, j - 1));
+                    const double right = grid_.get(p, at(i, j + 1));
+                    grid_.set(p, at(i, j),
+                              0.25 * (up + down + left + right));
+                    p.computeOps(6);
+                }
+            }
+            p.barrier(0);
+        }
+    }
+
+    // Verification: per-proc partial sums, combined by proc 0.
+    double sum = 0;
+    for (int i = lo; i < hi; ++i) {
+        p.pollPoint();
+        for (int j = 0; j < cols_; ++j)
+            sum += grid_.get(p, at(i, j));
+        p.computeOps(cols_);
+    }
+    sums_.set(p, static_cast<std::size_t>(id) * 64, sum);
+    p.barrier(1);
+    if (id == 0) {
+        double total = 0;
+        for (int q = 0; q < np; ++q)
+            total += sums_.get(p, static_cast<std::size_t>(q) * 64);
+        result_.checksum = total;
+    }
+    p.barrier(2);
+}
+
+} // namespace mcdsm

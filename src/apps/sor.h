@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SOR: Red-Black Successive Over-Relaxation for PDEs (paper §4.2).
+ *
+ * The grid is divided into roughly equal bands of rows per processor;
+ * communication occurs across band boundaries; processors synchronize
+ * with barriers after each half-sweep.
+ */
+
+#ifndef MCDSM_APPS_SOR_H
+#define MCDSM_APPS_SOR_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class SorApp final : public App
+{
+  public:
+    SorApp(int rows, int cols, int iters);
+
+    const char* name() const override { return "sor"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int rows_;
+    int cols_;
+    int iters_;
+    SharedArray<double> grid_;
+    SharedArray<double> sums_; ///< one partial sum per proc (page apart)
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_SOR_H

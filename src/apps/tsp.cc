@@ -1,0 +1,331 @@
+#include "apps/tsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace mcdsm {
+
+namespace {
+// ctl_ slots (kept a cache line apart to limit false sharing churn).
+constexpr std::size_t kHeapSize = 0;
+constexpr std::size_t kFreeHead = 16;
+constexpr std::size_t kInFlight = 32;
+constexpr std::size_t kBestCost = 48;
+// Locks.
+constexpr int kQueueLock = 0;
+constexpr int kBestLock = 1;
+} // namespace
+
+TspApp::TspApp(int cities, int dfs_tail, std::uint64_t seed)
+    : n_(cities), dfsTail_(dfs_tail), seed_(seed)
+{
+    mcdsm_assert(cities <= kMaxCities, "too many cities");
+}
+
+std::string
+TspApp::problemDesc() const
+{
+    return strprintf("%d cities", n_);
+}
+
+std::size_t
+TspApp::sharedBytes() const
+{
+    return kPoolCap * (4 * sizeof(std::int32_t) + kMaxCities) +
+           kPoolCap * sizeof(std::int32_t) +
+           n_ * n_ * sizeof(std::int32_t);
+}
+
+void
+TspApp::configure(DsmSystem& sys)
+{
+    dist_ = SharedArray<std::int32_t>::allocate(sys, n_ * n_);
+    minEdge_ = SharedArray<std::int32_t>::allocate(sys, n_);
+    nodeCost_ = SharedArray<std::int32_t>::allocate(sys, kPoolCap);
+    nodeBound_ = SharedArray<std::int32_t>::allocate(sys, kPoolCap);
+    nodeLen_ = SharedArray<std::int32_t>::allocate(sys, kPoolCap);
+    nodeNext_ = SharedArray<std::int32_t>::allocate(sys, kPoolCap);
+    nodePath_ = SharedArray<std::int8_t>::allocate(
+        sys, static_cast<std::size_t>(kPoolCap) * kMaxCities);
+    heap_ = SharedArray<std::int32_t>::allocate(sys, kPoolCap);
+    ctl_ = SharedArray<std::int32_t>::allocate(sys, 64);
+
+    // Random euclidean-ish instance (integer distances, symmetric).
+    Rng rng(seed_);
+    std::vector<int> x(n_), y(n_);
+    for (int i = 0; i < n_; ++i) {
+        x[i] = static_cast<int>(rng.nextBounded(1000));
+        y[i] = static_cast<int>(rng.nextBounded(1000));
+    }
+    dist_host_.assign(n_ * n_, 0);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            const int d = static_cast<int>(std::sqrt(dx * dx + dy * dy));
+            dist_host_[i * n_ + j] = d;
+            dist_.init(sys, i * n_ + j, d);
+        }
+    }
+    for (int i = 0; i < n_; ++i) {
+        int best = 1 << 28;
+        for (int j = 0; j < n_; ++j) {
+            if (j != i)
+                best = std::min(best, dist_host_[i * n_ + j]);
+        }
+        minEdge_.init(sys, i, best);
+    }
+
+    // Freelist: node i -> i+1; root tour (city 0) at node 0.
+    for (int i = 0; i < kPoolCap; ++i)
+        nodeNext_.init(sys, i, i + 1 < kPoolCap ? i + 1 : -1);
+    nodeCost_.init(sys, 0, 0);
+    nodeLen_.init(sys, 0, 1);
+    nodePath_.init(sys, 0, 0); // path[0] = city 0
+    nodeBound_.init(sys, 0, 0);
+    heap_.init(sys, 0, 0);
+    ctl_.init(sys, kHeapSize, 1);
+    ctl_.init(sys, kFreeHead, 1);
+    ctl_.init(sys, kInFlight, 0);
+
+    // Seed the incumbent with a greedy nearest-neighbour tour so
+    // pruning is effective from the start (standard branch-and-bound
+    // practice; without it the parallel search wastes its first
+    // moments expanding hopeless subtrees).
+    {
+        std::uint32_t visited = 1;
+        int last = 0, greedy = 0;
+        for (int step = 1; step < n_; ++step) {
+            int best_c = -1, best_d = 1 << 28;
+            for (int c = 1; c < n_; ++c) {
+                if ((visited & (1u << c)) == 0 &&
+                    dist_host_[last * n_ + c] < best_d) {
+                    best_d = dist_host_[last * n_ + c];
+                    best_c = c;
+                }
+            }
+            greedy += best_d;
+            visited |= 1u << best_c;
+            last = best_c;
+        }
+        greedy += dist_host_[last * n_];
+        ctl_.init(sys, kBestCost, greedy + 1);
+    }
+}
+
+void
+TspApp::worker(Proc& p)
+{
+    const int n = n_;
+
+    // The distance matrix and min-edge vector are read-only shared
+    // data: read them once (the pages replicate to this processor)
+    // and keep private copies for the hot search loops, as the real
+    // application's cached reads would.
+    std::vector<int> dist(n * n), min_edge(n);
+    for (int i = 0; i < n * n; ++i)
+        dist[i] = dist_.get(p, i * 1);
+    for (int i = 0; i < n; ++i)
+        min_edge[i] = minEdge_.get(p, i);
+    auto d = [&](int i, int j) { return dist[i * n + j]; };
+
+    // --- shared min-heap helpers (caller holds kQueueLock) -------------
+    auto heap_less = [&](int a, int b) {
+        const int ba = nodeBound_.get(p, a);
+        const int bb = nodeBound_.get(p, b);
+        if (ba != bb)
+            return ba < bb;
+        return a < b;
+    };
+    auto heap_push = [&](int node) {
+        int sz = ctl_.get(p, kHeapSize);
+        heap_.set(p, sz, node);
+        int i = sz;
+        while (i > 0) {
+            const int parent = (i - 1) / 2;
+            const int hi = heap_.get(p, i);
+            const int hp = heap_.get(p, parent);
+            if (!heap_less(hi, hp))
+                break;
+            heap_.set(p, i, hp);
+            heap_.set(p, parent, hi);
+            i = parent;
+        }
+        ctl_.set(p, kHeapSize, sz + 1);
+        p.computeOps(50);
+    };
+    auto heap_pop = [&]() {
+        int sz = ctl_.get(p, kHeapSize);
+        const int top = heap_.get(p, 0);
+        --sz;
+        heap_.set(p, 0, heap_.get(p, sz));
+        ctl_.set(p, kHeapSize, sz);
+        int i = 0;
+        for (;;) {
+            const int l = 2 * i + 1;
+            const int r = 2 * i + 2;
+            int m = i;
+            if (l < sz && heap_less(heap_.get(p, l), heap_.get(p, m)))
+                m = l;
+            if (r < sz && heap_less(heap_.get(p, r), heap_.get(p, m)))
+                m = r;
+            if (m == i)
+                break;
+            const int tmp = heap_.get(p, i);
+            heap_.set(p, i, heap_.get(p, m));
+            heap_.set(p, m, tmp);
+            i = m;
+        }
+        p.computeOps(50);
+        return top;
+    };
+    auto pool_alloc = [&]() {
+        const int head = ctl_.get(p, kFreeHead);
+        if (head < 0)
+            return -1; // pool exhausted: caller solves the child inline
+        ctl_.set(p, kFreeHead, nodeNext_.get(p, head));
+        return head;
+    };
+    auto pool_free = [&](int node) {
+        nodeNext_.set(p, node, ctl_.get(p, kFreeHead));
+        ctl_.set(p, kFreeHead, node);
+    };
+
+    // --- bound: cost so far + min outgoing edge per remaining city.
+    // Charged as an O(n^2) computation: production branch-and-bound
+    // codes use reduced-cost-matrix bounds of that strength.
+    auto lower_bound = [&](int cost, std::uint32_t visited, int last) {
+        int b = cost + min_edge[last];
+        for (int c = 0; c < n; ++c) {
+            if (!(visited & (1u << c)))
+                b += min_edge[c];
+        }
+        p.computeOps(2 * n * n);
+        return b;
+    };
+
+    // --- exhaustive DFS over the last kDfsTail cities -------------------
+    int best_seen = ctl_.get(p, kBestCost);
+    std::int64_t dfs_nodes = 0;
+    std::int8_t path[kMaxCities];
+    auto dfs = [&](auto&& self, int cost, std::uint32_t visited, int last,
+                   int len) -> void {
+        if (((++dfs_nodes) & 0xfff) == 0) {
+            p.pollPoint();
+            best_seen = ctl_.get(p, kBestCost); // racy refresh: prune only
+        }
+        if (cost >= best_seen)
+            return;
+        if (len == n) {
+            const int total = cost + d(last, 0);
+            if (total < best_seen) {
+                p.acquire(kBestLock);
+                if (total < ctl_.get(p, kBestCost))
+                    ctl_.set(p, kBestCost, total);
+                best_seen = ctl_.get(p, kBestCost);
+                p.release(kBestLock);
+            }
+            return;
+        }
+        for (int c = 1; c < n; ++c) {
+            if (visited & (1u << c))
+                continue;
+            const int step = d(last, c);
+            if (cost + step >= best_seen)
+                continue;
+            self(self, cost + step, visited | (1u << c), c, len + 1);
+        }
+        p.computeOps(2 * n * n);
+    };
+
+    // --- main branch-and-bound loop --------------------------------------
+    for (;;) {
+        p.pollPoint();
+        p.acquire(kQueueLock);
+        const int sz = ctl_.get(p, kHeapSize);
+        if (sz == 0) {
+            const int in_flight = ctl_.get(p, kInFlight);
+            p.release(kQueueLock);
+            if (in_flight == 0)
+                break;
+            p.compute(2 * kMillisecond); // back off before retrying
+            continue;
+        }
+        const int node = heap_pop();
+        ctl_.set(p, kInFlight, ctl_.get(p, kInFlight) + 1);
+        // Copy the task out of the pool while holding the lock.
+        const int cost = nodeCost_.get(p, node);
+        const int len = nodeLen_.get(p, node);
+        for (int i = 0; i < len; ++i)
+            path[i] = nodePath_.get(p, node * kMaxCities + i);
+        pool_free(node);
+        p.release(kQueueLock);
+
+        best_seen = ctl_.get(p, kBestCost);
+        std::uint32_t visited = 0;
+        for (int i = 0; i < len; ++i)
+            visited |= 1u << path[i];
+        const int last = path[len - 1];
+
+        if (n - len <= dfsTail_) {
+            dfs(dfs, cost, visited, last, len);
+        } else {
+            // Expand one level; queue all surviving children under a
+            // single lock tenure.
+            int child_city[kMaxCities];
+            int child_cost[kMaxCities];
+            int child_bound[kMaxCities];
+            int nchildren = 0;
+            for (int c = 1; c < n; ++c) {
+                if (visited & (1u << c))
+                    continue;
+                const int ncost = cost + d(last, c);
+                const int nbound =
+                    lower_bound(ncost, visited | (1u << c), c);
+                if (nbound >= best_seen)
+                    continue;
+                child_city[nchildren] = c;
+                child_cost[nchildren] = ncost;
+                child_bound[nchildren] = nbound;
+                ++nchildren;
+            }
+            if (nchildren > 0) {
+                p.acquire(kQueueLock);
+                for (int k = 0; k < nchildren; ++k) {
+                    const int child = pool_alloc();
+                    if (child < 0) {
+                        p.release(kQueueLock);
+                        dfs(dfs, child_cost[k],
+                            visited | (1u << child_city[k]),
+                            child_city[k], len + 1);
+                        p.acquire(kQueueLock);
+                        continue;
+                    }
+                    nodeCost_.set(p, child, child_cost[k]);
+                    nodeBound_.set(p, child, child_bound[k]);
+                    nodeLen_.set(p, child, len + 1);
+                    for (int i = 0; i < len; ++i)
+                        nodePath_.set(p, child * kMaxCities + i, path[i]);
+                    nodePath_.set(p, child * kMaxCities + len,
+                                  static_cast<std::int8_t>(child_city[k]));
+                    heap_push(child);
+                }
+                p.release(kQueueLock);
+            }
+        }
+
+        p.acquire(kQueueLock);
+        ctl_.set(p, kInFlight, ctl_.get(p, kInFlight) - 1);
+        p.release(kQueueLock);
+    }
+
+    p.barrier(0);
+    if (p.id() == 0)
+        result_.checksum = ctl_.get(p, kBestCost);
+    p.barrier(1);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TSP: branch-and-bound traveling salesman (paper §4.2).
+ *
+ * Unsolved partial tours live in a shared priority queue protected by
+ * a lock; updates to the best tour are protected by a second lock.
+ * Tours within dfsTail cities of completion are solved by local
+ * depth-first search, which keeps queue tasks coarse. The search is
+ * nondeterministic in schedule but the optimal cost is unique, so the
+ * checksum (best cost) is exact across protocols and processor counts.
+ */
+
+#ifndef MCDSM_APPS_TSP_H
+#define MCDSM_APPS_TSP_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class TspApp final : public App
+{
+  public:
+    TspApp(int cities, int dfs_tail, std::uint64_t seed);
+
+    const char* name() const override { return "tsp"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+    static constexpr int kMaxCities = 16;
+    static constexpr int kPoolCap = 1 << 15;
+
+  private:
+    struct Ctl; // shared-control field offsets
+
+    int n_;
+    int dfsTail_; ///< solve the last dfsTail_ cities by local DFS
+    std::uint64_t seed_;
+    std::vector<int> dist_host_; ///< host copy for init
+
+    SharedArray<std::int32_t> dist_;
+    SharedArray<std::int32_t> minEdge_;
+    SharedArray<std::int32_t> nodeCost_;   ///< per pool node
+    SharedArray<std::int32_t> nodeBound_;
+    SharedArray<std::int32_t> nodeLen_;
+    SharedArray<std::int32_t> nodeNext_;   ///< freelist link
+    SharedArray<std::int8_t> nodePath_;    ///< kMaxCities per node
+    SharedArray<std::int32_t> heap_;       ///< node ids, min-heap
+    SharedArray<std::int32_t> ctl_;        ///< heapSize, freeHead, ...
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_TSP_H

@@ -1,0 +1,131 @@
+#include "apps/water.h"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace mcdsm {
+
+WaterApp::WaterApp(int molecules, int steps, std::uint64_t seed)
+    : n_(molecules), steps_(steps), seed_(seed)
+{
+}
+
+std::string
+WaterApp::problemDesc() const
+{
+    return strprintf("%d molecules, %d steps", n_, steps_);
+}
+
+std::size_t
+WaterApp::sharedBytes() const
+{
+    return static_cast<std::size_t>(n_) * 9 * sizeof(double);
+}
+
+void
+WaterApp::configure(DsmSystem& sys)
+{
+    pos_ = SharedArray<double>::allocate(sys, 3 * n_);
+    vel_ = SharedArray<double>::allocate(sys, 3 * n_);
+    force_ = SharedArray<double>::allocate(sys, 3 * n_);
+    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+
+    Rng rng(seed_);
+    const double box = std::cbrt(static_cast<double>(n_)) * 3.0;
+    for (int i = 0; i < 3 * n_; ++i) {
+        pos_.init(sys, i, rng.nextDouble(0.0, box));
+        vel_.init(sys, i, rng.nextDouble(-0.1, 0.1));
+        force_.init(sys, i, 0.0);
+    }
+}
+
+void
+WaterApp::worker(Proc& p)
+{
+    const int np = p.nprocs();
+    const int id = p.id();
+    const int lo = static_cast<int>(static_cast<std::int64_t>(n_) * id / np);
+    const int hi =
+        static_cast<int>(static_cast<std::int64_t>(n_) * (id + 1) / np);
+
+    const double dt = 1e-3;
+    std::vector<double> local(3 * n_);
+
+    for (int step = 0; step < steps_; ++step) {
+        // Phase 1: pairwise forces, accumulated locally. Processor q
+        // handles pairs (i, j) with i in its chunk, j > i.
+        std::fill(local.begin(), local.end(), 0.0);
+        for (int i = lo; i < hi; ++i) {
+            p.pollPoint();
+            const double xi = pos_.get(p, 3 * i);
+            const double yi = pos_.get(p, 3 * i + 1);
+            const double zi = pos_.get(p, 3 * i + 2);
+            for (int j = i + 1; j < n_; ++j) {
+                const double dx = pos_.get(p, 3 * j) - xi;
+                const double dy = pos_.get(p, 3 * j + 1) - yi;
+                const double dz = pos_.get(p, 3 * j + 2) - zi;
+                const double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                const double f = 1.0 / (r2 * r2); // short-range repulsion
+                local[3 * i] -= f * dx;
+                local[3 * i + 1] -= f * dy;
+                local[3 * i + 2] -= f * dz;
+                local[3 * j] += f * dx;
+                local[3 * j + 1] += f * dy;
+                local[3 * j + 2] += f * dz;
+            }
+            p.computeOps(300 * (n_ - i - 1));
+        }
+
+        // Phase 2: merge local contributions into the shared force
+        // vectors under per-processor-chunk locks (migratory data).
+        // Pairs (i, j) with i in our chunk and j > i only touch
+        // molecules in chunks >= ours; visit those in ascending order
+        // (a natural pipeline across processors).
+        for (int q = id; q < np; ++q) {
+            const int qlo =
+                static_cast<int>(static_cast<std::int64_t>(n_) * q / np);
+            const int qhi = static_cast<int>(
+                static_cast<std::int64_t>(n_) * (q + 1) / np);
+            p.pollPoint();
+            p.acquire(q);
+            for (int i = 3 * qlo; i < 3 * qhi; ++i) {
+                if (local[i] != 0.0) {
+                    force_.set(p, i, force_.get(p, i) + local[i]);
+                    p.computeOps(2);
+                }
+            }
+            p.release(q);
+        }
+        p.barrier(0);
+
+        // Phase 3: integrate our own chunk; zero forces for next step.
+        for (int i = 3 * lo; i < 3 * hi; ++i) {
+            p.pollPoint();
+            const double f = force_.get(p, i);
+            const double v = vel_.get(p, i) + f * dt;
+            vel_.set(p, i, v);
+            pos_.set(p, i, pos_.get(p, i) + v * dt);
+            force_.set(p, i, 0.0);
+            p.computeOps(6);
+        }
+        p.barrier(1);
+    }
+
+    // Verification: position checksum.
+    double sum = 0;
+    for (int i = 3 * lo; i < 3 * hi; ++i)
+        sum += pos_.get(p, i);
+    sums_.set(p, static_cast<std::size_t>(id) * 64, sum);
+    p.barrier(2);
+    if (id == 0) {
+        double total = 0;
+        for (int q = 0; q < np; ++q)
+            total += sums_.get(p, static_cast<std::size_t>(q) * 64);
+        result_.checksum = total;
+    }
+    p.barrier(3);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Water: n-squared molecular dynamics (SPLASH-1 style, paper §4.2).
+ *
+ * The shared molecule array is divided into contiguous chunks, one
+ * per processor. During the force phase each processor accumulates
+ * intermolecular forces locally, then acquires per-processor locks to
+ * add its contributions into the globally shared force vectors — the
+ * migratory sharing pattern the paper calls out.
+ */
+
+#ifndef MCDSM_APPS_WATER_H
+#define MCDSM_APPS_WATER_H
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+class WaterApp final : public App
+{
+  public:
+    WaterApp(int molecules, int steps, std::uint64_t seed);
+
+    const char* name() const override { return "water"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+  private:
+    int n_;
+    int steps_;
+    std::uint64_t seed_;
+    SharedArray<double> pos_;   ///< 3 doubles per molecule
+    SharedArray<double> vel_;   ///< 3 doubles per molecule
+    SharedArray<double> force_; ///< 3 doubles per molecule
+    SharedArray<double> sums_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_WATER_H

@@ -1,0 +1,66 @@
+#include "cache/cache_model.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+constexpr std::uint64_t kInvalidLine = ~std::uint64_t{0};
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig& cfg, const CostModel& costs)
+    : costs_(costs)
+{
+    mcdsm_assert(isPow2(cfg.lineSize) && isPow2(cfg.l1Bytes) &&
+                     isPow2(cfg.l2Bytes),
+                 "cache geometry must be power of two");
+    mcdsm_assert(cfg.l1Bytes >= cfg.lineSize && cfg.l2Bytes >= cfg.l1Bytes,
+                 "bad cache geometry");
+    line_shift_ = std::countr_zero(cfg.lineSize);
+    const std::size_t l1_sets = cfg.l1Bytes / cfg.lineSize;
+    const std::size_t l2_sets = cfg.l2Bytes / cfg.lineSize;
+    l1_mask_ = l1_sets - 1;
+    l2_mask_ = l2_sets - 1;
+    l1_.assign(l1_sets, kInvalidLine);
+    l2_.assign(l2_sets, kInvalidLine);
+}
+
+Time
+CacheModel::touchRange(std::uint64_t addr, std::size_t bytes)
+{
+    Time total = 0;
+    const std::size_t line = std::size_t{1} << line_shift_;
+    const std::uint64_t end = addr + bytes;
+    for (std::uint64_t a = addr & ~std::uint64_t(line - 1); a < end;
+         a += line) {
+        total += access(a);
+    }
+    return total;
+}
+
+void
+CacheModel::invalidateRange(std::uint64_t addr, std::size_t bytes)
+{
+    const std::size_t line = std::size_t{1} << line_shift_;
+    const std::uint64_t end = addr + bytes;
+    for (std::uint64_t a = addr & ~std::uint64_t(line - 1); a < end;
+         a += line) {
+        const std::uint64_t ln = a >> line_shift_;
+        if (l1_[ln & l1_mask_] == ln)
+            l1_[ln & l1_mask_] = kInvalidLine;
+        if (l2_[ln & l2_mask_] == ln)
+            l2_[ln & l2_mask_] = kInvalidLine;
+    }
+}
+
+} // namespace mcdsm

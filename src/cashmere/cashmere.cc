@@ -1,0 +1,474 @@
+#include "cashmere/cashmere.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+inline GAddr
+pageBase(PageNum pn)
+{
+    return static_cast<GAddr>(pn) << kPageShift;
+}
+
+} // namespace
+
+void
+Cashmere::attach(DsmRuntime& rt)
+{
+    rt_ = &rt;
+    dir_ = std::make_unique<Directory>(
+        rt.pageCount(),
+        rt.cfg().effectiveSuperpagePages(rt.pageCount()));
+    appLocks_.resize(rt.cfg().numLocks);
+    barriers_.resize(rt.cfg().numBarriers);
+    flags_.resize(rt.cfg().numFlags);
+    barrierDepth_ = 1;
+    while ((1 << barrierDepth_) < rt.nprocs())
+        ++barrierDepth_;
+}
+
+Cashmere::PState&
+Cashmere::st(ProcCtx& ctx)
+{
+    if (!ctx.pstate) {
+        auto s = std::make_unique<PState>();
+        s->wnPending.assign(rt_->pageCount(), 0);
+        s->dirtyPending.assign(rt_->pageCount(), 0);
+        ctx.pstate = std::move(s);
+    }
+    return static_cast<PState&>(*ctx.pstate);
+}
+
+std::uint8_t*
+Cashmere::canonicalFrame(PageNum pn)
+{
+    // The canonical (home) copy of the page; initialized from (and
+    // stored as) the init image, so host-side readback after a run
+    // observes the home copies.
+    return rt_->initFrame(pn);
+}
+
+NodeId
+Cashmere::homeOf(ProcCtx& ctx, PageNum pn)
+{
+    if (!dir_->homeAssigned(pn)) {
+        // First touch after initialization claims the whole superpage;
+        // requires the directory-entry lock (paper: the only locked
+        // directory operation).
+        if (dir_->assignHome(pn, ctx.node)) {
+            rt_->charge(ctx, TimeCat::Protocol,
+                        rt_->costs().dirModifyLocked);
+            rt_->mc().broadcast(ctx.node, kDirEntryBytes,
+                                rt_->sched().now());
+            ctx.stats.dirUpdates += 1;
+        }
+    }
+    return dir_->home(pn);
+}
+
+void
+Cashmere::loadPage(ProcCtx& ctx, PageNum pn)
+{
+    const NodeId home = homeOf(ctx, pn);
+    std::uint8_t* canon = canonicalFrame(pn);
+
+    if (ctx.frame(pn) == nullptr)
+        ctx.mapFrame(pn, rt_->allocFrame());
+
+    if (ctx.node == home) {
+        // On the home node the canonical (Memory Channel receive)
+        // page is local memory: fill the local copy with an ordinary
+        // memory-to-memory copy, no messages.
+        std::memcpy(ctx.frame(pn), canon, kPageSize);
+        const Time lat = ctx.cache.touchRange(pageBase(pn), kPageSize);
+        rt_->charge(ctx, TimeCat::Protocol, lat);
+        return;
+    }
+
+    // No remote reads on MC: ask a processor at the home node (or its
+    // protocol processor) to write the page to us.
+    Message req;
+    req.type = CsmReqPageFetch;
+    req.a = pn;
+    req.bytes = 16;
+    rt_->sendMessage(ctx, rt_->requestEndpointForNode(home), req);
+
+    ctx.noteWait("csm_fetch", pn, home);
+    Message rep = rt_->waitReplyIf(ctx, [pn](const Message& m) {
+        return m.type == CsmRepPageFetch && m.a == pn;
+    });
+    mcdsm_assert(rep.payload.size() == kPageSize, "bad page payload");
+    std::memcpy(ctx.frame(pn), rep.payload.data(), kPageSize);
+    // The copy into the local frame streams the page through our
+    // cache (the second bus crossing the paper mentions).
+    const Time lat = ctx.cache.touchRange(pageBase(pn), kPageSize);
+    rt_->charge(ctx, TimeCat::Protocol, lat);
+    ctx.stats.pageTransfers += 1;
+}
+
+void
+Cashmere::onReadFault(ProcCtx& ctx, PageNum pn)
+{
+    const CostModel& c = rt_->costs();
+    DirEntry& e = dir_->entry(pn);
+
+    // Join the sharing set (ll/sc on our node's directory word,
+    // broadcast of the updated word).
+    e.addSharer(ctx.id);
+    ctx.stats.dirUpdates += 1;
+    rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
+    rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+
+    // If some other processor held the page exclusive, post an NLE
+    // descriptor to it and clear exclusive mode.
+    if (e.exclusive != kNoProc && e.exclusive != ctx.id) {
+        ProcCtx& owner = rt_->procCtx(e.exclusive);
+        st(owner).nle.push_back(pn);
+        e.exclusive = kNoProc;
+        rt_->charge(ctx, TimeCat::Protocol,
+                    c.dirScan + c.mcLockUncontended);
+        const NodeId owner_node = rt_->topo().nodeOf(owner.id);
+        if (owner_node != ctx.node) {
+            rt_->mc().streamWrite(ctx.node, owner_node, 16,
+                                  rt_->sched().now());
+        }
+    }
+
+    loadPage(ctx, pn);
+    ctx.pt.setProtection(pn, ProtRead);
+    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+}
+
+void
+Cashmere::onWriteFault(ProcCtx& ctx, PageNum pn)
+{
+    if (!ctx.pt.canRead(pn))
+        onReadFault(ctx, pn);
+
+    PState& s = st(ctx);
+    if (!s.dirtyPending[pn]) {
+        s.dirtyPending[pn] = 1;
+        s.dirty.push_back(pn);
+    }
+    ctx.pt.setProtection(pn, ProtRw);
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+}
+
+void
+Cashmere::afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
+{
+    const PageNum pn = pageOf(a);
+    std::uint8_t* canon = rt_->initFrame(pn);
+    std::uint8_t* frame = ctx.frame(pn);
+    const CostModel& c = rt_->costs();
+
+    // Doubled store to the MC region: a different L1 line by
+    // construction (the paper's +0x...2000 address arithmetic). The
+    // store itself retires through the write buffer (a few cycles),
+    // but the line it installs *pollutes* the cache — subsequent
+    // loads pay the evictions. This is the working-set blowup the
+    // paper measures on LU and Gauss, and it applies on the home node
+    // too (the MC receive region is a distinct mapping).
+    ctx.cache.access(a + kDoubleOffset);
+    rt_->charge(ctx, TimeCat::Doubling, c.mcPerWriteCpu);
+
+    // Apply to the canonical copy; Memory Channel bandwidth is only
+    // consumed when the home is remote (first-touch homing makes most
+    // write-through node-local in well-partitioned applications).
+    const std::size_t off = pageOffset(a);
+    std::memcpy(canon + off, frame + off, size);
+    const NodeId home = dir_->home(pn);
+    if (home != ctx.node) {
+        const Time arr = rt_->mc().streamWrite(ctx.node, home, size,
+                                               rt_->sched().now());
+        ctx.writeThroughDone[home] =
+            std::max(ctx.writeThroughDone[home], arr);
+    }
+}
+
+void
+Cashmere::processWriteNotices(ProcCtx& ctx)
+{
+    PState& s = st(ctx);
+    const CostModel& c = rt_->costs();
+    for (PageNum pn : s.writeNotices) {
+        DirEntry& e = dir_->entry(pn);
+        e.removeSharer(ctx.id);
+        ctx.stats.dirUpdates += 1;
+        rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
+        rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+
+        if (ctx.pt.protection(pn) != ProtNone) {
+            std::uint8_t* frame = ctx.frame(pn);
+            ctx.pt.setProtection(pn, ProtNone);
+            rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+            if (frame != nullptr && frame != rt_->initFrame(pn))
+                rt_->freeFrame(frame);
+            ctx.mapFrame(pn, nullptr);
+        }
+        s.wnPending[pn] = 0;
+    }
+    s.writeNotices.clear();
+}
+
+void
+Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
+{
+    DirEntry& e = dir_->entry(pn);
+    PState& s = st(ctx);
+    const CostModel& c = rt_->costs();
+
+    if (!from_nle)
+        s.dirtyPending[pn] = 0;
+
+    rt_->charge(ctx, TimeCat::Protocol, c.dirScan);
+
+    const int others = e.otherSharers(ctx.id);
+    if (others > 0) {
+        for (ProcId q = 0; q < rt_->nprocs(); ++q) {
+            if (q == ctx.id || !e.isPresent(q))
+                continue;
+            PState& qs = st(rt_->procCtx(q));
+            if (qs.wnPending[pn])
+                continue; // duplicate notice suppressed by the bitmap
+            qs.wnPending[pn] = 1;
+            qs.writeNotices.push_back(pn);
+            ctx.stats.writeNoticesSent += 1;
+            rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
+            const NodeId qnode = rt_->topo().nodeOf(q);
+            if (qnode != ctx.node) {
+                rt_->mc().streamWrite(ctx.node, qnode, 16,
+                                      rt_->sched().now());
+            }
+        }
+    }
+
+    if (from_nle)
+        e.neverExclusive = true;
+
+    const bool go_exclusive = others == 0 && !from_nle &&
+                              rt_->cfg().cashmereExclusiveMode &&
+                              !e.neverExclusive;
+    if (go_exclusive) {
+        // Keep the read-write mapping; skip all per-release overhead
+        // for this page until some other processor touches it.
+        if (e.exclusive != ctx.id) {
+            e.exclusive = ctx.id;
+            ctx.stats.dirUpdates += 1;
+            rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
+            rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+        }
+        return;
+    }
+
+    // Downgrade to read-only so subsequent writes fault again.
+    if (ctx.pt.canWrite(pn)) {
+        ctx.pt.setProtection(pn, ProtRead);
+        rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+    }
+}
+
+void
+Cashmere::drainWriteThrough(ProcCtx& ctx)
+{
+    Time done = 0;
+    for (Time t : ctx.writeThroughDone)
+        done = std::max(done, t);
+    const Time now = rt_->sched().now();
+    if (done > now)
+        rt_->charge(ctx, TimeCat::CommWait, done - now);
+}
+
+void
+Cashmere::processRelease(ProcCtx& ctx)
+{
+    PState& s = st(ctx);
+
+    // Iterate over snapshots: posting notices never appends to our
+    // own lists, but be explicit about it.
+    std::vector<PageNum> dirty;
+    dirty.swap(s.dirty);
+    for (PageNum pn : dirty)
+        postWriteNotices(ctx, pn, false);
+
+    std::vector<PageNum> nle;
+    nle.swap(s.nle);
+    for (PageNum pn : nle)
+        postWriteNotices(ctx, pn, true);
+
+    drainWriteThrough(ctx);
+}
+
+void
+Cashmere::lockAcquire(ProcCtx& ctx, McLock& lk)
+{
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcLockUncontended);
+    rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+    if (lk.holder == kNoProc) {
+        lk.holder = ctx.id;
+        // If the previous release is not yet MC-visible, our array
+        // write appears to lose the first round; retry succeeds once
+        // the release propagates.
+        const Time now = rt_->sched().now();
+        if (now < lk.visibleAt)
+            rt_->charge(ctx, TimeCat::CommWait, lk.visibleAt - now);
+        return;
+    }
+    lk.waiters.push_back(ctx.id);
+    ctx.noteWait("csm_lock");
+    rt_->waitEvent(ctx, [this, &lk, &ctx] {
+        return lk.holder == ctx.id && rt_->sched().now() >= lk.visibleAt;
+    });
+}
+
+void
+Cashmere::lockRelease(ProcCtx& ctx, McLock& lk)
+{
+    mcdsm_assert(lk.holder == ctx.id, "releasing a lock we do not hold");
+    const Time now = rt_->sched().now();
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcPerWriteCpu);
+    rt_->mc().broadcast(ctx.node, 8, now);
+
+    if (!lk.waiters.empty()) {
+        const ProcId next = lk.waiters.front();
+        lk.waiters.pop_front();
+        lk.holder = next;
+        // The new holder observes its array entry winning via
+        // loop-back after the release write propagates.
+        lk.visibleAt = now + 2 * rt_->costs().mcLatency;
+        rt_->sched().wake(rt_->procCtx(next).task, lk.visibleAt);
+    } else {
+        lk.holder = kNoProc;
+        lk.visibleAt = now + rt_->costs().mcLatency;
+    }
+}
+
+void
+Cashmere::acquire(ProcCtx& ctx, int lock_id)
+{
+    lockAcquire(ctx, appLocks_[lock_id]);
+    processWriteNotices(ctx);
+}
+
+void
+Cashmere::release(ProcCtx& ctx, int lock_id)
+{
+    processRelease(ctx);
+    lockRelease(ctx, appLocks_[lock_id]);
+}
+
+void
+Cashmere::barrier(ProcCtx& ctx, int barrier_id)
+{
+    processRelease(ctx);
+
+    McBarrier& bar = barriers_[barrier_id];
+    const int P = rt_->nprocs();
+    const CostModel& c = rt_->costs();
+    const NodeId root = rt_->topo().nodeOf(0);
+
+    // Notify arrival up the tree (a Memory Channel word write).
+    rt_->charge(ctx, TimeCat::Protocol, c.mcPerWriteCpu);
+    if (ctx.node != root)
+        rt_->mc().streamWrite(ctx.node, root, 8, rt_->sched().now());
+
+    const long my_epoch = bar.epoch;
+    bar.arrived += 1;
+    if (bar.arrived == P) {
+        bar.arrived = 0;
+        bar.epoch += 1;
+        // Arrival and release waves each traverse the notification
+        // tree: depth hops of MC latency each way.
+        bar.releaseAt = rt_->sched().now() +
+                        2 * barrierDepth_ * c.mcLatency;
+        rt_->mc().broadcast(root, 8, rt_->sched().now());
+        for (ProcId q = 0; q < P; ++q) {
+            if (q != ctx.id)
+                rt_->sched().wake(rt_->procCtx(q).task, bar.releaseAt);
+        }
+        rt_->charge(ctx, TimeCat::CommWait,
+                    bar.releaseAt - rt_->sched().now());
+    } else {
+        ctx.noteWait("csm_barrier", barrier_id);
+        rt_->waitEvent(ctx, [this, &bar, my_epoch] {
+            return bar.epoch != my_epoch &&
+                   rt_->sched().now() >= bar.releaseAt;
+        });
+    }
+
+    processWriteNotices(ctx);
+}
+
+void
+Cashmere::setFlag(ProcCtx& ctx, int flag_id)
+{
+    processRelease(ctx);
+    McFlag& f = flags_[flag_id];
+    const Time now = rt_->sched().now();
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcPerWriteCpu);
+    rt_->mc().broadcast(ctx.node, 8, now);
+    f.set = true;
+    f.visibleAt = now + rt_->costs().mcLatency;
+    for (TaskId t : f.waiters)
+        rt_->sched().wake(t, f.visibleAt);
+    f.waiters.clear();
+}
+
+void
+Cashmere::waitFlag(ProcCtx& ctx, int flag_id)
+{
+    McFlag& f = flags_[flag_id];
+    if (!f.set) {
+        f.waiters.push_back(ctx.task);
+        ctx.noteWait("csm_flag", flag_id);
+        rt_->waitEvent(ctx, [&f] { return f.set; });
+    }
+    // Spin out the remaining Memory Channel visibility delay, if any.
+    const Time now = rt_->sched().now();
+    if (now < f.visibleAt)
+        rt_->charge(ctx, TimeCat::CommWait, f.visibleAt - now);
+    processWriteNotices(ctx);
+}
+
+void
+Cashmere::procEnd(ProcCtx& ctx)
+{
+    // Final implicit release: flush write-through and leave directory
+    // state consistent.
+    processRelease(ctx);
+}
+
+void
+Cashmere::serviceRequest(ProcCtx& server, Message& msg)
+{
+    switch (msg.type) {
+      case CsmReqPageFetch: {
+        const PageNum pn = static_cast<PageNum>(msg.a);
+        mcdsm_assert(dir_->home(pn) == server.node,
+                     "page fetch routed to non-home node");
+        std::uint8_t* canon = canonicalFrame(pn);
+        // First bus crossing: the servicing processor reads the page
+        // through its registers.
+        const Time lat = server.cache.touchRange(pageBase(pn), kPageSize);
+        rt_->charge(server, TimeCat::Protocol, lat);
+
+        Message rep;
+        rep.type = CsmRepPageFetch;
+        rep.a = pn;
+        rep.payload.assign(canon, canon + kPageSize);
+        rep.bytes = kPageSize + 32;
+        rt_->sendMessage(server, msg.src, std::move(rep));
+        break;
+      }
+      default:
+        mcdsm_panic("Cashmere: unknown request type %d", msg.type);
+    }
+}
+
+} // namespace mcdsm

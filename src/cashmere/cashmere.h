@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Cashmere protocol (paper §2.1, §3.3).
+ *
+ * Directory-based multi-writer release consistency over Memory
+ * Channel remote writes:
+ *  - every shared page has a home node holding its canonical copy;
+ *    homes are chosen by first touch (at superpage granularity);
+ *  - every shared store is *doubled*: written to the local copy and
+ *    written through to the home's canonical copy over MC;
+ *  - at a release, the dirty and no-longer-exclusive (NLE) lists are
+ *    processed: write notices are posted to sharers, pages with no
+ *    other sharers enter exclusive mode, others are downgraded to
+ *    read-only; the release stalls until the home has seen all
+ *    write-through traffic;
+ *  - at an acquire, posted write notices invalidate local copies;
+ *  - a page fault fetches a fresh copy from the home node; since MC
+ *    has no remote reads, a processor at the home (or the dedicated
+ *    protocol processor in csm_pp) writes the page back to the
+ *    requester;
+ *  - locks, barriers and flags are built from Memory Channel words
+ *    (remote writes + loop-back), not from messages.
+ */
+
+#ifndef MCDSM_CASHMERE_CASHMERE_H
+#define MCDSM_CASHMERE_CASHMERE_H
+
+#include <deque>
+#include <vector>
+
+#include "cashmere/directory.h"
+#include "dsm/protocol.h"
+#include "dsm/runtime.h"
+
+namespace mcdsm {
+
+/** Cashmere request/reply message types. */
+enum CsmMsg : int {
+    CsmReqPageFetch = 1,
+    CsmRepPageFetch = kReplyBase + 1,
+};
+
+class Cashmere final : public Protocol
+{
+  public:
+    void attach(DsmRuntime& rt) override;
+
+    void onReadFault(ProcCtx& ctx, PageNum pn) override;
+    void onWriteFault(ProcCtx& ctx, PageNum pn) override;
+
+    bool wantsWriteHook() const override { return true; }
+    void afterWrite(ProcCtx& ctx, GAddr a, std::size_t size) override;
+
+    void acquire(ProcCtx& ctx, int lock_id) override;
+    void release(ProcCtx& ctx, int lock_id) override;
+    void barrier(ProcCtx& ctx, int barrier_id) override;
+    void setFlag(ProcCtx& ctx, int flag_id) override;
+    void waitFlag(ProcCtx& ctx, int flag_id) override;
+
+    void procEnd(ProcCtx& ctx) override;
+
+    void serviceRequest(ProcCtx& server, Message& msg) override;
+
+    const Directory& directory() const { return *dir_; }
+
+    /**
+     * Offset between a local-copy address and its doubled Memory
+     * Channel address. Bit 28 keeps doubled writes out of the shared
+     * segment; bit 13 makes the doubled write map to a *different*
+     * first-level cache line (the paper's address trick), which is
+     * what blows up the L1 working set of write-intensive kernels.
+     */
+    static constexpr std::uint64_t kDoubleOffset = 0x10002000;
+
+  private:
+    /** Per-processor protocol state. */
+    struct PState final : ProtocolProcState
+    {
+        std::vector<PageNum> dirty;
+        std::vector<PageNum> nle;
+        std::vector<PageNum> writeNotices;
+        std::vector<std::uint8_t> wnPending; ///< dedup bitmap, by page
+        std::vector<std::uint8_t> dirtyPending;
+    };
+
+    /** A cluster-wide lock built from an MC array + per-node flag. */
+    struct McLock
+    {
+        ProcId holder = kNoProc;
+        Time visibleAt = 0; ///< when the holder change is MC-visible
+        std::deque<ProcId> waiters;
+    };
+
+    /** Tree barrier state (notifications through MC words). */
+    struct McBarrier
+    {
+        long epoch = 0;
+        int arrived = 0;
+        Time releaseAt = 0;
+    };
+
+    /** One-shot event flag in MC space. */
+    struct McFlag
+    {
+        bool set = false;
+        Time visibleAt = 0;
+        std::vector<TaskId> waiters;
+    };
+
+    PState& st(ProcCtx& ctx);
+
+    NodeId homeOf(ProcCtx& ctx, PageNum pn);
+    std::uint8_t* canonicalFrame(PageNum pn);
+
+    /** Fetch (or directly map) the page data and map it read-only. */
+    void loadPage(ProcCtx& ctx, PageNum pn);
+
+    /** Acquire-side: consume write notices, invalidate pages. */
+    void processWriteNotices(ProcCtx& ctx);
+
+    /** Release-side: process dirty + NLE lists, drain write-through. */
+    void processRelease(ProcCtx& ctx);
+
+    void postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle);
+    void drainWriteThrough(ProcCtx& ctx);
+
+    void lockAcquire(ProcCtx& ctx, McLock& lk);
+    void lockRelease(ProcCtx& ctx, McLock& lk);
+
+    DsmRuntime* rt_ = nullptr;
+    std::unique_ptr<Directory> dir_;
+    std::vector<McLock> appLocks_;
+    std::vector<McBarrier> barriers_;
+    std::vector<McFlag> flags_;
+    int barrierDepth_ = 1;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CASHMERE_CASHMERE_H

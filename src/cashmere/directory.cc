@@ -1,0 +1,25 @@
+#include "cashmere/directory.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+Directory::Directory(std::size_t pages, int superpage_pages)
+    : entries_(pages), spp_(superpage_pages)
+{
+    mcdsm_assert(superpage_pages > 0, "superpage size must be positive");
+    home_.assign((pages + spp_ - 1) / spp_, kNoNode);
+}
+
+bool
+Directory::assignHome(PageNum pn, NodeId node)
+{
+    auto& h = home_[pn / spp_];
+    if (h != kNoNode)
+        return false;
+    h = node;
+    ++assignments_;
+    return true;
+}
+
+} // namespace mcdsm

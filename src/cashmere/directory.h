@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cashmere's distributed page directory (paper §2.1, §3.3.2).
+ *
+ * On the real machine each directory entry is eight 4-byte words (one
+ * per SMP node), replicated on every node through Memory Channel
+ * broadcast; each word holds per-CPU presence bits, the home node id,
+ * a home-valid bit and exclusive-mode bits. The simulator keeps one
+ * authoritative entry per page; the cost of keeping the replicas
+ * consistent is charged by the protocol (dirModify / dirModifyLocked
+ * plus broadcast bytes).
+ *
+ * Digital Unix's fixed-size Memory Channel kernel tables force pages
+ * into "superpages" that must share a home node; the directory tracks
+ * home assignment at superpage granularity.
+ */
+
+#ifndef MCDSM_CASHMERE_DIRECTORY_H
+#define MCDSM_CASHMERE_DIRECTORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/** Wire size of one replicated directory entry (8 nodes x 4 bytes). */
+constexpr std::size_t kDirEntryBytes = 32;
+
+struct DirEntry
+{
+    /** Presence bit per processor (supports up to 64). */
+    std::uint64_t presence = 0;
+
+    /** Processor holding exclusive read/write mode, if any. */
+    ProcId exclusive = kNoProc;
+
+    /** Once set, this page may never re-enter exclusive mode. */
+    bool neverExclusive = false;
+
+    bool
+    isPresent(ProcId p) const
+    {
+        return (presence >> p) & 1;
+    }
+
+    void
+    addSharer(ProcId p)
+    {
+        presence |= std::uint64_t{1} << p;
+    }
+
+    void
+    removeSharer(ProcId p)
+    {
+        presence &= ~(std::uint64_t{1} << p);
+    }
+
+    /** Number of sharers other than @p p. */
+    int
+    otherSharers(ProcId p) const
+    {
+        std::uint64_t others = presence & ~(std::uint64_t{1} << p);
+        return __builtin_popcountll(others);
+    }
+};
+
+class Directory
+{
+  public:
+    /**
+     * @param pages shared-segment page count
+     * @param superpage_pages pages per superpage (home granularity)
+     */
+    Directory(std::size_t pages, int superpage_pages);
+
+    DirEntry&
+    entry(PageNum pn)
+    {
+        return entries_[pn];
+    }
+
+    const DirEntry&
+    entry(PageNum pn) const
+    {
+        return entries_[pn];
+    }
+
+    /** Home node of @p pn, or kNoNode before first touch. */
+    NodeId
+    home(PageNum pn) const
+    {
+        return home_[pn / spp_];
+    }
+
+    bool
+    homeAssigned(PageNum pn) const
+    {
+        return home_[pn / spp_] != kNoNode;
+    }
+
+    /**
+     * First-touch home assignment: claims the whole superpage for
+     * @p node. @return true if this call performed the assignment
+     * (the caller then charges the locked directory update).
+     */
+    bool assignHome(PageNum pn, NodeId node);
+
+    std::size_t pageCount() const { return entries_.size(); }
+    int superpagePages() const { return spp_; }
+
+    /** Number of home assignments performed (one lock each). */
+    std::uint64_t homeAssignments() const { return assignments_; }
+
+  private:
+    std::vector<DirEntry> entries_;
+    std::vector<NodeId> home_;
+    int spp_;
+    std::uint64_t assignments_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CASHMERE_DIRECTORY_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cost model for the simulated AlphaServer 2100 4/233 cluster.
+ *
+ * Every constant in this file comes from the paper's section 3 and 4.1
+ * (measured basic operation costs) or from published specifications of
+ * the 21064A / AlphaServer 2100 / first-generation Memory Channel.
+ * Where the supplied paper text was garbled, the chosen value and its
+ * rationale are noted next to the field; EXPERIMENTS.md discusses the
+ * sensitivity of each experiment to these values.
+ */
+
+#ifndef MCDSM_COMMON_COSTS_H
+#define MCDSM_COMMON_COSTS_H
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/**
+ * Measured and derived machine costs. All times in nanoseconds of
+ * simulated time, all bandwidths in bytes per nanosecond (== GB/s).
+ */
+struct CostModel
+{
+    // ---- processor -----------------------------------------------------
+    /** 233 MHz 21064A; dual issue, we charge ~one cycle per simple op. */
+    Time cycle = 4; // 4.29 ns truncated; computeOps uses cyclesPerOp
+    double nsPerOp = 4.29;
+
+    // ---- cache hierarchy (21064A + AlphaServer board cache) -------------
+    Time l1HitTime = 4;       ///< ~1 cycle per load/store that hits L1
+    Time l2HitTime = 60;      ///< first-level miss, board-cache hit
+    Time memTime = 400;       ///< board-cache miss to local memory
+
+    // ---- virtual memory (paper 4.1) -------------------------------------
+    Time mprotect = 62 * kMicrosecond;  ///< "memory protection ops ~62us"
+    Time pageFault = 9 * kMicrosecond;  ///< "page faults cost 9us" (trap
+                                        ///< + dispatch only; VM changes
+                                        ///< are charged via mprotect)
+
+    // ---- signals / interrupts (paper 4.1) --------------------------------
+    Time localSignal = 69 * kMicrosecond;   ///< deliver a signal locally
+    Time remoteSignalSend = 5 * kMicrosecond; ///< sender cost of imc_kill
+    Time remoteSignalLatency = 1 * kMillisecond; ///< end-to-end imc_kill
+
+    // ---- Memory Channel (paper 3.1) --------------------------------------
+    Time mcLatency = 5200;    ///< 5.2 us process-to-process write latency
+    double mcLinkBw = 0.030;  ///< ~30 MB/s per link (32-bit PCI limit)
+    double mcAggBw = 0.032;   ///< ~32 MB/s aggregate (early driver limit)
+    Time mcPerWriteCpu = 10;  ///< CPU cost of issuing one doubled/MC
+                              ///< write: 3-4 dual-issued instructions
+                              ///< of address arithmetic plus the store
+                              ///< (write-buffered, no stall)
+
+    // ---- intra-node (SMP shared memory) -----------------------------------
+    Time smpMessageLatency = 1 * kMicrosecond; ///< message buffer in
+                                               ///< ordinary shared memory
+    double busBw = 0.100;     ///< local copy bandwidth ~100 MB/s
+
+    // ---- locks / directory (paper 4.1) ------------------------------------
+    Time mcLockUncontended = 11 * kMicrosecond; ///< MC array lock acq+rel
+    Time dirModify = 5 * kMicrosecond;   ///< directory entry update
+    Time dirModifyLocked = 16 * kMicrosecond; ///< update incl. entry lock
+    Time dirScan = 2 * kMicrosecond;     ///< read all 8 words of an entry
+
+    // ---- TreadMarks protocol operations (paper 4.1) ------------------------
+    Time twinCost = 362 * kMicrosecond;  ///< twin an 8K page
+    Time diffCreateMin = 289 * kMicrosecond; ///< empty diff of an 8K page
+    Time diffCreateMax = 533 * kMicrosecond; ///< full-page diff
+    Time diffApplyBase = 20 * kMicrosecond;  ///< fixed cost to apply a diff
+    double diffApplyPerByte = 15.0;      ///< ns per modified byte applied
+    Time tmkPerInterval = 1 * kMicrosecond;  ///< (de)serialise one interval
+    Time tmkPerNotice = 300;                 ///< handle one write notice
+
+    // ---- message handling ---------------------------------------------------
+    Time handlerDispatch = 10 * kMicrosecond; ///< enter/exit a request
+                                              ///< handler (poll/pp paths)
+    Time udpPerMessage = 80 * kMicrosecond;   ///< kernel UDP send or
+                                              ///< receive CPU cost
+    Time mcPerMessage = 8 * kMicrosecond;     ///< user-level MC message
+                                              ///< buffer send/receive cost
+    Time pollCheck = 5 * static_cast<Time>(4.29); ///< ~5 instructions per
+                                                  ///< loop-top poll
+
+    /** Cost to create a diff covering @p bytes modified bytes. */
+    Time
+    diffCreate(std::size_t bytes) const
+    {
+        double frac = static_cast<double>(bytes) /
+                      static_cast<double>(kPageSize);
+        if (frac > 1.0)
+            frac = 1.0;
+        return diffCreateMin +
+               static_cast<Time>(frac * (diffCreateMax - diffCreateMin));
+    }
+
+    /** Cost to apply a diff carrying @p bytes of modified data. */
+    Time
+    diffApply(std::size_t bytes) const
+    {
+        return diffApplyBase +
+               static_cast<Time>(diffApplyPerByte *
+                                 static_cast<double>(bytes));
+    }
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_COMMON_COSTS_H

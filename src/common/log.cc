@@ -1,0 +1,82 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcdsm {
+
+std::string
+vstrprintf(const char* fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), n + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrprintf(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+void
+panicImpl(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+assertFail(const char* file, int line, const char* cond,
+           const std::string& msg)
+{
+    std::fprintf(stderr, "panic: assertion failed: %s (%s) at %s:%d\n",
+                 msg.c_str(), cond, file, line);
+    std::abort();
+}
+
+void
+warnImpl(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace mcdsm

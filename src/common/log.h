@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in mcdsm itself);
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — status messages.
+ */
+
+#ifndef MCDSM_COMMON_LOG_H
+#define MCDSM_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace mcdsm {
+
+[[noreturn]] void panicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char* fmt, va_list ap);
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void assertFail(const char* file, int line, const char* cond,
+                             const std::string& msg);
+
+} // namespace mcdsm
+
+#define mcdsm_panic(...) ::mcdsm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define mcdsm_fatal(...) ::mcdsm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define mcdsm_warn(...) ::mcdsm::warnImpl(__VA_ARGS__)
+#define mcdsm_inform(...) ::mcdsm::informImpl(__VA_ARGS__)
+
+/** Invariant check that survives NDEBUG; use for protocol invariants. */
+#define mcdsm_assert(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            ::mcdsm::assertFail(__FILE__, __LINE__, #cond,                 \
+                                ::mcdsm::strprintf(__VA_ARGS__));          \
+        }                                                                  \
+    } while (0)
+
+#endif // MCDSM_COMMON_LOG_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental types shared by every mcdsm subsystem.
+ */
+
+#ifndef MCDSM_COMMON_TYPES_H
+#define MCDSM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcdsm {
+
+/** Virtual (simulated) time in nanoseconds. */
+using Time = std::int64_t;
+
+/** Convenience literals for simulated time. */
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * 1000;
+constexpr Time kSecond = 1000LL * 1000 * 1000;
+
+/**
+ * A global shared-memory address: a byte offset into the DSM shared
+ * segment. The segment starts at offset 0 and is page aligned.
+ */
+using GAddr = std::uint64_t;
+
+/** Page number within the shared segment. */
+using PageNum = std::uint32_t;
+
+/** Virtual-memory page size: 8 KB, as on Digital Unix (paper §4). */
+constexpr std::size_t kPageShift = 13;
+constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;
+constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+/** Cache line size: 64 bytes (paper §4). */
+constexpr std::size_t kCacheLineSize = 64;
+
+inline constexpr PageNum
+pageOf(GAddr a)
+{
+    return static_cast<PageNum>(a >> kPageShift);
+}
+
+inline constexpr std::size_t
+pageOffset(GAddr a)
+{
+    return static_cast<std::size_t>(a & kPageMask);
+}
+
+/** Identifier of a simulated processor (0 .. P-1). */
+using ProcId = int;
+/** Identifier of a simulated SMP node (0 .. N-1). */
+using NodeId = int;
+
+constexpr ProcId kNoProc = -1;
+constexpr NodeId kNoNode = -1;
+
+} // namespace mcdsm
+
+#endif // MCDSM_COMMON_TYPES_H

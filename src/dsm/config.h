@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Configuration for a DSM run: protocol variant, cluster topology,
+ * machine cost model, cache geometry and protocol knobs.
+ */
+
+#ifndef MCDSM_DSM_CONFIG_H
+#define MCDSM_DSM_CONFIG_H
+
+#include <cstdint>
+
+#include "cache/cache_model.h"
+#include "common/costs.h"
+#include "net/mailbox.h"
+#include "net/topology.h"
+
+namespace mcdsm {
+
+/**
+ * The six protocol implementations compared in the paper, plus None
+ * (direct execution) for the sequential baseline.
+ */
+enum class ProtocolKind {
+    None,      ///< no DSM: sequential baseline ("not linked to either")
+    CsmPp,     ///< Cashmere, dedicated protocol processor per node
+    CsmInt,    ///< Cashmere, imc_kill interrupts
+    CsmPoll,   ///< Cashmere, polling at loop tops
+    TmkUdpInt, ///< TreadMarks, kernel UDP + SIGIO interrupts
+    TmkMcInt,  ///< TreadMarks, MC buffers + imc_kill interrupts
+    TmkMcPoll, ///< TreadMarks, MC buffers + polling
+};
+
+const char* protocolName(ProtocolKind k);
+
+inline bool
+isCashmere(ProtocolKind k)
+{
+    return k == ProtocolKind::CsmPp || k == ProtocolKind::CsmInt ||
+           k == ProtocolKind::CsmPoll;
+}
+
+inline bool
+isTreadMarks(ProtocolKind k)
+{
+    return k == ProtocolKind::TmkUdpInt || k == ProtocolKind::TmkMcInt ||
+           k == ProtocolKind::TmkMcPoll;
+}
+
+/** How remote requests reach a handler. */
+enum class ReqMode { Poll, Interrupt, ProtocolProcessor };
+
+inline ReqMode
+reqModeOf(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::CsmPp:
+        return ReqMode::ProtocolProcessor;
+      case ProtocolKind::CsmInt:
+      case ProtocolKind::TmkUdpInt:
+      case ProtocolKind::TmkMcInt:
+        return ReqMode::Interrupt;
+      default:
+        return ReqMode::Poll;
+    }
+}
+
+inline Transport
+transportOf(ProtocolKind k)
+{
+    return k == ProtocolKind::TmkUdpInt ? Transport::Udp
+                                        : Transport::McBuffer;
+}
+
+/**
+ * Does this variant poll for (and service) incoming requests while
+ * spinning in a wait? True for polling variants, and for TreadMarks
+ * interrupt variants (the paper makes the request handler re-entrant:
+ * while spinning for a reply it polls for and queues requests).
+ * Cashmere's interrupt variant relies on signal delivery even while
+ * spinning on Memory Channel flags.
+ */
+inline bool
+pollsWhileWaiting(ProtocolKind k)
+{
+    return k != ProtocolKind::CsmInt;
+}
+
+struct DsmConfig
+{
+    ProtocolKind protocol = ProtocolKind::None;
+    Topology topo{1, 1};
+    CostModel costs{};
+    CacheConfig cache{};
+
+    /** Capacity of the shared segment. */
+    std::size_t maxSharedBytes = std::size_t{64} << 20;
+
+    /**
+     * Cashmere home-node granularity in pages. Digital Unix's fixed
+     * kernel tables force Cashmere to group pages into superpages
+     * that share a home node (paper §3.3): superpage size = shared
+     * segment size / table entries. 0 = derive from kMcTableEntries
+     * (the default, matching the paper's description).
+     */
+    int superpagePages = 0;
+
+    /** Modelled number of Memory Channel kernel-table entries. */
+    static constexpr int kMcTableEntries = 4096;
+
+    int
+    effectiveSuperpagePages(std::size_t page_count) const
+    {
+        if (superpagePages > 0)
+            return superpagePages;
+        return static_cast<int>(
+            (page_count + kMcTableEntries - 1) / kMcTableEntries);
+    }
+
+    int numLocks = 1024;
+    int numBarriers = 64;
+    int numFlags = 1 << 16;
+
+    /** Seed for applications' deterministic RNG. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Protocol event-trace ring capacity (0 = tracing disabled).
+     * See dsm/trace.h; DsmRuntime::trace() exposes the ring.
+     */
+    std::size_t traceCapacity = 0;
+
+    /**
+     * Enable Cashmere's exclusive-mode optimisation (paper §2.1).
+     * Disabled by the ablation bench to quantify its value.
+     */
+    bool cashmereExclusiveMode = true;
+
+    /**
+     * Processors per node available for computation. The csm_pp
+     * variant consumes one CPU per node for the protocol processor,
+     * so 32 compute processors are "not applicable" to it on the
+     * 8x4 machine; the harness enforces that.
+     */
+    static constexpr int kCpusPerNode = 4;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_CONFIG_H

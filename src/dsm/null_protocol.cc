@@ -1,0 +1,40 @@
+#include "dsm/null_protocol.h"
+
+#include "common/log.h"
+#include "dsm/runtime.h"
+
+namespace mcdsm {
+
+void
+NullProtocol::attach(DsmRuntime& rt)
+{
+    rt_ = &rt;
+    mcdsm_assert(rt.nprocs() == 1,
+                 "ProtocolKind::None is the sequential baseline; "
+                 "use 1 processor");
+}
+
+void
+NullProtocol::onReadFault(ProcCtx& ctx, PageNum pn)
+{
+    // Map the init image directly; the runtime charges no fault cost
+    // for ProtocolKind::None — the baseline is the unlinked
+    // sequential program.
+    ctx.mapFrame(pn, rt_->initFrame(pn));
+    ctx.pt.setProtection(pn, ProtRw);
+}
+
+void
+NullProtocol::onWriteFault(ProcCtx& ctx, PageNum pn)
+{
+    ctx.mapFrame(pn, rt_->initFrame(pn));
+    ctx.pt.setProtection(pn, ProtRw);
+}
+
+void
+NullProtocol::serviceRequest(ProcCtx&, Message&)
+{
+    mcdsm_panic("NullProtocol received a request");
+}
+
+} // namespace mcdsm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The "no DSM" protocol used for sequential baselines: direct access
+ * to the init image with zero protocol cost. Only valid with a single
+ * processor (the paper's sequential times are measured "without
+ * linking to either TreadMarks or Cashmere").
+ */
+
+#ifndef MCDSM_DSM_NULL_PROTOCOL_H
+#define MCDSM_DSM_NULL_PROTOCOL_H
+
+#include "dsm/protocol.h"
+
+namespace mcdsm {
+
+class NullProtocol final : public Protocol
+{
+  public:
+    void attach(DsmRuntime& rt) override;
+    void onReadFault(ProcCtx& ctx, PageNum pn) override;
+    void onWriteFault(ProcCtx& ctx, PageNum pn) override;
+    void acquire(ProcCtx&, int) override {}
+    void release(ProcCtx&, int) override {}
+    void barrier(ProcCtx&, int) override {}
+    void setFlag(ProcCtx&, int) override {}
+    void waitFlag(ProcCtx&, int) override {}
+    void serviceRequest(ProcCtx&, Message&) override;
+
+  private:
+    DsmRuntime* rt_ = nullptr;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_NULL_PROTOCOL_H

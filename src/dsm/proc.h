@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Proc — the handle applications use inside a worker function.
+ *
+ * Exposes the full DSM programming model: typed reads/writes to the
+ * shared segment, locks, barriers, flags, compute-time charging and
+ * the loop-top poll instrumentation point.
+ */
+
+#ifndef MCDSM_DSM_PROC_H
+#define MCDSM_DSM_PROC_H
+
+#include <cstring>
+#include <type_traits>
+
+#include "dsm/runtime.h"
+
+namespace mcdsm {
+
+class Proc
+{
+  public:
+    Proc(DsmRuntime& rt, ProcCtx& ctx) : rt_(rt), ctx_(ctx) {}
+
+    /** This processor's id, 0 .. nprocs()-1. */
+    ProcId id() const { return ctx_.id; }
+    /** SMP node this processor lives on. */
+    NodeId node() const { return ctx_.node; }
+    /** Number of compute processors in the run. */
+    int nprocs() const { return rt_.nprocs(); }
+
+    /** Current virtual time (ns). */
+    Time now() const { return rt_.sched().now(); }
+
+    // ---- shared memory --------------------------------------------------
+    template <typename T>
+    T
+    read(GAddr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        std::memcpy(&v, rt_.readAccess(ctx_, a, sizeof(T)), sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(GAddr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::memcpy(rt_.writeAccess(ctx_, a, sizeof(T)), &v, sizeof(T));
+        if (rt_.writeHook())
+            rt_.afterWrite(ctx_, a, sizeof(T));
+    }
+
+    // ---- synchronization --------------------------------------------------
+    void acquire(int lock_id) { rt_.acquireLock(ctx_, lock_id); }
+    void release(int lock_id) { rt_.releaseLock(ctx_, lock_id); }
+    void barrier(int barrier_id) { rt_.barrier(ctx_, barrier_id); }
+    void setFlag(int flag_id) { rt_.setFlag(ctx_, flag_id); }
+    void waitFlag(int flag_id) { rt_.waitFlag(ctx_, flag_id); }
+
+    // ---- instrumentation ---------------------------------------------------
+    /**
+     * Loop-top poll point — the equivalent of the paper's
+     * assembly-level instrumentation at backward-referenced labels.
+     * Applications call this at the top of every significant loop.
+     */
+    void pollPoint() { rt_.pollPoint(ctx_); }
+
+    /** Charge @p ns nanoseconds of application compute time. */
+    void compute(Time ns) { rt_.computeTime(ctx_, ns); }
+
+    /** Charge @p ops simple operations (≈1 cycle each at 233 MHz). */
+    void computeOps(std::int64_t ops) { rt_.computeOps(ctx_, ops); }
+
+    /** Access to the runtime (examples / tests may want statistics). */
+    DsmRuntime& runtime() { return rt_; }
+    ProcCtx& ctx() { return ctx_; }
+
+  private:
+    DsmRuntime& rt_;
+    ProcCtx& ctx_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_PROC_H

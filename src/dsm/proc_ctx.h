@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-processor runtime context: page table, cache, local page frames,
+ * statistics and protocol-private state.
+ */
+
+#ifndef MCDSM_DSM_PROC_CTX_H
+#define MCDSM_DSM_PROC_CTX_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.h"
+#include "common/types.h"
+#include "dsm/stats.h"
+#include "sim/scheduler.h"
+#include "vm/page_table.h"
+
+namespace mcdsm {
+
+/** Base class for protocol-private per-processor state. */
+struct ProtocolProcState
+{
+    virtual ~ProtocolProcState() = default;
+};
+
+struct ProcCtx
+{
+    ProcCtx(ProcId id_, NodeId node_, std::size_t pages,
+            const CacheConfig& cache_cfg, const CostModel& costs)
+        : id(id_), node(node_), pt(pages), cache(cache_cfg, costs),
+          pages_(pages, nullptr)
+    {}
+
+    ProcId id;       ///< endpoint id (compute procs: 0..P-1; pp: P+node)
+    NodeId node;
+    TaskId task = -1;
+    bool isPp = false;
+
+    PageTable pt;
+    CacheModel cache;
+
+    /** Mapped local frame per page (nullptr when unmapped). */
+    std::vector<std::uint8_t*> pages_;
+
+    ProcStats stats;
+
+    /** Sum of all explicitly charged (categorised) time. */
+    Time accounted = 0;
+
+    /** Outstanding write-through completion time per destination node. */
+    std::vector<Time> writeThroughDone;
+
+    /**
+     * Debug note describing the current wait (set by protocols before
+     * blocking); printed in deadlock diagnostics.
+     */
+    const char* waitNote = "";
+    std::uint64_t waitArg0 = 0;
+    std::uint64_t waitArg1 = 0;
+
+    void
+    noteWait(const char* what, std::uint64_t a0 = 0, std::uint64_t a1 = 0)
+    {
+        waitNote = what;
+        waitArg0 = a0;
+        waitArg1 = a1;
+    }
+
+    std::unique_ptr<ProtocolProcState> pstate;
+
+    std::uint8_t*
+    frame(PageNum pn) const
+    {
+        return pages_[pn];
+    }
+
+    void
+    mapFrame(PageNum pn, std::uint8_t* f)
+    {
+        pages_[pn] = f;
+    }
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_PROC_CTX_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Abstract interface every coherence protocol implements.
+ *
+ * The runtime dispatches page faults, synchronization operations and
+ * remote-request servicing into the active protocol; the protocol uses
+ * the runtime's communication and accounting services (see runtime.h).
+ */
+
+#ifndef MCDSM_DSM_PROTOCOL_H
+#define MCDSM_DSM_PROTOCOL_H
+
+#include "common/types.h"
+#include "dsm/proc_ctx.h"
+#include "net/mailbox.h"
+
+namespace mcdsm {
+
+class DsmRuntime;
+
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    /** One-time binding to the runtime, before any worker starts. */
+    virtual void attach(DsmRuntime& rt) = 0;
+
+    /** Called on each worker fiber before the application body. */
+    virtual void procStart(ProcCtx&) {}
+
+    /** Called on each worker fiber after the application body. */
+    virtual void procEnd(ProcCtx&) {}
+
+    /** Read access to a page without read permission. */
+    virtual void onReadFault(ProcCtx&, PageNum) = 0;
+
+    /** Write access to a page without write permission. */
+    virtual void onWriteFault(ProcCtx&, PageNum) = 0;
+
+    /**
+     * True if every shared store must be reported via afterWrite()
+     * (Cashmere's write doubling).
+     */
+    virtual bool wantsWriteHook() const { return false; }
+
+    /** Called after the store's bytes are in the local frame. */
+    virtual void afterWrite(ProcCtx&, GAddr, std::size_t) {}
+
+    virtual void acquire(ProcCtx&, int lock_id) = 0;
+    virtual void release(ProcCtx&, int lock_id) = 0;
+    virtual void barrier(ProcCtx&, int barrier_id) = 0;
+
+    /**
+     * One-shot event flags with release (set) / acquire (wait)
+     * semantics — the synchronization Gauss uses per pivot row.
+     */
+    virtual void setFlag(ProcCtx&, int flag_id) = 0;
+    virtual void waitFlag(ProcCtx&, int flag_id) = 0;
+
+    /**
+     * Service one remote request on the servicing fiber (a compute
+     * processor at a poll point / interrupt, or a dedicated protocol
+     * processor). Dispatch cost has already been charged.
+     */
+    virtual void serviceRequest(ProcCtx& server, Message& msg) = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_PROTOCOL_H

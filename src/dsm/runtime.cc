@@ -1,0 +1,532 @@
+#include "dsm/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dsm/proc.h"
+
+namespace mcdsm {
+
+const char*
+protocolName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::None: return "none";
+      case ProtocolKind::CsmPp: return "csm_pp";
+      case ProtocolKind::CsmInt: return "csm_int";
+      case ProtocolKind::CsmPoll: return "csm_poll";
+      case ProtocolKind::TmkUdpInt: return "tmk_udp_int";
+      case ProtocolKind::TmkMcInt: return "tmk_mc_int";
+      case ProtocolKind::TmkMcPoll: return "tmk_mc_poll";
+    }
+    return "?";
+}
+
+const char*
+timeCatName(TimeCat c)
+{
+    switch (c) {
+      case TimeCat::User: return "User";
+      case TimeCat::Poll: return "Polling";
+      case TimeCat::Doubling: return "Write doubling";
+      case TimeCat::Protocol: return "Protocol";
+      case TimeCat::CommWait: return "Comm & Wait";
+    }
+    return "?";
+}
+
+DsmRuntime::DsmRuntime(const DsmConfig& cfg,
+                       std::unique_ptr<Protocol> protocol)
+    : cfg_(cfg), costs_(cfg.costs), mc_(costs_, cfg.topo.nodes),
+      protocol_(std::move(protocol)),
+      req_mode_(reqModeOf(cfg.protocol)),
+      page_count_(cfg.maxSharedBytes >> kPageShift)
+{
+    mail_ = std::make_unique<MailboxSystem>(sched_, mc_, costs_, cfg_.topo);
+    init_.resize(page_count_);
+    trace_ = TraceRing(cfg_.traceCapacity);
+
+    int_mode_ = (req_mode_ == ReqMode::Interrupt);
+    polls_while_waiting_ = pollsWhileWaiting(cfg_.protocol);
+
+    if (req_mode_ == ReqMode::ProtocolProcessor) {
+        mcdsm_assert(cfg_.topo.procsPerNode < DsmConfig::kCpusPerNode,
+                     "csm_pp needs a spare CPU per node");
+    }
+
+    // Compute-processor contexts.
+    for (ProcId p = 0; p < cfg_.topo.nprocs; ++p) {
+        auto ctx = std::make_unique<ProcCtx>(p, cfg_.topo.nodeOf(p),
+                                             page_count_, cfg_.cache,
+                                             costs_);
+        ctx->writeThroughDone.assign(cfg_.topo.nodes, 0);
+        procs_.push_back(std::move(ctx));
+    }
+    // Protocol-processor contexts (always created; only scheduled in
+    // pp mode).
+    for (NodeId n = 0; n < cfg_.topo.nodes; ++n) {
+        auto ctx = std::make_unique<ProcCtx>(mail_->ppEndpoint(n), n,
+                                             page_count_, cfg_.cache,
+                                             costs_);
+        ctx->isPp = true;
+        ctx->writeThroughDone.assign(cfg_.topo.nodes, 0);
+        procs_.push_back(std::move(ctx));
+    }
+
+    protocol_->attach(*this);
+    write_hook_ = protocol_->wantsWriteHook();
+}
+
+DsmRuntime::~DsmRuntime() = default;
+
+GAddr
+DsmRuntime::alloc(std::size_t bytes, std::size_t align)
+{
+    mcdsm_assert(align != 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    alloc_bytes_ = (alloc_bytes_ + align - 1) & ~(align - 1);
+    GAddr a = alloc_bytes_;
+    alloc_bytes_ += bytes;
+    if (alloc_bytes_ > cfg_.maxSharedBytes) {
+        mcdsm_fatal("shared segment exhausted (%zu > %zu bytes)",
+                    alloc_bytes_, cfg_.maxSharedBytes);
+    }
+    return a;
+}
+
+GAddr
+DsmRuntime::allocPageAligned(std::size_t bytes)
+{
+    return alloc(bytes, kPageSize);
+}
+
+std::uint8_t*
+DsmRuntime::initFrame(PageNum pn)
+{
+    mcdsm_assert(pn < page_count_, "page out of range");
+    if (!init_[pn]) {
+        init_[pn] = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memset(init_[pn].get(), 0, kPageSize);
+    }
+    return init_[pn].get();
+}
+
+void
+DsmRuntime::hostWrite(GAddr a, const void* src, std::size_t bytes)
+{
+    const auto* s = static_cast<const std::uint8_t*>(src);
+    while (bytes > 0) {
+        const PageNum pn = pageOf(a);
+        const std::size_t off = pageOffset(a);
+        const std::size_t chunk = std::min(bytes, kPageSize - off);
+        std::memcpy(initFrame(pn) + off, s, chunk);
+        a += chunk;
+        s += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+DsmRuntime::hostRead(GAddr a, void* dst, std::size_t bytes) const
+{
+    auto* d = static_cast<std::uint8_t*>(dst);
+    while (bytes > 0) {
+        const PageNum pn = pageOf(a);
+        const std::size_t off = pageOffset(a);
+        const std::size_t chunk = std::min(bytes, kPageSize - off);
+        if (init_[pn])
+            std::memcpy(d, init_[pn].get() + off, chunk);
+        else
+            std::memset(d, 0, chunk);
+        a += chunk;
+        d += chunk;
+        bytes -= chunk;
+    }
+}
+
+std::uint8_t*
+DsmRuntime::allocFrame()
+{
+    if (!free_frames_.empty()) {
+        std::uint8_t* f = free_frames_.back();
+        free_frames_.pop_back();
+        return f;
+    }
+    frame_pool_.push_back(std::make_unique<std::uint8_t[]>(kPageSize));
+    return frame_pool_.back().get();
+}
+
+void
+DsmRuntime::freeFrame(std::uint8_t* frame)
+{
+    free_frames_.push_back(frame);
+}
+
+ProcId
+DsmRuntime::requestEndpointForNode(NodeId n) const
+{
+    if (req_mode_ == ReqMode::ProtocolProcessor)
+        return mail_->ppEndpoint(n);
+    return cfg_.topo.firstProcOf(n);
+}
+
+void
+DsmRuntime::handleReadFault(ProcCtx& ctx, PageNum pn)
+{
+    if (cfg_.protocol != ProtocolKind::None) {
+        ctx.stats.readFaults += 1;
+        charge(ctx, TimeCat::Protocol, costs_.pageFault);
+    }
+    trace_.record(sched_.now(), ctx.id, TraceKind::ReadFault, pn);
+    protocol_->onReadFault(ctx, pn);
+    mcdsm_assert(ctx.pt.canRead(pn) && ctx.frame(pn) != nullptr,
+                 "protocol did not resolve read fault");
+}
+
+void
+DsmRuntime::handleWriteFault(ProcCtx& ctx, PageNum pn)
+{
+    if (cfg_.protocol != ProtocolKind::None) {
+        ctx.stats.writeFaults += 1;
+        charge(ctx, TimeCat::Protocol, costs_.pageFault);
+    }
+    trace_.record(sched_.now(), ctx.id, TraceKind::WriteFault, pn);
+    protocol_->onWriteFault(ctx, pn);
+    mcdsm_assert(ctx.pt.canWrite(pn) && ctx.frame(pn) != nullptr,
+                 "protocol did not resolve write fault");
+}
+
+void
+DsmRuntime::acquireLock(ProcCtx& ctx, int lock_id)
+{
+    mcdsm_assert(lock_id >= 0 && lock_id < cfg_.numLocks, "bad lock id");
+    // Synchronization operations are ordering points: yield so that
+    // lower-virtual-clock processors perform their (causally earlier)
+    // synchronization first. Without this a never-blocking processor
+    // could monopolize a lock forever.
+    sched_.yield();
+    ctx.stats.lockAcquires += 1;
+    trace_.record(sched_.now(), ctx.id, TraceKind::LockAcquire, lock_id);
+    protocol_->acquire(ctx, lock_id);
+}
+
+void
+DsmRuntime::releaseLock(ProcCtx& ctx, int lock_id)
+{
+    mcdsm_assert(lock_id >= 0 && lock_id < cfg_.numLocks, "bad lock id");
+    sched_.yield();
+    trace_.record(sched_.now(), ctx.id, TraceKind::LockRelease, lock_id);
+    protocol_->release(ctx, lock_id);
+}
+
+void
+DsmRuntime::barrier(ProcCtx& ctx, int barrier_id)
+{
+    mcdsm_assert(barrier_id >= 0 && barrier_id < cfg_.numBarriers,
+                 "bad barrier id");
+    sched_.yield();
+    ctx.stats.barriers += 1;
+    trace_.record(sched_.now(), ctx.id, TraceKind::BarrierEnter,
+                  barrier_id);
+    protocol_->barrier(ctx, barrier_id);
+    trace_.record(sched_.now(), ctx.id, TraceKind::BarrierLeave,
+                  barrier_id);
+}
+
+void
+DsmRuntime::setFlag(ProcCtx& ctx, int flag_id)
+{
+    mcdsm_assert(flag_id >= 0 && flag_id < cfg_.numFlags, "bad flag id");
+    sched_.yield();
+    ctx.stats.flagOps += 1;
+    trace_.record(sched_.now(), ctx.id, TraceKind::FlagSet, flag_id);
+    protocol_->setFlag(ctx, flag_id);
+}
+
+void
+DsmRuntime::waitFlag(ProcCtx& ctx, int flag_id)
+{
+    mcdsm_assert(flag_id >= 0 && flag_id < cfg_.numFlags, "bad flag id");
+    sched_.yield();
+    ctx.stats.flagOps += 1;
+    trace_.record(sched_.now(), ctx.id, TraceKind::FlagWait, flag_id);
+    protocol_->waitFlag(ctx, flag_id);
+}
+
+Time
+DsmRuntime::sendMessage(ProcCtx& ctx, ProcId dst, Message msg)
+{
+    trace_.record(sched_.now(), ctx.id, TraceKind::MessageSend,
+                  static_cast<std::uint64_t>(msg.type), dst);
+    const Time t0 = sched_.now();
+    const Time arrival =
+        mail_->send(ctx.id, dst, std::move(msg), transportOf(cfg_.protocol));
+    const Time dt = sched_.now() - t0;
+    ctx.stats.timeIn[static_cast<int>(TimeCat::Protocol)] += dt;
+    ctx.accounted += dt;
+    return arrival;
+}
+
+void
+DsmRuntime::serviceArrived(ProcCtx& ctx, bool in_wait)
+{
+    for (;;) {
+        const Time now = sched_.now();
+        auto msg = mail_->tryReceiveIf(
+            ctx.id, now, [&](const Message& m) {
+                if (m.type >= kReplyBase)
+                    return false;
+                if (req_mode_ != ReqMode::Interrupt)
+                    return true;
+                if (in_wait && polls_while_waiting_)
+                    return true;
+                return m.arrival + costs_.remoteSignalLatency <= now;
+            });
+        if (!msg)
+            return;
+
+        Time overhead =
+            costs_.handlerDispatch + mail_->receiveCpuCost(*msg);
+        const bool via_signal =
+            req_mode_ == ReqMode::Interrupt &&
+            !(in_wait && polls_while_waiting_);
+        if (via_signal)
+            overhead += costs_.localSignal;
+        charge(ctx, TimeCat::Protocol, overhead);
+        ctx.stats.requestsServiced += 1;
+        trace_.record(sched_.now(), ctx.id, TraceKind::RequestService,
+                      static_cast<std::uint64_t>(msg->type), msg->src);
+        protocol_->serviceRequest(ctx, *msg);
+    }
+}
+
+Time
+DsmRuntime::nextActionable(ProcCtx& ctx, bool in_wait) const
+{
+    const bool delay_requests =
+        req_mode_ == ReqMode::Interrupt &&
+        !(in_wait && polls_while_waiting_);
+    const Time sig = costs_.remoteSignalLatency;
+    const Time now = sched_.now();
+    // Only strictly-future events arm a self-wake: anything already
+    // actionable was just examined by the caller and found
+    // unconsumable (e.g. a reply for a different outstanding request),
+    // so re-waking for it would mask the wake needed for a later
+    // message.
+    return mail_->minActionable(ctx.id, [&](const Message& m) -> Time {
+        Time t;
+        if (m.type >= kReplyBase)
+            t = m.arrival;
+        else
+            t = delay_requests ? m.arrival + sig : m.arrival;
+        return t > now ? t : -1;
+    });
+}
+
+Message
+DsmRuntime::waitReplyIf(ProcCtx& ctx,
+                        const std::function<bool(const Message&)>& pred)
+{
+    const Time t0 = sched_.now();
+    const Time a0 = ctx.accounted;
+    sched_.yield();
+    for (;;) {
+        serviceArrived(ctx, true);
+        auto m = mail_->tryReceiveIf(
+            ctx.id, sched_.now(), [&](const Message& msg) {
+                return msg.type >= kReplyBase && pred(msg);
+            });
+        if (m) {
+            if (getenv("MCDSM_TRACE") && m->type == 1015)
+                fprintf(stderr, "[%lld] consume type=%d at %d from %d "
+                        "a=%llu\n", (long long)sched_.now(), m->type,
+                        ctx.id, m->src, (unsigned long long)m->a);
+            const Time waited =
+                (sched_.now() - t0) - (ctx.accounted - a0);
+            if (waited > 0) {
+                ctx.stats.timeIn[static_cast<int>(TimeCat::CommWait)] +=
+                    waited;
+                ctx.accounted += waited;
+            }
+            charge(ctx, TimeCat::Protocol, mail_->receiveCpuCost(*m));
+            return std::move(*m);
+        }
+        const Time next = nextActionable(ctx, true);
+        if (next >= 0 && next > sched_.now())
+            sched_.wake(ctx.task, next);
+        sched_.block();
+    }
+}
+
+void
+DsmRuntime::waitEvent(ProcCtx& ctx, const std::function<bool()>& ready)
+{
+    const Time t0 = sched_.now();
+    const Time a0 = ctx.accounted;
+    sched_.yield();
+    for (;;) {
+        serviceArrived(ctx, true);
+        if (ready())
+            break;
+        const Time next = nextActionable(ctx, true);
+        if (next >= 0 && next > sched_.now())
+            sched_.wake(ctx.task, next);
+        sched_.block();
+    }
+    const Time waited = (sched_.now() - t0) - (ctx.accounted - a0);
+    if (waited > 0) {
+        ctx.stats.timeIn[static_cast<int>(TimeCat::CommWait)] += waited;
+        ctx.accounted += waited;
+    }
+}
+
+void
+DsmRuntime::lingerLoop(ProcCtx& ctx)
+{
+    while (active_workers_ > 0) {
+        serviceArrived(ctx, true);
+        if (active_workers_ == 0)
+            break;
+        const Time next = nextActionable(ctx, true);
+        if (next >= 0 && next > sched_.now())
+            sched_.wake(ctx.task, next);
+        sched_.block();
+    }
+}
+
+void
+DsmRuntime::ppLoop(ProcCtx& pp)
+{
+    for (;;) {
+        bool serviced = false;
+        for (;;) {
+            auto m = mail_->tryReceive(pp.id, sched_.now());
+            if (!m)
+                break;
+            charge(pp, TimeCat::Protocol,
+                   costs_.handlerDispatch + mail_->receiveCpuCost(*m));
+            pp.stats.requestsServiced += 1;
+            protocol_->serviceRequest(pp, *m);
+            serviced = true;
+        }
+        if (serviced)
+            continue;
+        if (active_workers_ == 0)
+            return;
+        const Time next = mail_->earliestArrival(pp.id);
+        if (next >= 0 && next > sched_.now()) {
+            sched_.wake(pp.task, next);
+            sched_.block();
+            continue;
+        }
+        if (next < 0)
+            sched_.block();
+    }
+}
+
+void
+DsmRuntime::run(const std::function<void(Proc&)>& worker)
+{
+    mcdsm_assert(!ran_, "DsmRuntime::run() may only be called once");
+    ran_ = true;
+
+    active_workers_ = nprocs();
+
+    for (ProcId p = 0; p < nprocs(); ++p) {
+        ProcCtx* ctx = procs_[p].get();
+        TaskId task = sched_.spawn(
+            strprintf("proc%d", p),
+            [this, ctx, &worker](TaskId) {
+                protocol_->procStart(*ctx);
+                {
+                    Proc proc(*this, *ctx);
+                    worker(proc);
+                }
+                protocol_->procEnd(*ctx);
+                ctx->stats.endTime = sched_.now();
+                if (--active_workers_ == 0) {
+                    // Unblock lingering workers and idle protocol
+                    // processors for shutdown.
+                    for (const auto& other : procs_) {
+                        if (other.get() != ctx && other->task >= 0) {
+                            sched_.wake(other->task,
+                                        sched_.timeOf(other->task));
+                        }
+                    }
+                } else {
+                    // Stay resident until every worker is done: real
+                    // processes keep servicing remote requests (page
+                    // fetches, diffs, lock forwards) while sitting at
+                    // the exit barrier.
+                    lingerLoop(*ctx);
+                }
+            });
+        ctx->task = task;
+        mail_->bindTask(ctx->id, task);
+    }
+
+    if (req_mode_ == ReqMode::ProtocolProcessor) {
+        for (NodeId n = 0; n < cfg_.topo.nodes; ++n) {
+            ProcCtx* ctx = procs_[nprocs() + n].get();
+            TaskId task = sched_.spawn(strprintf("pp%d", n),
+                                       [this, ctx](TaskId) { ppLoop(*ctx); });
+            ctx->task = task;
+            mail_->bindTask(ctx->id, task);
+        }
+    }
+
+    if (!sched_.run()) {
+        std::string who;
+        for (const auto& name : sched_.blockedTasks())
+            who += " " + name;
+        for (const auto& ctx : procs_) {
+            if (ctx->task >= 0) {
+                std::string types;
+                mail_->minActionable(ctx->id, [&](const Message& m) {
+                    types += strprintf(" (type=%d src=%d a=%llu t=%lld)",
+                                       m.type, m.src,
+                                       (unsigned long long)m.a,
+                                       (long long)m.arrival);
+                    return m.arrival;
+                });
+                std::fprintf(stderr,
+                             "  endpoint %d: t=%lld wait=%s(%llu,%llu)"
+                             " queued:%s\n",
+                             ctx->id,
+                             (long long)sched_.timeOf(ctx->task),
+                             ctx->waitNote,
+                             (unsigned long long)ctx->waitArg0,
+                             (unsigned long long)ctx->waitArg1,
+                             types.c_str());
+            }
+        }
+        mcdsm_panic("deadlock: blocked tasks:%s", who.c_str());
+    }
+
+    collectStats();
+}
+
+void
+DsmRuntime::collectStats()
+{
+    stats_.procs.clear();
+    Time elapsed = 0;
+    for (ProcId p = 0; p < nprocs(); ++p) {
+        ProcCtx& ctx = *procs_[p];
+        ProcStats s = ctx.stats;
+        s.messagesSent = mail_->messagesSentBy(p);
+        s.bytesSent = mail_->bytesSentBy(p);
+        s.cacheAccesses = ctx.cache.accesses();
+        s.l1Misses = ctx.cache.l1Misses();
+        s.l2Misses = ctx.cache.l2Misses();
+        s.vmProtOps = ctx.pt.protectOps();
+        stats_.procs.push_back(s);
+        elapsed = std::max(elapsed, s.endTime);
+    }
+    stats_.elapsed = elapsed;
+    stats_.mcBytes = mc_.totalBytes();
+    stats_.mcStreamBytes = mc_.streamBytes();
+    stats_.messages = mail_->totalMessages();
+}
+
+} // namespace mcdsm

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The DSM runtime: owns the scheduler, network, per-processor
+ * contexts and the shared segment; dispatches faults and requests into
+ * the active protocol; provides the communication/wait/accounting
+ * services protocols are built from.
+ */
+
+#ifndef MCDSM_DSM_RUNTIME_H
+#define MCDSM_DSM_RUNTIME_H
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/log.h"
+#include "common/types.h"
+#include "dsm/config.h"
+#include "dsm/proc_ctx.h"
+#include "dsm/protocol.h"
+#include "dsm/stats.h"
+#include "dsm/trace.h"
+#include "net/mailbox.h"
+#include "net/memory_channel.h"
+#include "sim/scheduler.h"
+
+namespace mcdsm {
+
+class Proc;
+
+/** Message types >= kReplyBase are replies; below are requests. */
+constexpr int kReplyBase = 1000;
+
+class DsmRuntime
+{
+  public:
+    DsmRuntime(const DsmConfig& cfg, std::unique_ptr<Protocol> protocol);
+    ~DsmRuntime();
+
+    DsmRuntime(const DsmRuntime&) = delete;
+    DsmRuntime& operator=(const DsmRuntime&) = delete;
+
+    // ---- shared segment management (host side, before run()) ---------
+    /** Allocate @p bytes in the shared segment. */
+    GAddr alloc(std::size_t bytes, std::size_t align = 8);
+    /** Allocate page-aligned (avoids false sharing between arrays). */
+    GAddr allocPageAligned(std::size_t bytes);
+
+    /** Initialize shared memory before the parallel section. */
+    void hostWrite(GAddr a, const void* src, std::size_t bytes);
+    /** Read back shared memory (valid before run, or after a None run). */
+    void hostRead(GAddr a, void* dst, std::size_t bytes) const;
+
+    template <typename T>
+    void
+    hostStore(GAddr a, T v)
+    {
+        hostWrite(a, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    hostLoad(GAddr a) const
+    {
+        T v;
+        hostRead(a, &v, sizeof(T));
+        return v;
+    }
+
+    // ---- execution ----------------------------------------------------
+    /** Run the parallel section: one worker fiber per processor. */
+    void run(const std::function<void(Proc&)>& worker);
+
+    const RunStats& stats() const { return stats_; }
+
+    // ---- hot data path (called by Proc) --------------------------------
+    void*
+    readAccess(ProcCtx& ctx, GAddr a, std::size_t size)
+    {
+        const PageNum pn = pageOf(a);
+        mcdsm_assert(pageOffset(a) + size <= kPageSize,
+                     "access spans a page boundary");
+        if (!ctx.pt.canRead(pn)) [[unlikely]]
+            handleReadFault(ctx, pn);
+        if (int_mode_) [[unlikely]]
+            maybeInterrupt(ctx);
+        chargeUser(ctx, costs_.l1HitTime + ctx.cache.access(a));
+        return ctx.frame(pn) + pageOffset(a);
+    }
+
+    void*
+    writeAccess(ProcCtx& ctx, GAddr a, std::size_t size)
+    {
+        const PageNum pn = pageOf(a);
+        mcdsm_assert(pageOffset(a) + size <= kPageSize,
+                     "access spans a page boundary");
+        if (!ctx.pt.canWrite(pn)) [[unlikely]]
+            handleWriteFault(ctx, pn);
+        if (int_mode_) [[unlikely]]
+            maybeInterrupt(ctx);
+        chargeUser(ctx, costs_.l1HitTime + ctx.cache.access(a));
+        return ctx.frame(pn) + pageOffset(a);
+    }
+
+    bool writeHook() const { return write_hook_; }
+
+    void
+    afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
+    {
+        protocol_->afterWrite(ctx, a, size);
+    }
+
+    /** Application loop-top instrumentation point. */
+    void
+    pollPoint(ProcCtx& ctx)
+    {
+        switch (req_mode_) {
+          case ReqMode::Poll:
+            charge(ctx, TimeCat::Poll, costs_.pollCheck);
+            serviceArrived(ctx, false);
+            break;
+          case ReqMode::Interrupt:
+            maybeInterrupt(ctx);
+            break;
+          case ReqMode::ProtocolProcessor:
+            break;
+        }
+    }
+
+    /** Charge application compute time. */
+    void
+    computeTime(ProcCtx& ctx, Time ns)
+    {
+        chargeUser(ctx, ns);
+    }
+
+    void
+    computeOps(ProcCtx& ctx, std::int64_t ops)
+    {
+        chargeUser(ctx, static_cast<Time>(static_cast<double>(ops) *
+                                          costs_.nsPerOp));
+    }
+
+    // ---- synchronization front (counts app stats, calls protocol) -----
+    void acquireLock(ProcCtx& ctx, int lock_id);
+    void releaseLock(ProcCtx& ctx, int lock_id);
+    void barrier(ProcCtx& ctx, int barrier_id);
+    void setFlag(ProcCtx& ctx, int flag_id);
+    void waitFlag(ProcCtx& ctx, int flag_id);
+
+    // ---- services for protocol implementations -------------------------
+    const DsmConfig& cfg() const { return cfg_; }
+    const CostModel& costs() const { return costs_; }
+    const Topology& topo() const { return cfg_.topo; }
+    Scheduler& sched() { return sched_; }
+    MemoryChannel& mc() { return mc_; }
+    MailboxSystem& mail() { return *mail_; }
+
+    int nprocs() const { return cfg_.topo.nprocs; }
+    std::size_t pageCount() const { return page_count_; }
+
+    ProcCtx& procCtx(ProcId p) { return *procs_[p]; }
+
+    /** Charge categorised time on the current fiber. */
+    void
+    charge(ProcCtx& ctx, TimeCat cat, Time ns)
+    {
+        ctx.stats.timeIn[static_cast<int>(cat)] += ns;
+        ctx.accounted += ns;
+        sched_.advance(ns);
+    }
+
+    /**
+     * Endpoint to which node-directed requests (e.g. Cashmere page
+     * fetches) should be sent: the node's protocol processor in pp
+     * mode, otherwise the first compute processor of the node.
+     */
+    ProcId requestEndpointForNode(NodeId n) const;
+
+    /**
+     * Send a protocol request/reply. Sender CPU is charged as
+     * TimeCat::Protocol. @return arrival time.
+     */
+    Time sendMessage(ProcCtx& ctx, ProcId dst, Message msg);
+
+    /**
+     * Block until a reply satisfying @p pred arrives; services
+     * incoming requests while waiting (per variant rules). The wait
+     * time is charged as CommWait; the reply's receive CPU cost as
+     * Protocol.
+     */
+    Message waitReplyIf(ProcCtx& ctx,
+                        const std::function<bool(const Message&)>& pred);
+
+    /** Convenience: wait for a reply of exactly @p type. */
+    Message
+    waitReply(ProcCtx& ctx, int type)
+    {
+        return waitReplyIf(
+            ctx, [type](const Message& m) { return m.type == type; });
+    }
+
+    /**
+     * Block until @p ready() becomes true (used for Memory Channel
+     * flag/lock spins); services incoming requests while waiting.
+     * Wait time is charged as CommWait.
+     */
+    void waitEvent(ProcCtx& ctx, const std::function<bool()>& ready);
+
+    /** Service arrived, eligible requests on this fiber. */
+    void serviceArrived(ProcCtx& ctx, bool in_wait);
+
+    /** Allocate / release an 8 KB local page frame. */
+    std::uint8_t* allocFrame();
+    void freeFrame(std::uint8_t* frame);
+
+    /** Init-image frame for a page (allocates zero-filled on demand). */
+    std::uint8_t* initFrame(PageNum pn);
+    /** True if the page was ever touched by hostWrite/initFrame. */
+    bool hasInitFrame(PageNum pn) const { return init_[pn] != nullptr; }
+
+    /** Number of workers that have not finished yet. */
+    int activeWorkers() const { return active_workers_; }
+
+    /** Protocol event trace (empty unless cfg.traceCapacity > 0). */
+    const TraceRing& trace() const { return trace_; }
+
+  private:
+    void handleReadFault(ProcCtx& ctx, PageNum pn);
+    void handleWriteFault(ProcCtx& ctx, PageNum pn);
+
+    void
+    chargeUser(ProcCtx& ctx, Time ns)
+    {
+        ctx.stats.timeIn[static_cast<int>(TimeCat::User)] += ns;
+        ctx.accounted += ns;
+        sched_.advance(ns);
+    }
+
+    /** In interrupt mode: service requests whose signal has landed. */
+    void
+    maybeInterrupt(ProcCtx& ctx)
+    {
+        const Time a = mail_->earliestArrival(ctx.id);
+        if (a >= 0 && a + costs_.remoteSignalLatency <= sched_.now())
+            serviceArrived(ctx, false);
+    }
+
+    /** Earliest time any queued message becomes actionable. */
+    Time nextActionable(ProcCtx& ctx, bool in_wait) const;
+
+    void ppLoop(ProcCtx& pp);
+    void lingerLoop(ProcCtx& ctx);
+    void collectStats();
+
+    DsmConfig cfg_;
+    CostModel costs_;
+    Scheduler sched_;
+    MemoryChannel mc_;
+    std::unique_ptr<MailboxSystem> mail_;
+    std::unique_ptr<Protocol> protocol_;
+
+    ReqMode req_mode_;
+    bool int_mode_ = false;
+    bool polls_while_waiting_ = true;
+    bool write_hook_ = false;
+
+    std::size_t page_count_;
+    std::size_t alloc_bytes_ = 0;
+
+    std::vector<std::unique_ptr<ProcCtx>> procs_; ///< incl. pp contexts
+    std::vector<std::unique_ptr<std::uint8_t[]>> init_;
+    std::vector<std::unique_ptr<std::uint8_t[]>> frame_pool_;
+    std::vector<std::uint8_t*> free_frames_;
+
+    int active_workers_ = 0;
+    bool ran_ = false;
+    RunStats stats_;
+    TraceRing trace_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_RUNTIME_H

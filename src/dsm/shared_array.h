@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Typed convenience views over the shared segment.
+ */
+
+#ifndef MCDSM_DSM_SHARED_ARRAY_H
+#define MCDSM_DSM_SHARED_ARRAY_H
+
+#include "dsm/proc.h"
+#include "dsm/system.h"
+
+namespace mcdsm {
+
+/**
+ * A typed shared array: a base address plus element count. The same
+ * descriptor works from the host side (initialization through
+ * DsmSystem) and from inside workers (through Proc).
+ */
+template <typename T>
+class SharedArray
+{
+  public:
+    SharedArray() = default;
+
+    SharedArray(GAddr base, std::size_t n) : base_(base), n_(n) {}
+
+    /** Allocate a page-aligned array in @p sys's shared segment. */
+    static SharedArray
+    allocate(DsmSystem& sys, std::size_t n)
+    {
+        return SharedArray(sys.allocPageAligned(n * sizeof(T)), n);
+    }
+
+    GAddr base() const { return base_; }
+    std::size_t size() const { return n_; }
+
+    GAddr
+    addr(std::size_t i) const
+    {
+        return base_ + i * sizeof(T);
+    }
+
+    T
+    get(Proc& p, std::size_t i) const
+    {
+        return p.read<T>(addr(i));
+    }
+
+    void
+    set(Proc& p, std::size_t i, T v) const
+    {
+        p.write<T>(addr(i), v);
+    }
+
+    /** Host-side initialization (before run). */
+    void
+    init(DsmSystem& sys, std::size_t i, T v) const
+    {
+        sys.hostStore<T>(addr(i), v);
+    }
+
+    /** Host-side read-back. */
+    T
+    host(const DsmSystem& sys, std::size_t i) const
+    {
+        return sys.hostLoad<T>(addr(i));
+    }
+
+  private:
+    GAddr base_ = 0;
+    std::size_t n_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_SHARED_ARRAY_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-processor and per-run statistics. These are the quantities the
+ * paper reports in Table 3 (communication statistics) and Figure 6
+ * (execution-time breakdown).
+ */
+
+#ifndef MCDSM_DSM_STATS_H
+#define MCDSM_DSM_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/**
+ * Execution-time categories of Figure 6. Unlike the paper (which
+ * extrapolates User/Polling/Doubling from single-processor runs), the
+ * simulator measures each category directly.
+ */
+enum class TimeCat : int {
+    User = 0,     ///< application compute + memory-hierarchy time
+    Poll,         ///< loop-top poll instrumentation
+    Doubling,     ///< Cashmere write doubling (2nd store + MC issue)
+    Protocol,     ///< protocol code: faults, directory, twins, diffs
+    CommWait,     ///< communication + synchronization wait
+};
+constexpr int kTimeCatCount = 5;
+
+const char* timeCatName(TimeCat c);
+
+struct ProcStats
+{
+    // Event counts (Table 3 rows).
+    std::uint64_t readFaults = 0;
+    std::uint64_t writeFaults = 0;
+    std::uint64_t pageTransfers = 0; ///< whole-page copies (Cashmere)
+    std::uint64_t lockAcquires = 0;  ///< application lock acquires
+    std::uint64_t barriers = 0;      ///< application barrier episodes
+    std::uint64_t flagOps = 0;       ///< application flag waits+sets
+
+    // Protocol internals.
+    std::uint64_t twins = 0;
+    std::uint64_t diffsCreated = 0;
+    std::uint64_t diffsApplied = 0;
+    std::uint64_t diffBytes = 0;
+    std::uint64_t writeNoticesSent = 0;
+    std::uint64_t dirUpdates = 0;
+    std::uint64_t requestsServiced = 0;
+
+    // Communication (filled from the mailbox at run end).
+    std::uint64_t messagesSent = 0;
+    std::uint64_t bytesSent = 0;
+
+    // Memory hierarchy.
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t vmProtOps = 0;
+
+    /// Figure 6 breakdown.
+    Time timeIn[kTimeCatCount] = {0, 0, 0, 0, 0};
+    /// Virtual time at which this processor finished the worker.
+    Time endTime = 0;
+};
+
+struct RunStats
+{
+    std::vector<ProcStats> procs;
+
+    /** Wall (virtual) time of the parallel section: max end time. */
+    Time elapsed = 0;
+
+    /** Total bytes through the Memory Channel hub. */
+    std::uint64_t mcBytes = 0;
+    /** Of which: write-through (doubled-write) traffic. */
+    std::uint64_t mcStreamBytes = 0;
+    /** Total mailbox messages (both systems; "Messages" in Table 3). */
+    std::uint64_t messages = 0;
+
+    /** Sum a per-processor counter across processors. */
+    template <typename F>
+    std::uint64_t
+    total(F field) const
+    {
+        std::uint64_t sum = 0;
+        for (const auto& p : procs)
+            sum += field(p);
+        return sum;
+    }
+
+    /** Total time spent in a category across processors. */
+    Time
+    totalTime(TimeCat c) const
+    {
+        Time sum = 0;
+        for (const auto& p : procs)
+            sum += p.timeIn[static_cast<int>(c)];
+        return sum;
+    }
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_STATS_H

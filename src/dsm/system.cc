@@ -1,0 +1,34 @@
+#include "dsm/system.h"
+
+#include "cashmere/cashmere.h"
+#include "common/log.h"
+#include "dsm/null_protocol.h"
+#include "treadmarks/treadmarks.h"
+
+namespace mcdsm {
+
+std::unique_ptr<DsmSystem>
+DsmSystem::create(const DsmConfig& cfg)
+{
+    std::unique_ptr<Protocol> proto;
+    switch (cfg.protocol) {
+      case ProtocolKind::None:
+        proto = std::make_unique<NullProtocol>();
+        break;
+      case ProtocolKind::CsmPp:
+      case ProtocolKind::CsmInt:
+      case ProtocolKind::CsmPoll:
+        proto = std::make_unique<Cashmere>();
+        break;
+      case ProtocolKind::TmkUdpInt:
+      case ProtocolKind::TmkMcInt:
+      case ProtocolKind::TmkMcPoll:
+        proto = std::make_unique<TreadMarks>();
+        break;
+    }
+    mcdsm_assert(proto != nullptr, "unknown protocol kind");
+    auto rt = std::make_unique<DsmRuntime>(cfg, std::move(proto));
+    return std::unique_ptr<DsmSystem>(new DsmSystem(std::move(rt)));
+}
+
+} // namespace mcdsm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DsmSystem — the public facade of the library.
+ *
+ * Typical use:
+ * @code
+ *     DsmConfig cfg;
+ *     cfg.protocol = ProtocolKind::CsmPoll;
+ *     cfg.topo = Topology::standard(8);
+ *     auto sys = DsmSystem::create(cfg);
+ *     auto a = SharedArray<double>::allocate(*sys, 1024);
+ *     // ... host-side initialization ...
+ *     sys->run([&](Proc& p) { ... parallel section ... });
+ *     const RunStats& st = sys->stats();
+ * @endcode
+ */
+
+#ifndef MCDSM_DSM_SYSTEM_H
+#define MCDSM_DSM_SYSTEM_H
+
+#include <functional>
+#include <memory>
+
+#include "dsm/config.h"
+#include "dsm/runtime.h"
+
+namespace mcdsm {
+
+class Proc;
+
+class DsmSystem
+{
+  public:
+    /** Build a system with the protocol variant named in @p cfg. */
+    static std::unique_ptr<DsmSystem> create(const DsmConfig& cfg);
+
+    // ---- shared segment --------------------------------------------------
+    GAddr
+    alloc(std::size_t bytes, std::size_t align = 8)
+    {
+        return rt_->alloc(bytes, align);
+    }
+
+    GAddr
+    allocPageAligned(std::size_t bytes)
+    {
+        return rt_->allocPageAligned(bytes);
+    }
+
+    void
+    hostWrite(GAddr a, const void* src, std::size_t bytes)
+    {
+        rt_->hostWrite(a, src, bytes);
+    }
+
+    void
+    hostRead(GAddr a, void* dst, std::size_t bytes) const
+    {
+        rt_->hostRead(a, dst, bytes);
+    }
+
+    template <typename T>
+    void
+    hostStore(GAddr a, T v)
+    {
+        rt_->hostStore<T>(a, v);
+    }
+
+    template <typename T>
+    T
+    hostLoad(GAddr a) const
+    {
+        return rt_->hostLoad<T>(a);
+    }
+
+    // ---- execution ----------------------------------------------------------
+    /** Run the parallel section (once per system). */
+    void
+    run(const std::function<void(Proc&)>& worker)
+    {
+        rt_->run(worker);
+    }
+
+    const RunStats& stats() const { return rt_->stats(); }
+    const DsmConfig& cfg() const { return rt_->cfg(); }
+
+    /** The underlying runtime (benchmarks read network counters). */
+    DsmRuntime& runtime() { return *rt_; }
+
+  private:
+    explicit DsmSystem(std::unique_ptr<DsmRuntime> rt) : rt_(std::move(rt))
+    {}
+
+    std::unique_ptr<DsmRuntime> rt_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_SYSTEM_H

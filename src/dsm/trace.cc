@@ -1,0 +1,70 @@
+#include "dsm/trace.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+const char*
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::ReadFault: return "read_fault";
+      case TraceKind::WriteFault: return "write_fault";
+      case TraceKind::LockAcquire: return "lock_acquire";
+      case TraceKind::LockRelease: return "lock_release";
+      case TraceKind::BarrierEnter: return "barrier_enter";
+      case TraceKind::BarrierLeave: return "barrier_leave";
+      case TraceKind::FlagSet: return "flag_set";
+      case TraceKind::FlagWait: return "flag_wait";
+      case TraceKind::MessageSend: return "message_send";
+      case TraceKind::RequestService: return "request_service";
+    }
+    return "?";
+}
+
+std::string
+TraceEvent::toString() const
+{
+    return strprintf("[%12lld] p%-2d %-16s arg=%llu peer=%d",
+                     static_cast<long long>(time), proc,
+                     traceKindName(kind),
+                     static_cast<unsigned long long>(arg), peer);
+}
+
+std::vector<TraceEvent>
+TraceRing::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (wrapped_) {
+        out.insert(out.end(), ring_.begin() + head_, ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + head_);
+    } else {
+        out = ring_;
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceRing::eventsOfKind(TraceKind k) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto& e : events()) {
+        if (e.kind == k)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::string
+TraceRing::dump() const
+{
+    std::string out;
+    for (const auto& e : events()) {
+        out += e.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace mcdsm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Protocol event tracing.
+ *
+ * When enabled (DsmConfig::traceCapacity > 0) the runtime records a
+ * bounded ring of protocol-level events — faults, synchronization
+ * operations, request servicing, messages — with their virtual
+ * timestamps. Tests assert on event sequences; users debug protocol
+ * behavior by dumping the ring.
+ */
+
+#ifndef MCDSM_DSM_TRACE_H
+#define MCDSM_DSM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+enum class TraceKind : std::uint8_t {
+    ReadFault,
+    WriteFault,
+    LockAcquire,
+    LockRelease,
+    BarrierEnter,
+    BarrierLeave,
+    FlagSet,
+    FlagWait,
+    MessageSend,
+    RequestService,
+};
+
+const char* traceKindName(TraceKind k);
+
+struct TraceEvent
+{
+    Time time = 0;
+    ProcId proc = kNoProc;
+    TraceKind kind = TraceKind::ReadFault;
+    /** Page number, lock/barrier/flag id, or message type. */
+    std::uint64_t arg = 0;
+    /** Destination endpoint (messages) or source (services). */
+    std::int32_t peer = -1;
+
+    std::string toString() const;
+};
+
+/** Bounded event ring. Disabled (capacity 0) recording is a no-op. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity = 0) : cap_(capacity)
+    {
+        if (cap_ > 0)
+            ring_.reserve(cap_);
+    }
+
+    bool enabled() const { return cap_ > 0; }
+
+    void
+    record(Time t, ProcId p, TraceKind k, std::uint64_t arg,
+           std::int32_t peer = -1)
+    {
+        if (cap_ == 0)
+            return;
+        ++total_;
+        if (ring_.size() < cap_) {
+            ring_.push_back({t, p, k, arg, peer});
+        } else {
+            ring_[head_] = {t, p, k, arg, peer};
+            head_ = (head_ + 1) % cap_;
+            wrapped_ = true;
+        }
+    }
+
+    /** Events in chronological order (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    /** Events of one kind, chronological. */
+    std::vector<TraceEvent> eventsOfKind(TraceKind k) const;
+
+    /** Total recorded (including overwritten). */
+    std::size_t recorded() const { return total_; }
+
+    bool dropped() const { return wrapped_; }
+
+    /** Render the ring as text, one event per line. */
+    std::string dump() const;
+
+  private:
+    std::size_t cap_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::size_t total_ = 0;
+    bool wrapped_ = false;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_DSM_TRACE_H

@@ -1,0 +1,91 @@
+#include "harness/runner.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+bool
+configSupported(ProtocolKind protocol, int nprocs)
+{
+    switch (nprocs) {
+      case 1:
+      case 2:
+      case 4:
+      case 8:
+      case 12:
+      case 16:
+      case 24:
+        break;
+      case 32:
+        // csm_pp needs a fourth CPU per node for the protocol
+        // processor; at 32 compute processors there is none.
+        if (protocol == ProtocolKind::CsmPp)
+            return false;
+        break;
+      default:
+        return false;
+    }
+    return true;
+}
+
+ProtocolKind
+protocolFromName(const std::string& name)
+{
+    static const ProtocolKind kinds[] = {
+        ProtocolKind::None,      ProtocolKind::CsmPp,
+        ProtocolKind::CsmInt,    ProtocolKind::CsmPoll,
+        ProtocolKind::TmkUdpInt, ProtocolKind::TmkMcInt,
+        ProtocolKind::TmkMcPoll,
+    };
+    for (ProtocolKind k : kinds) {
+        if (name == protocolName(k))
+            return k;
+    }
+    mcdsm_fatal("unknown protocol '%s'", name.c_str());
+}
+
+ExpResult
+runExperiment(const std::string& app_name, ProtocolKind protocol,
+              int nprocs, const RunOpts& opts)
+{
+    mcdsm_assert(configSupported(protocol, nprocs),
+                 "unsupported configuration %s x %d",
+                 protocolName(protocol), nprocs);
+
+    auto app = makeApp(app_name, opts.scale, opts.seed);
+
+    DsmConfig cfg = opts.base.value_or(DsmConfig{});
+    cfg.protocol = protocol;
+    cfg.topo = (protocol == ProtocolKind::None) ? Topology(1, 1)
+                                                : Topology::standard(nprocs);
+    cfg.seed = opts.seed;
+    // Size the segment to the application, rounded up with headroom.
+    std::size_t need = app->sharedBytes() + (1 << 20);
+    std::size_t cap = 1 << 20;
+    while (cap < need * 2)
+        cap <<= 1;
+    cfg.maxSharedBytes = cap;
+
+    auto sys = DsmSystem::create(cfg);
+    app->configure(*sys);
+    sys->run([&](Proc& p) { app->worker(p); });
+
+    ExpResult r;
+    r.app = app_name;
+    r.protocol = protocol;
+    r.nprocs = nprocs;
+    r.stats = sys->stats();
+    r.elapsed = r.stats.elapsed;
+    r.appResult = app->result();
+    return r;
+}
+
+ExpResult
+runSequential(const std::string& app_name, const RunOpts& opts)
+{
+    return runExperiment(app_name, ProtocolKind::None, 1, opts);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment runner: execute (application, protocol, processor count)
+ * and collect timing, statistics and verification values. This is
+ * what the per-table/figure benchmark binaries are built from.
+ */
+
+#ifndef MCDSM_HARNESS_RUNNER_H
+#define MCDSM_HARNESS_RUNNER_H
+
+#include <optional>
+#include <string>
+
+#include "apps/app.h"
+#include "dsm/system.h"
+
+namespace mcdsm {
+
+struct ExpResult
+{
+    std::string app;
+    ProtocolKind protocol = ProtocolKind::None;
+    int nprocs = 1;
+    Time elapsed = 0;
+    RunStats stats;
+    AppResult appResult;
+
+    double
+    seconds() const
+    {
+        return static_cast<double>(elapsed) / kSecond;
+    }
+};
+
+/** Options beyond the defaults. */
+struct RunOpts
+{
+    AppScale scale = AppScale::Small;
+    std::uint64_t seed = 1;
+    /** Start from this config (protocol/topo overwritten). */
+    std::optional<DsmConfig> base;
+};
+
+/**
+ * Run one experiment. @p nprocs must be one of the standard ladder
+ * (1, 2, 4, 8, 12, 16, 24, 32); csm_pp at 32 is rejected (no spare
+ * CPU for the protocol processor), matching the paper.
+ */
+ExpResult runExperiment(const std::string& app, ProtocolKind protocol,
+                        int nprocs, const RunOpts& opts = {});
+
+/** Sequential baseline (ProtocolKind::None, one processor). */
+ExpResult runSequential(const std::string& app, const RunOpts& opts = {});
+
+/** True if the variant supports this processor count. */
+bool configSupported(ProtocolKind protocol, int nprocs);
+
+/** Parse a protocol name ("csm_poll", ...). */
+ProtocolKind protocolFromName(const std::string& name);
+
+} // namespace mcdsm
+
+#endif // MCDSM_HARNESS_RUNNER_H

@@ -1,0 +1,73 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    mcdsm_assert(cells.size() == headers_.size(),
+                 "row width %zu != header width %zu", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+TextTable::count(std::uint64_t v)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out += std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out += "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + 2;
+    out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    for (const auto& row : rows_)
+        emit(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+} // namespace mcdsm

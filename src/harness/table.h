@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark binaries, which print
+ * the same rows/series the paper's tables and figures report.
+ */
+
+#ifndef MCDSM_HARNESS_TABLE_H
+#define MCDSM_HARNESS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mcdsm {
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment. */
+    std::string toString() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    static std::string num(double v, int precision = 2);
+    static std::string count(std::uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_HARNESS_TABLE_H

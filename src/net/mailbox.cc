@@ -1,0 +1,102 @@
+#include "net/mailbox.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+MailboxSystem::MailboxSystem(Scheduler& sched, MemoryChannel& mc,
+                             const CostModel& costs, const Topology& topo)
+    : sched_(sched), mc_(mc), costs_(costs), topo_(topo),
+      queues_(endpointCount()), tasks_(endpointCount(), -1),
+      sent_count_(endpointCount(), 0), sent_bytes_(endpointCount(), 0)
+{
+}
+
+NodeId
+MailboxSystem::nodeOfEndpoint(ProcId p) const
+{
+    if (p < topo_.nprocs)
+        return topo_.nodeOf(p);
+    NodeId n = p - topo_.nprocs;
+    mcdsm_assert(n >= 0 && n < topo_.nodes, "bad endpoint id");
+    return n;
+}
+
+void
+MailboxSystem::bindTask(ProcId endpoint, TaskId task)
+{
+    mcdsm_assert(endpoint >= 0 && endpoint < endpointCount(),
+                 "bad endpoint id");
+    tasks_[endpoint] = task;
+}
+
+Time
+MailboxSystem::send(ProcId src, ProcId dst, Message msg,
+                    Transport transport)
+{
+    mcdsm_assert(dst >= 0 && dst < endpointCount(), "bad destination");
+
+    const NodeId src_node = nodeOfEndpoint(src);
+    const NodeId dst_node = nodeOfEndpoint(dst);
+    const bool same_node = (src_node == dst_node);
+    const std::size_t wire_bytes = std::max(msg.bytes, msg.payload.size());
+
+    // Sender CPU cost.
+    Time cpu;
+    if (same_node) {
+        cpu = costs_.mcPerMessage; // same buffer-management code path
+    } else {
+        cpu = (transport == Transport::Udp) ? costs_.udpPerMessage
+                                            : costs_.mcPerMessage;
+    }
+    sched_.advance(cpu);
+    const Time send_time = sched_.now();
+
+    Time arrival;
+    if (same_node) {
+        arrival = send_time + costs_.smpMessageLatency;
+    } else {
+        arrival = mc_.transfer(src_node, dst_node,
+                               wire_bytes + 32 /* header */, send_time);
+    }
+
+    msg.src = src;
+    msg.arrival = arrival;
+    msg.transport = transport;
+    msg.sameNode = same_node;
+    msg.bytes = wire_bytes;
+
+    sent_count_[src] += 1;
+    sent_bytes_[src] += wire_bytes;
+    total_messages_ += 1;
+
+    queues_[dst].emplace(Key{arrival, seq_++}, std::move(msg));
+
+    if (tasks_[dst] >= 0)
+        sched_.wakeIfBlocked(tasks_[dst], arrival);
+    return arrival;
+}
+
+std::optional<Message>
+MailboxSystem::tryReceive(ProcId dst, Time now)
+{
+    auto& q = queues_[dst];
+    if (q.empty())
+        return std::nullopt;
+    auto it = q.begin();
+    if (it->first.first > now)
+        return std::nullopt;
+    Message msg = std::move(it->second);
+    q.erase(it);
+    return msg;
+}
+
+Time
+MailboxSystem::receiveCpuCost(const Message& msg) const
+{
+    if (!msg.sameNode && msg.transport == Transport::Udp)
+        return costs_.udpPerMessage;
+    return costs_.mcPerMessage;
+}
+
+} // namespace mcdsm

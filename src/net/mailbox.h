@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Point-to-point message buffers between simulated processors.
+ *
+ * Models the paper's two messaging substrates:
+ *  - user-level Memory Channel message buffers with sense-reversing
+ *    flow-control flags (Transport::McBuffer);
+ *  - DEC's kernel-level UDP over Memory Channel (Transport::Udp).
+ *
+ * Messages between processors on the same SMP node use ordinary shared
+ * memory (the only place the paper's systems exploit intra-node
+ * hardware coherence), so they bypass the Memory Channel entirely.
+ *
+ * Delivery is in arrival-time order per receiver, with a global
+ * sequence number as a deterministic tie-break.
+ */
+
+#ifndef MCDSM_NET_MAILBOX_H
+#define MCDSM_NET_MAILBOX_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+#include "net/memory_channel.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+
+namespace mcdsm {
+
+/** Which wire a message travels on. */
+enum class Transport { McBuffer, Udp };
+
+/**
+ * A protocol message. `type` is protocol defined; a/b/c carry small
+ * scalar arguments; payload carries bulk data (pages, diffs, interval
+ * records). `bytes` is the modelled wire size, which may exceed
+ * payload.size() to account for headers.
+ */
+struct Message
+{
+    int type = 0;
+    ProcId src = kNoProc;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::size_t bytes = 0;
+    std::vector<std::uint8_t> payload;
+
+    /**
+     * Structured payload (interval records, diff lists). The
+     * simulator carries these by shared pointer instead of
+     * serialising; `bytes` still models the wire size.
+     */
+    std::shared_ptr<const void> box;
+
+    // Filled in by MailboxSystem::send().
+    Time arrival = 0;
+    Transport transport = Transport::McBuffer;
+    bool sameNode = false;
+};
+
+/**
+ * All mailboxes in the cluster. Endpoint ids 0..nprocs-1 are compute
+ * processors; ids nprocs..nprocs+nodes-1 are the per-node protocol
+ * processors used by the csm_pp variant.
+ */
+class MailboxSystem
+{
+  public:
+    MailboxSystem(Scheduler& sched, MemoryChannel& mc,
+                  const CostModel& costs, const Topology& topo);
+
+    /** Endpoint id of node @p n's dedicated protocol processor. */
+    ProcId ppEndpoint(NodeId n) const { return topo_.nprocs + n; }
+    int endpointCount() const { return topo_.nprocs + topo_.nodes; }
+
+    /** Node an endpoint lives on (works for pp endpoints too). */
+    NodeId nodeOfEndpoint(ProcId p) const;
+
+    /** Associate an endpoint with its scheduler task (for wakeups). */
+    void bindTask(ProcId endpoint, TaskId task);
+
+    /**
+     * Send @p msg from @p src to @p dst. Charges the sender's CPU via
+     * the scheduler (the caller must be the sending task), computes
+     * the arrival time through the Memory Channel or intra-node shared
+     * memory, enqueues, and wakes the receiver.
+     * @return the arrival time.
+     */
+    Time send(ProcId src, ProcId dst, Message msg, Transport transport);
+
+    /**
+     * Pop the earliest message for @p dst that has arrived by @p now.
+     */
+    std::optional<Message> tryReceive(ProcId dst, Time now);
+
+    /**
+     * Pop the earliest message for @p dst that has arrived by @p now
+     * and satisfies @p pred; messages failing @p pred stay queued in
+     * order. Used by wait loops to pull replies past requests that
+     * are not yet serviceable.
+     */
+    template <typename Pred>
+    std::optional<Message>
+    tryReceiveIf(ProcId dst, Time now, Pred pred)
+    {
+        auto& q = queues_[dst];
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (it->first.first > now)
+                break;
+            if (pred(it->second)) {
+                Message msg = std::move(it->second);
+                q.erase(it);
+                return msg;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Minimum of @p actionable_time(msg) over queued messages, or -1
+     * if none apply. @p actionable_time returns -1 to skip a message
+     * and otherwise a value >= msg.arrival, which allows early exit
+     * on the arrival-ordered queue.
+     */
+    template <typename F>
+    Time
+    minActionable(ProcId dst, F actionable_time) const
+    {
+        Time best = -1;
+        for (const auto& [key, msg] : queues_[dst]) {
+            if (best >= 0 && key.first >= best)
+                break;
+            const Time t = actionable_time(msg);
+            if (t >= 0 && (best < 0 || t < best))
+                best = t;
+        }
+        return best;
+    }
+
+    /** Earliest arrival time queued for @p dst, or -1 if none. */
+    Time
+    earliestArrival(ProcId dst) const
+    {
+        const auto& q = queues_[dst];
+        return q.empty() ? -1 : q.begin()->first.first;
+    }
+
+    bool empty(ProcId dst) const { return queues_[dst].empty(); }
+
+    /**
+     * Receiver-side CPU cost of consuming a message of transport type
+     * @p t (charged by the caller once per receive).
+     */
+    Time receiveCpuCost(const Message& msg) const;
+
+    std::uint64_t messagesSentBy(ProcId p) const { return sent_count_[p]; }
+    std::uint64_t bytesSentBy(ProcId p) const { return sent_bytes_[p]; }
+    std::uint64_t totalMessages() const { return total_messages_; }
+
+  private:
+    using Key = std::pair<Time, std::uint64_t>;
+
+    Scheduler& sched_;
+    MemoryChannel& mc_;
+    const CostModel& costs_;
+    Topology topo_;
+
+    std::vector<std::map<Key, Message>> queues_;
+    std::vector<TaskId> tasks_;
+    std::vector<std::uint64_t> sent_count_;
+    std::vector<std::uint64_t> sent_bytes_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t total_messages_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_NET_MAILBOX_H

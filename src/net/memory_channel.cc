@@ -1,0 +1,85 @@
+#include "net/memory_channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+MemoryChannel::MemoryChannel(const CostModel& costs, int nodes)
+    : costs_(costs), tx_free_(nodes, 0), rx_free_(nodes, 0)
+{
+    mcdsm_assert(nodes > 0, "MemoryChannel needs at least one node");
+}
+
+Time
+MemoryChannel::occupy(NodeId src, NodeId dst, std::size_t bytes,
+                      Time send_time)
+{
+    mcdsm_assert(src >= 0 && src < nodes(), "bad src node");
+    mcdsm_assert(dst >= 0 && dst < nodes(), "bad dst node");
+
+    total_bytes_ += bytes;
+    transfers_ += 1;
+
+    const Time link_time =
+        static_cast<Time>(static_cast<double>(bytes) / costs_.mcLinkBw);
+    const Time hub_time =
+        static_cast<Time>(static_cast<double>(bytes) / costs_.mcAggBw);
+
+    // Cut-through approximation: the transfer starts when all three
+    // resources are free, occupies the links for bytes/linkBw and the
+    // hub for bytes/aggBw, and lands latency after it finishes.
+    Time start = std::max({send_time, tx_free_[src], hub_free_});
+    if (src != dst)
+        start = std::max(start, rx_free_[dst]);
+
+    const Time tx_done = start + link_time;
+    tx_free_[src] = tx_done;
+    hub_free_ = start + hub_time;
+    Time done = std::max(tx_done, hub_free_);
+    if (src != dst) {
+        rx_free_[dst] = done;
+    } else {
+        // Loop-back: the data crosses the source PCI bus twice; the
+        // receive leg shares the same link budget.
+        tx_free_[src] = done + link_time;
+        done = tx_free_[src];
+    }
+
+    return done + costs_.mcLatency;
+}
+
+Time
+MemoryChannel::transfer(NodeId src, NodeId dst, std::size_t bytes,
+                        Time send_time)
+{
+    return occupy(src, dst, bytes, send_time);
+}
+
+Time
+MemoryChannel::broadcast(NodeId src, std::size_t bytes, Time send_time)
+{
+    total_bytes_ += bytes * static_cast<std::uint64_t>(nodes() - 1);
+    transfers_ += 1;
+
+    const Time link_time =
+        static_cast<Time>(static_cast<double>(bytes) / costs_.mcLinkBw);
+    const Time hub_time =
+        static_cast<Time>(static_cast<double>(bytes) / costs_.mcAggBw);
+
+    Time start = std::max({send_time, tx_free_[src], hub_free_});
+    const Time tx_done = start + link_time;
+    tx_free_[src] = tx_done;
+    hub_free_ = start + hub_time;
+
+    Time done = std::max(tx_done, hub_free_);
+    for (NodeId n = 0; n < nodes(); ++n) {
+        if (n == src)
+            continue;
+        rx_free_[n] = std::max(rx_free_[n], done);
+    }
+    return done + costs_.mcLatency;
+}
+
+} // namespace mcdsm

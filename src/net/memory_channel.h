@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Timing model of DEC's first-generation Memory Channel network.
+ *
+ * Modelled properties (paper §3.1):
+ *  - user-level remote *writes* only; no remote reads;
+ *  - fixed process-to-process latency (5.2 us);
+ *  - per-link bandwidth limited by the 32-bit PCI bus (~30 MB/s);
+ *  - aggregate (hub) bandwidth ~32 MB/s — the "modest cross-sectional
+ *    bandwidth" that constrains Cashmere's write-through;
+ *  - total ordering of writes (delivery times are monotone per queue,
+ *    and the mailbox layer delivers in arrival order).
+ *
+ * The model keeps a next-free time per transmit link, per receive
+ * link, and for the hub, and serialises transfers on all three.
+ */
+
+#ifndef MCDSM_NET_MEMORY_CHANNEL_H
+#define MCDSM_NET_MEMORY_CHANNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class MemoryChannel
+{
+  public:
+    MemoryChannel(const CostModel& costs, int nodes);
+
+    /**
+     * Account a bulk transfer (page copy, message) of @p bytes from
+     * node @p src to node @p dst, initiated at @p send_time.
+     * @return time at which the data is fully visible at @p dst.
+     */
+    Time transfer(NodeId src, NodeId dst, std::size_t bytes,
+                  Time send_time);
+
+    /**
+     * Account a broadcast write of @p bytes (e.g. a directory update):
+     * occupies the source link and the hub once; all receive links.
+     * @return time at which all nodes have seen the data.
+     */
+    Time broadcast(NodeId src, std::size_t bytes, Time send_time);
+
+    /**
+     * Account fine-grain write-through traffic (doubled writes).
+     * Same queueing as transfer(); split out so callers can keep
+     * separate statistics and so tests can target it.
+     */
+    Time
+    streamWrite(NodeId src, NodeId dst, std::size_t bytes, Time send_time)
+    {
+        stream_bytes_ += bytes;
+        return occupy(src, dst, bytes, send_time);
+    }
+
+    /** Total bytes moved through the hub. */
+    std::uint64_t totalBytes() const { return total_bytes_; }
+    /** Bytes moved by streamWrite (write-through). */
+    std::uint64_t streamBytes() const { return stream_bytes_; }
+    std::uint64_t transferCount() const { return transfers_; }
+
+    int nodes() const { return static_cast<int>(tx_free_.size()); }
+
+  private:
+    Time occupy(NodeId src, NodeId dst, std::size_t bytes, Time send_time);
+
+    const CostModel& costs_;
+    std::vector<Time> tx_free_;
+    std::vector<Time> rx_free_;
+    Time hub_free_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t stream_bytes_ = 0;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_NET_MEMORY_CHANNEL_H

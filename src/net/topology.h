@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cluster topology: which processors live on which SMP node.
+ *
+ * The paper's machine is 8 AlphaServer nodes with 4 processors each;
+ * experiment configurations use subsets such as "16 processors = two
+ * processors in each of 8 nodes".
+ */
+
+#ifndef MCDSM_NET_TOPOLOGY_H
+#define MCDSM_NET_TOPOLOGY_H
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+struct Topology
+{
+    int nprocs = 1;        ///< compute processors
+    int nodes = 1;         ///< SMP nodes in use
+    int procsPerNode = 1;  ///< compute processors per node
+
+    Topology() = default;
+
+    Topology(int nprocs_, int nodes_)
+        : nprocs(nprocs_), nodes(nodes_)
+    {
+        mcdsm_assert(nodes_ > 0 && nprocs_ > 0, "bad topology");
+        mcdsm_assert(nprocs_ % nodes_ == 0,
+                     "nprocs must be a multiple of nodes");
+        procsPerNode = nprocs_ / nodes_;
+    }
+
+    NodeId
+    nodeOf(ProcId p) const
+    {
+        mcdsm_assert(p >= 0 && p < nprocs, "proc id out of range");
+        return p / procsPerNode;
+    }
+
+    /** First compute processor on a node. */
+    ProcId
+    firstProcOf(NodeId n) const
+    {
+        mcdsm_assert(n >= 0 && n < nodes, "node id out of range");
+        return n * procsPerNode;
+    }
+
+    bool
+    sameNode(ProcId a, ProcId b) const
+    {
+        return nodeOf(a) == nodeOf(b);
+    }
+
+    /**
+     * The paper's standard processor-count ladder on an 8x4 machine:
+     * 1; 2 on separate nodes; 4 = 1x4 nodes; 8 = 2x4; 12 = 3x4;
+     * 16 = 2x8; 24 = 3x8; 32 = 4x8.
+     */
+    static Topology
+    standard(int nprocs)
+    {
+        switch (nprocs) {
+          case 1: return {1, 1};
+          case 2: return {2, 2};
+          case 4: return {4, 4};
+          case 8: return {8, 4};
+          case 12: return {12, 4};
+          case 16: return {16, 8};
+          case 24: return {24, 8};
+          case 32: return {32, 8};
+          default:
+            mcdsm_fatal("no standard topology for %d processors", nprocs);
+        }
+    }
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_NET_TOPOLOGY_H

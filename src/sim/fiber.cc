@@ -1,0 +1,75 @@
+#include "sim/fiber.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+thread_local Fiber* current_fiber = nullptr;
+} // namespace
+
+Fiber::Fiber(Entry entry, std::size_t stack_bytes)
+    : stack_(stack_bytes), entry_(std::move(entry))
+{
+}
+
+Fiber::~Fiber()
+{
+    // Destroying an unfinished fiber simply abandons its stack; the
+    // scheduler only does this when tearing down a deadlocked run.
+}
+
+Fiber*
+Fiber::current()
+{
+    return current_fiber;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber* self = current_fiber;
+    self->entry_();
+    self->finished_ = true;
+    // Return to the resumer; uc_link would also do this, but being
+    // explicit keeps the control flow obvious.
+    swapcontext(&self->ctx_, &self->link_);
+    mcdsm_panic("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    mcdsm_assert(!finished_, "resume() on finished fiber");
+    mcdsm_assert(current_fiber == nullptr,
+                 "nested fiber resume is not supported");
+
+    if (!started_) {
+        started_ = true;
+        if (getcontext(&ctx_) != 0)
+            mcdsm_panic("getcontext failed");
+        ctx_.uc_stack.ss_sp = stack_.data();
+        ctx_.uc_stack.ss_size = stack_.size();
+        ctx_.uc_link = &link_;
+        makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                    0);
+    }
+
+    current_fiber = this;
+    if (swapcontext(&link_, &ctx_) != 0)
+        mcdsm_panic("swapcontext into fiber failed");
+    current_fiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber* self = current_fiber;
+    mcdsm_assert(self != nullptr, "yield() outside any fiber");
+    current_fiber = nullptr;
+    if (swapcontext(&self->ctx_, &self->link_) != 0)
+        mcdsm_panic("swapcontext out of fiber failed");
+    current_fiber = self;
+}
+
+} // namespace mcdsm

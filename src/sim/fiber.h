@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stackful cooperative fibers built on ucontext.
+ *
+ * Each simulated processor runs application + protocol code on its own
+ * fiber. Fibers are resumed only by the Scheduler, one at a time, so no
+ * locking is required anywhere in the simulator.
+ */
+
+#ifndef MCDSM_SIM_FIBER_H
+#define MCDSM_SIM_FIBER_H
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace mcdsm {
+
+/**
+ * A stackful coroutine. resume() runs the fiber until it calls yield()
+ * or its entry function returns; control then returns to the resumer.
+ */
+class Fiber
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /**
+     * @param entry function executed on the fiber's own stack
+     * @param stack_bytes stack size (default 1 MB; Barnes-Hut recursion
+     *        is the deepest user)
+     */
+    explicit Fiber(Entry entry, std::size_t stack_bytes = 1 << 20);
+    ~Fiber();
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /** Run the fiber until it yields or finishes. Not reentrant. */
+    void resume();
+
+    /** Called from inside a fiber: return control to the resumer. */
+    static void yield();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    /** The fiber currently executing, or nullptr in scheduler context. */
+    static Fiber* current();
+
+  private:
+    static void trampoline();
+
+    ucontext_t ctx_{};
+    ucontext_t link_{};
+    std::vector<char> stack_;
+    Entry entry_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_FIBER_H

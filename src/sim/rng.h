@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64 based).
+ *
+ * Simulated applications must be reproducible run-to-run, so they use
+ * this RNG seeded from their configuration instead of std::random_device.
+ */
+
+#ifndef MCDSM_SIM_RNG_H
+#define MCDSM_SIM_RNG_H
+
+#include <cstdint>
+
+namespace mcdsm {
+
+/** Small, fast, deterministic PRNG (SplitMix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_RNG_H

@@ -1,0 +1,133 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+TaskId
+Scheduler::spawn(std::string name, std::function<void(TaskId)> fn,
+                 Time start)
+{
+    mcdsm_assert(!running_, "spawn() during run() is not supported");
+    TaskId id = static_cast<TaskId>(tasks_.size());
+    auto task = std::make_unique<Task>();
+    task->name = std::move(name);
+    task->now = start;
+    task->state = State::Runnable;
+    task->fiber = std::make_unique<Fiber>([this, fn, id] { fn(id); });
+    tasks_.push_back(std::move(task));
+    ready_.insert({start, ready_seq_++, id});
+    return id;
+}
+
+bool
+Scheduler::run()
+{
+    mcdsm_assert(!running_, "recursive run()");
+    running_ = true;
+
+    while (!ready_.empty()) {
+        auto it = ready_.begin();
+        TaskId id = it->id;
+        ready_.erase(it);
+
+        Task& t = *tasks_[id];
+        mcdsm_assert(t.state == State::Runnable, "ready task not runnable");
+        t.state = State::Running;
+        current_ = id;
+        t.fiber->resume();
+        current_ = -1;
+
+        if (t.fiber->finished()) {
+            t.state = State::Finished;
+            max_finish_ = std::max(max_finish_, t.now);
+        }
+        // Otherwise switchOut() already queued or parked the task.
+    }
+
+    running_ = false;
+    return std::all_of(tasks_.begin(), tasks_.end(), [](const auto& t) {
+        return t->state == State::Finished;
+    });
+}
+
+void
+Scheduler::switchOut(State next_state)
+{
+    Task& t = *tasks_[current_];
+    t.state = next_state;
+    if (next_state == State::Runnable)
+        ready_.insert({t.now, ready_seq_++, current_});
+    Fiber::yield();
+}
+
+void
+Scheduler::yield()
+{
+    mcdsm_assert(current_ >= 0, "yield() outside any task");
+    switchOut(State::Runnable);
+}
+
+void
+Scheduler::block()
+{
+    mcdsm_assert(current_ >= 0, "block() outside any task");
+    Task& t = *tasks_[current_];
+
+    if (!t.pendingWakes.empty()) {
+        auto it = std::min_element(t.pendingWakes.begin(),
+                                   t.pendingWakes.end());
+        Time w = *it;
+        *it = t.pendingWakes.back();
+        t.pendingWakes.pop_back();
+        t.now = std::max(t.now, w);
+        // Re-enter the ready queue so lower-clock tasks run first.
+        switchOut(State::Runnable);
+        return;
+    }
+
+    switchOut(State::Blocked);
+}
+
+void
+Scheduler::makeRunnable(TaskId id)
+{
+    Task& t = *tasks_[id];
+    t.state = State::Runnable;
+    ready_.insert({t.now, ready_seq_++, id});
+}
+
+void
+Scheduler::wake(TaskId id, Time time)
+{
+    mcdsm_assert(id >= 0 && id < taskCount(), "wake() on bad task id");
+    Task& t = *tasks_[id];
+
+    switch (t.state) {
+      case State::Finished:
+        return;
+      case State::Blocked:
+        t.now = std::max(t.now, time);
+        makeRunnable(id);
+        return;
+      case State::Running:
+      case State::Runnable:
+        t.pendingWakes.push_back(time);
+        return;
+    }
+}
+
+std::vector<std::string>
+Scheduler::blockedTasks() const
+{
+    std::vector<std::string> out;
+    for (const auto& t : tasks_) {
+        if (t->state == State::Blocked)
+            out.push_back(t->name);
+    }
+    return out;
+}
+
+} // namespace mcdsm

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Conservative discrete-event scheduler for fiber tasks.
+ *
+ * Every task carries its own virtual clock. The scheduler always
+ * resumes the runnable task with the smallest clock (ties broken by
+ * task id), which gives the conservative-PDES guarantee the DSM
+ * protocols rely on: when a task observes shared simulator state at
+ * time T, every message that could arrive at or before T has already
+ * been delivered, because any not-yet-sent message will be stamped
+ * with a sender clock >= T.
+ *
+ * Blocking is structured as condition-polling:
+ *
+ *     while (!cond())
+ *         sched.block();
+ *
+ * and wakers call wake(task, t). A wake targeted at a task that is not
+ * currently blocked is remembered and consumed by the next block()
+ * call, so the wake/block race is benign.
+ */
+
+#ifndef MCDSM_SIM_SCHEDULER_H
+#define MCDSM_SIM_SCHEDULER_H
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/fiber.h"
+
+namespace mcdsm {
+
+/** Handle identifying a scheduled task. */
+using TaskId = int;
+
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+
+    /**
+     * Create a task. All tasks must be spawned before run().
+     * @param name used in deadlock diagnostics
+     * @param fn task body; receives its TaskId
+     * @param start initial virtual time
+     */
+    TaskId spawn(std::string name, std::function<void(TaskId)> fn,
+                 Time start = 0);
+
+    /**
+     * Run tasks to completion.
+     * @return true if every task finished; false on deadlock (some
+     *         tasks blocked forever). Deadlocked task names are
+     *         available via blockedTasks().
+     */
+    bool run();
+
+    /** Virtual clock of the current task. Only valid inside a task. */
+    Time
+    now() const
+    {
+        return tasks_[current_]->now;
+    }
+
+    /** Virtual clock of any task. */
+    Time timeOf(TaskId id) const { return tasks_[id]->now; }
+
+    /** Advance the current task's clock by @p dt (>= 0). */
+    void
+    advance(Time dt)
+    {
+        tasks_[current_]->now += dt;
+    }
+
+    /**
+     * Yield so that lower-clock runnable tasks can run first. On
+     * return the current task is the minimum-clock runnable task.
+     */
+    void yield();
+
+    /**
+     * Block the current task until some wake() arrives. If a wake is
+     * already pending, consumes it and returns immediately. The
+     * current clock becomes max(now, wake time).
+     */
+    void block();
+
+    /**
+     * Make @p id runnable no earlier than time @p t. Harmless if the
+     * task is running or already runnable (the wake is buffered).
+     */
+    void wake(TaskId id, Time t);
+
+    /**
+     * Like wake(), but a no-op unless the task is currently blocked.
+     * Use for hints that the woken task re-derives from shared state
+     * before blocking again (e.g. mailbox arrivals: every wait loop
+     * re-examines its queue and self-arms before blocking).
+     */
+    void
+    wakeIfBlocked(TaskId id, Time t)
+    {
+        if (tasks_[id]->state == State::Blocked)
+            wake(id, t);
+    }
+
+    /** TaskId of the currently executing task. */
+    TaskId currentTask() const { return current_; }
+
+    /** Number of spawned tasks. */
+    int taskCount() const { return static_cast<int>(tasks_.size()); }
+
+    /** Largest finish time across all finished tasks. */
+    Time maxFinishTime() const { return max_finish_; }
+
+    /** Names of tasks still blocked after run() returned false. */
+    std::vector<std::string> blockedTasks() const;
+
+  private:
+    enum class State { Runnable, Running, Blocked, Finished };
+
+    struct Task
+    {
+        std::string name;
+        std::unique_ptr<Fiber> fiber;
+        Time now = 0;
+        State state = State::Runnable;
+        /// Buffered wake times (unsorted; usually 0-2 entries).
+        std::vector<Time> pendingWakes;
+    };
+
+    void makeRunnable(TaskId id);
+    void switchOut(State next_state);
+
+    struct ReadyKey
+    {
+        Time time;
+        std::uint64_t seq; ///< FIFO among equal clocks
+        TaskId id;
+
+        bool
+        operator<(const ReadyKey& o) const
+        {
+            if (time != o.time)
+                return time < o.time;
+            return seq < o.seq;
+        }
+    };
+
+    std::vector<std::unique_ptr<Task>> tasks_;
+    /// Runnable tasks ordered by (clock, insertion order).
+    std::set<ReadyKey> ready_;
+    std::uint64_t ready_seq_ = 0;
+    TaskId current_ = -1;
+    Time max_finish_ = 0;
+    bool running_ = false;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_SCHEDULER_H

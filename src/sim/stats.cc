@@ -1,0 +1,36 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace mcdsm {
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return values_.find(name) != values_.end();
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [k, v] : other.values_)
+        values_[k] += v;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [k, v] : values_)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace mcdsm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lightweight named statistics for benches and protocol diagnostics.
+ */
+
+#ifndef MCDSM_SIM_STATS_H
+#define MCDSM_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mcdsm {
+
+/**
+ * A set of named scalar counters. Not performance critical; the hot
+ * per-processor statistics live in fixed structs (see dsm/stats.h).
+ */
+class StatSet
+{
+  public:
+    void add(const std::string& name, double v) { values_[name] += v; }
+    void set(const std::string& name, double v) { values_[name] = v; }
+    double get(const std::string& name) const;
+    bool has(const std::string& name) const;
+
+    const std::map<std::string, double>& all() const { return values_; }
+
+    /** Merge another set into this one (summing values). */
+    void merge(const StatSet& other);
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_STATS_H

@@ -1,0 +1,77 @@
+#include "treadmarks/types.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+void
+vtMax(VTime& a, const VTime& b)
+{
+    mcdsm_assert(a.size() == b.size(), "vector timestamp size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (b[i] > a[i])
+            a[i] = b[i];
+    }
+}
+
+bool
+vtLeq(const VTime& a, const VTime& b)
+{
+    mcdsm_assert(a.size() == b.size(), "vector timestamp size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+vtSum(const VTime& v)
+{
+    std::uint64_t s = 0;
+    for (auto x : v)
+        s += x;
+    return s;
+}
+
+std::size_t
+Diff::dataBytes() const
+{
+    std::size_t n = 0;
+    for (const auto& r : runs)
+        n += r.bytes.size();
+    return n;
+}
+
+std::vector<Diff::Run>
+computeRuns(const std::uint8_t* page, const std::uint8_t* twin)
+{
+    std::vector<Diff::Run> runs;
+    std::size_t i = 0;
+    while (i < kPageSize) {
+        if (page[i] == twin[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < kPageSize && page[j] != twin[j])
+            ++j;
+        Diff::Run run;
+        run.offset = static_cast<std::uint16_t>(i);
+        run.bytes.assign(page + i, page + j);
+        runs.push_back(std::move(run));
+        i = j;
+    }
+    return runs;
+}
+
+void
+applyRuns(std::uint8_t* page, const std::vector<Diff::Run>& runs)
+{
+    for (const auto& r : runs)
+        std::memcpy(page + r.offset, r.bytes.data(), r.bytes.size());
+}
+
+} // namespace mcdsm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-processor log of known intervals, used to compute the
+ * consistency information piggybacked on lock grants and barrier
+ * messages.
+ */
+
+#ifndef MCDSM_TREADMARKS_INTERVALS_H
+#define MCDSM_TREADMARKS_INTERVALS_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "treadmarks/types.h"
+
+namespace mcdsm {
+
+/**
+ * Interval records known to one processor. A processor's own closed
+ * intervals have contiguous ids, and consistency messages always ship
+ * suffixes ("everything newer than your timestamp"), so each
+ * per-processor column stays contiguous.
+ */
+class IntervalLog
+{
+  public:
+    explicit IntervalLog(int nprocs) : cols_(nprocs) {}
+
+    /**
+     * Insert a record. @return true if it was new.
+     */
+    bool
+    add(const IntervalRecPtr& rec)
+    {
+        auto& col = cols_[rec->proc];
+        if (rec->id < col.size())
+            return false;
+        mcdsm_assert(rec->id == col.size(),
+                     "interval records must arrive without gaps");
+        col.push_back(rec);
+        return true;
+    }
+
+    /** Number of known intervals of processor @p q. */
+    std::uint32_t
+    count(ProcId q) const
+    {
+        return static_cast<std::uint32_t>(cols_[q].size());
+    }
+
+    const IntervalRecPtr&
+    get(ProcId q, std::uint32_t id) const
+    {
+        return cols_[q][id];
+    }
+
+    /** All known records with id >= from[q], across processors. */
+    std::vector<IntervalRecPtr>
+    collectSince(const VTime& from) const
+    {
+        std::vector<IntervalRecPtr> out;
+        for (std::size_t q = 0; q < cols_.size(); ++q) {
+            for (std::uint32_t i = from[q]; i < cols_[q].size(); ++i)
+                out.push_back(cols_[q][i]);
+        }
+        return out;
+    }
+
+    /** Total wire bytes of the records collectSince would return. */
+    std::size_t
+    bytesSince(const VTime& from) const
+    {
+        std::size_t n = 0;
+        for (std::size_t q = 0; q < cols_.size(); ++q) {
+            for (std::uint32_t i = from[q]; i < cols_[q].size(); ++i)
+                n += cols_[q][i]->wireBytes();
+        }
+        return n;
+    }
+
+  private:
+    std::vector<std::vector<IntervalRecPtr>> cols_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_TREADMARKS_INTERVALS_H

@@ -1,0 +1,706 @@
+#include "treadmarks/treadmarks.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+inline GAddr
+pageBase(PageNum pn)
+{
+    return static_cast<GAddr>(pn) << kPageShift;
+}
+
+/** Private address region used to charge twin traffic to the cache. */
+inline std::uint64_t
+twinAddr(PageNum pn)
+{
+    return 0x20000000ULL + pageBase(pn);
+}
+
+} // namespace
+
+void
+TreadMarks::attach(DsmRuntime& rt)
+{
+    rt_ = &rt;
+    locks_.resize(rt.cfg().numLocks);
+    barriers_.resize(rt.cfg().numBarriers);
+    flags_.resize(rt.cfg().numFlags);
+}
+
+TreadMarks::PState&
+TreadMarks::st(ProcCtx& ctx)
+{
+    if (!ctx.pstate) {
+        ctx.pstate =
+            std::make_unique<PState>(rt_->nprocs(), rt_->pageCount());
+    }
+    return static_cast<PState&>(*ctx.pstate);
+}
+
+ProcId
+TreadMarks::lockManager(int lock_id) const
+{
+    return lock_id % rt_->nprocs();
+}
+
+ProcId
+TreadMarks::flagManager(int flag_id) const
+{
+    return flag_id % rt_->nprocs();
+}
+
+void
+TreadMarks::closeInterval(ProcCtx& ctx)
+{
+    PState& s = st(ctx);
+    if (s.curWrites.empty())
+        return;
+
+    auto rec = std::make_shared<IntervalRec>();
+    rec->proc = ctx.id;
+    rec->id = s.vt[ctx.id];
+    rec->pages = s.curWrites;
+    for (PageNum pn : s.curWrites)
+        s.curMark[pn] = 0;
+    s.curWrites.clear();
+
+    s.vt[ctx.id] += 1;
+    rec->vt = s.vt;
+    s.log.add(rec);
+
+    rt_->charge(ctx, TimeCat::Protocol,
+                rt_->costs().tmkPerInterval +
+                    rt_->costs().tmkPerNotice *
+                        static_cast<Time>(rec->pages.size()));
+}
+
+void
+TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
+{
+    PState& s = st(ctx);
+    PageMeta& m = s.pages[pn];
+    mcdsm_assert(m.twin != nullptr, "flushTwin without a twin");
+
+    // If the open interval wrote this page, close it first so the
+    // diff's coverage statement ("all intervals <= coversUpTo") is
+    // exact even if this page is written again later.
+    if (s.curMark[pn])
+        closeInterval(ctx);
+
+    auto d = std::make_shared<Diff>();
+    d->writer = ctx.id;
+    d->page = pn;
+    d->seq = ++s.diffSeq;
+    d->coversUpTo = s.vt[ctx.id] == 0 ? 0 : s.vt[ctx.id] - 1;
+    d->orderKey = vtSum(s.vt);
+    d->runs = computeRuns(ctx.frame(pn), m.twin);
+
+    const std::size_t bytes = d->dataBytes();
+    ctx.stats.diffsCreated += 1;
+    ctx.stats.diffBytes += bytes;
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().diffCreate(bytes));
+    // The comparison streams both copies through the cache.
+    ctx.cache.touchRange(pageBase(pn), kPageSize);
+    ctx.cache.touchRange(twinAddr(pn), kPageSize);
+
+    s.diffCache[pn].push_back(std::move(d));
+    rt_->freeFrame(m.twin);
+    m.twin = nullptr;
+
+    // Catch subsequent writes with a fresh fault/twin/notice.
+    if (ctx.pt.canWrite(pn)) {
+        ctx.pt.setProtection(pn, ProtRead);
+        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+    }
+}
+
+void
+TreadMarks::mergeNotice(ProcCtx& ctx, PageNum pn, ProcId writer,
+                        std::uint32_t id)
+{
+    if (writer == ctx.id)
+        return;
+    PState& s = st(ctx);
+    PageMeta& m = s.pages[pn];
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerNotice);
+
+    auto cov = m.coveredUpTo.find(writer);
+    if (cov != m.coveredUpTo.end() && id <= cov->second)
+        return; // already satisfied by an applied diff
+
+    m.pending.emplace_back(writer, id);
+
+    if (ctx.pt.protection(pn) != ProtNone) {
+        // Preserve our concurrent modifications before invalidating.
+        if (m.twin)
+            flushTwin(ctx, pn);
+        ctx.pt.setProtection(pn, ProtNone);
+        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+        // The frame is kept: diffs will be merged into it on the next
+        // fault.
+    }
+}
+
+void
+TreadMarks::mergeRecords(ProcCtx& ctx,
+                         const std::vector<IntervalRecPtr>& recs)
+{
+    PState& s = st(ctx);
+
+    // Per-processor columns must be applied in id order.
+    std::vector<IntervalRecPtr> sorted(recs);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const IntervalRecPtr& a, const IntervalRecPtr& b) {
+                  if (a->proc != b->proc)
+                      return a->proc < b->proc;
+                  return a->id < b->id;
+              });
+
+    for (const auto& rec : sorted) {
+        if (rec->proc == ctx.id)
+            continue; // our own past
+        if (!s.log.add(rec))
+            continue; // already known
+        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerInterval);
+        for (PageNum pn : rec->pages)
+            mergeNotice(ctx, pn, rec->proc, rec->id);
+    }
+
+    for (ProcId q = 0; q < rt_->nprocs(); ++q)
+        s.vt[q] = std::max(s.vt[q], s.log.count(q));
+}
+
+GrantInfo
+TreadMarks::buildGrant(ProcCtx& ctx, const VTime& req_vt)
+{
+    PState& s = st(ctx);
+    GrantInfo g;
+    g.vt = s.vt;
+    g.records = s.log.collectSince(req_vt);
+    rt_->charge(ctx, TimeCat::Protocol,
+                rt_->costs().tmkPerInterval *
+                    static_cast<Time>(g.records.size()));
+    return g;
+}
+
+ArrivalInfo
+TreadMarks::buildArrival(ProcCtx& ctx)
+{
+    PState& s = st(ctx);
+    // Conservative guess of the manager's timestamp: everyone knows
+    // everything up to the last barrier, so ship everything newer.
+    ArrivalInfo info;
+    info.vt = s.vt;
+    info.records = s.log.collectSince(s.lastBarrierVT);
+    rt_->charge(ctx, TimeCat::Protocol,
+                rt_->costs().tmkPerInterval *
+                    static_cast<Time>(info.records.size()));
+    return info;
+}
+
+// ---------------------------------------------------------------------------
+// Page faults
+// ---------------------------------------------------------------------------
+
+void
+TreadMarks::applyDiffs(ProcCtx& ctx, PageNum pn,
+                       std::vector<DiffPtr>& diffs)
+{
+    PState& s = st(ctx);
+    PageMeta& m = s.pages[pn];
+
+    std::sort(diffs.begin(), diffs.end(),
+              [](const DiffPtr& a, const DiffPtr& b) {
+                  if (a->orderKey != b->orderKey)
+                      return a->orderKey < b->orderKey;
+                  if (a->writer != b->writer)
+                      return a->writer < b->writer;
+                  return a->seq < b->seq;
+              });
+
+    for (const auto& d : diffs) {
+        auto& last = m.lastSeqApplied[d->writer];
+        if (d->seq <= last && last != 0)
+            continue;
+        applyRuns(ctx.frame(pn), d->runs);
+        last = d->seq;
+        auto& cov = m.coveredUpTo[d->writer];
+        cov = std::max(cov, d->coversUpTo);
+        ctx.stats.diffsApplied += 1;
+        rt_->charge(ctx, TimeCat::Protocol,
+                    rt_->costs().diffApply(d->dataBytes()));
+        ctx.cache.touchRange(pageBase(pn), kPageSize);
+    }
+}
+
+void
+TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
+{
+    PState& s = st(ctx);
+    PageMeta& m = s.pages[pn];
+    const CostModel& c = rt_->costs();
+
+    if (ctx.frame(pn) == nullptr) {
+        std::uint8_t* frame = rt_->allocFrame();
+        std::memcpy(frame, rt_->initFrame(pn), kPageSize);
+        ctx.mapFrame(pn, frame);
+        const Time lat = ctx.cache.touchRange(pageBase(pn), kPageSize);
+        rt_->charge(ctx, TimeCat::Protocol, lat);
+        m.everMapped = true;
+    }
+
+    // Fetch and merge diffs until no pending notice survives. New
+    // notices can arrive while we wait for replies (requests are
+    // serviced re-entrantly), hence the loop.
+    for (;;) {
+        auto unsatisfied = [&](const std::pair<ProcId, std::uint32_t>& p) {
+            auto it = m.coveredUpTo.find(p.first);
+            return it == m.coveredUpTo.end() || p.second > it->second;
+        };
+        std::erase_if(m.pending, [&](const auto& p) {
+            return !unsatisfied(p);
+        });
+        if (m.pending.empty())
+            break;
+
+        // Newest diff seq we already hold, per writer with notices.
+        std::map<ProcId, std::uint32_t> writers;
+        for (const auto& [w, id] : m.pending) {
+            auto it = m.lastSeqApplied.find(w);
+            writers[w] = it == m.lastSeqApplied.end() ? 0 : it->second;
+        }
+
+        for (const auto& [w, since] : writers) {
+            Message req;
+            req.type = TmkReqDiffs;
+            req.a = pn;
+            req.b = since;
+            req.bytes = 16;
+            rt_->sendMessage(ctx, w, std::move(req));
+        }
+
+        std::vector<DiffPtr> collected;
+        for (const auto& [w, since] : writers) {
+            (void)since;
+            const ProcId writer = w;
+            ctx.noteWait("tmk_diffs", pn, writer);
+            Message rep = rt_->waitReplyIf(ctx, [pn, writer](
+                                                    const Message& msg) {
+                return msg.type == TmkRepDiffs &&
+                       msg.a == pn && msg.src == writer;
+            });
+            auto list = std::static_pointer_cast<const DiffList>(rep.box);
+            mcdsm_assert(list != nullptr, "diff reply without payload");
+            collected.insert(collected.end(), list->begin(), list->end());
+        }
+        applyDiffs(ctx, pn, collected);
+    }
+
+    ctx.pt.setProtection(pn, ProtRead);
+    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+}
+
+void
+TreadMarks::onWriteFault(ProcCtx& ctx, PageNum pn)
+{
+    if (!ctx.pt.canRead(pn))
+        onReadFault(ctx, pn);
+
+    PState& s = st(ctx);
+    PageMeta& m = s.pages[pn];
+    const CostModel& c = rt_->costs();
+
+    if (m.twin == nullptr) {
+        m.twin = rt_->allocFrame();
+        std::memcpy(m.twin, ctx.frame(pn), kPageSize);
+        ctx.stats.twins += 1;
+        rt_->charge(ctx, TimeCat::Protocol, c.twinCost);
+        ctx.cache.touchRange(pageBase(pn), kPageSize);
+        ctx.cache.touchRange(twinAddr(pn), kPageSize);
+    }
+    if (!s.curMark[pn]) {
+        s.curMark[pn] = 1;
+        s.curWrites.push_back(pn);
+    }
+
+    ctx.pt.setProtection(pn, ProtRw);
+    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+void
+TreadMarks::grantLock(ProcCtx& owner, int lock_id, ProcId requester,
+                      const VTime& req_vt)
+{
+    closeInterval(owner);
+    GrantInfo g = buildGrant(owner, req_vt);
+
+    Message rep;
+    rep.type = TmkRepLockGrant;
+    rep.a = static_cast<std::uint64_t>(lock_id);
+    rep.bytes = g.wireBytes();
+    rep.box = std::make_shared<const GrantInfo>(std::move(g));
+    rt_->sendMessage(owner, requester, std::move(rep));
+}
+
+bool
+TreadMarks::routeLockRequest(ProcCtx& mgr, int lock_id, ProcId requester,
+                             const std::shared_ptr<const VTime>& req_vt)
+{
+    LockState& lk = locks_[lock_id];
+    if (lk.grantsIssued.empty())
+        lk.grantsIssued.assign(rt_->nprocs(), 0);
+
+    if (lk.lastOwner == kNoProc || lk.lastOwner == requester) {
+        // First acquisition, or the previous owner re-acquiring: no
+        // consistency information is needed.
+        lk.lastOwner = requester;
+        lk.grantsIssued[requester] += 1;
+        return true;
+    }
+
+    const ProcId owner = lk.lastOwner;
+    const std::uint32_t obligation = lk.grantsIssued[owner];
+    lk.lastOwner = requester;
+    lk.grantsIssued[requester] += 1;
+
+    if (owner == mgr.id) {
+        handleForward(mgr, lock_id, requester, *req_vt, obligation);
+    } else {
+        Message fwd;
+        fwd.type = TmkReqLockForward;
+        fwd.a = static_cast<std::uint64_t>(lock_id);
+        fwd.b = static_cast<std::uint64_t>(requester);
+        fwd.c = obligation;
+        fwd.bytes = 16 + 4 * rt_->nprocs();
+        fwd.box = req_vt;
+        rt_->sendMessage(mgr, owner, std::move(fwd));
+    }
+    return false;
+}
+
+void
+TreadMarks::handleForward(ProcCtx& owner, int lock_id, ProcId requester,
+                          const VTime& req_vt, std::uint32_t obligation)
+{
+    PState& s = st(owner);
+    if (s.lockTenuresDone[lock_id] >= obligation) {
+        grantLock(owner, lock_id, requester, req_vt);
+    } else {
+        s.pendingGrants[lock_id].push_back(
+            {obligation, requester, req_vt});
+    }
+}
+
+void
+TreadMarks::acquire(ProcCtx& ctx, int lock_id)
+{
+    PState& s = st(ctx);
+    const ProcId mgr = lockManager(lock_id);
+    const int vt_bytes = 16 + 4 * rt_->nprocs();
+
+    if (mgr == ctx.id) {
+        auto vt = std::make_shared<const VTime>(s.vt);
+        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerInterval);
+        if (routeLockRequest(ctx, lock_id, ctx.id, vt))
+            return; // direct self-grant, nothing to merge
+    } else {
+        Message req;
+        req.type = TmkReqLock;
+        req.a = static_cast<std::uint64_t>(lock_id);
+        req.bytes = vt_bytes;
+        req.box = std::make_shared<const VTime>(s.vt);
+        rt_->sendMessage(ctx, mgr, std::move(req));
+    }
+
+    ctx.noteWait("tmk_lock", lock_id);
+    Message rep = rt_->waitReplyIf(ctx, [lock_id](const Message& m) {
+        return m.type == TmkRepLockGrant &&
+               m.a == static_cast<std::uint64_t>(lock_id);
+    });
+    auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
+    if (g) {
+        mergeRecords(ctx, g->records);
+        vtMax(s.vt, g->vt);
+    }
+}
+
+void
+TreadMarks::release(ProcCtx& ctx, int lock_id)
+{
+    PState& s = st(ctx);
+    const std::uint32_t done = ++s.lockTenuresDone[lock_id];
+
+    auto it = s.pendingGrants.find(lock_id);
+    if (it == s.pendingGrants.end())
+        return; // lazy: no communication on release
+
+    auto& q = it->second;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        if (q[i].obligation <= done) {
+            // At most one forward targets any given tenure.
+            PState::PendingFwd fwd = std::move(q[i]);
+            q.erase(q.begin() + i);
+            grantLock(ctx, lock_id, fwd.requester, fwd.vt);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------------
+
+void
+TreadMarks::barrier(ProcCtx& ctx, int barrier_id)
+{
+    closeInterval(ctx);
+    PState& s = st(ctx);
+    const int nprocs = rt_->nprocs();
+    if (nprocs == 1)
+        return;
+
+    if (ctx.id == 0) {
+        BarrierState& bar = barriers_[barrier_id];
+        ctx.noteWait("tmk_barrier_mgr", barrier_id);
+        rt_->waitEvent(ctx, [&bar, nprocs] {
+            return bar.arrived == nprocs - 1;
+        });
+
+        for (const auto& [q, vt_q] : bar.waiters) {
+            GrantInfo g = buildGrant(ctx, vt_q);
+            Message rep;
+            rep.type = TmkRepBarrierRelease;
+            rep.a = static_cast<std::uint64_t>(barrier_id);
+            rep.b = static_cast<std::uint64_t>(bar.epoch);
+            rep.bytes = g.wireBytes();
+            rep.box = std::make_shared<const GrantInfo>(std::move(g));
+            rt_->sendMessage(ctx, q, std::move(rep));
+        }
+        bar.waiters.clear();
+        bar.arrived = 0;
+        bar.epoch += 1;
+        s.lastBarrierVT = s.vt;
+    } else {
+        ArrivalInfo info = buildArrival(ctx);
+        Message arr;
+        arr.type = TmkReqBarrierArrive;
+        arr.a = static_cast<std::uint64_t>(barrier_id);
+        arr.bytes = info.wireBytes();
+        arr.box = std::make_shared<const ArrivalInfo>(std::move(info));
+        rt_->sendMessage(ctx, 0, std::move(arr));
+
+        ctx.noteWait("tmk_barrier", barrier_id);
+        Message rep = rt_->waitReplyIf(ctx, [barrier_id](const Message& m) {
+            return m.type == TmkRepBarrierRelease &&
+                   m.a == static_cast<std::uint64_t>(barrier_id);
+        });
+        auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
+        mergeRecords(ctx, g->records);
+        vtMax(s.vt, g->vt);
+        s.lastBarrierVT = g->vt;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+void
+TreadMarks::setFlag(ProcCtx& ctx, int flag_id)
+{
+    closeInterval(ctx);
+    PState& s = st(ctx);
+    const ProcId mgr = flagManager(flag_id);
+
+    if (mgr == ctx.id) {
+        FlagState& f = flags_[flag_id];
+        f.set = true;
+        for (const auto& [q, vt_q] : f.waiters) {
+            GrantInfo g = buildGrant(ctx, vt_q);
+            Message rep;
+            rep.type = TmkRepFlagGrant;
+            rep.a = static_cast<std::uint64_t>(flag_id);
+            rep.bytes = g.wireBytes();
+            rep.box = std::make_shared<const GrantInfo>(std::move(g));
+            rt_->sendMessage(ctx, q, std::move(rep));
+        }
+        f.waiters.clear();
+        return;
+    }
+
+    ArrivalInfo info = buildArrival(ctx);
+    Message msg;
+    msg.type = TmkReqFlagSet;
+    msg.a = static_cast<std::uint64_t>(flag_id);
+    msg.bytes = info.wireBytes();
+    msg.box = std::make_shared<const ArrivalInfo>(std::move(info));
+    rt_->sendMessage(ctx, mgr, std::move(msg));
+    (void)s;
+}
+
+void
+TreadMarks::waitFlag(ProcCtx& ctx, int flag_id)
+{
+    PState& s = st(ctx);
+    const ProcId mgr = flagManager(flag_id);
+
+    if (mgr == ctx.id) {
+        FlagState& f = flags_[flag_id];
+        // The ReqFlagSet handler merges the setter's intervals into
+        // our log as it is serviced, so once `set` is visible we
+        // already have the consistency information.
+        ctx.noteWait("tmk_flag_mgr", flag_id);
+        rt_->waitEvent(ctx, [&f] { return f.set; });
+        return;
+    }
+
+    Message req;
+    req.type = TmkReqFlagWait;
+    req.a = static_cast<std::uint64_t>(flag_id);
+    req.bytes = 16 + 4 * rt_->nprocs();
+    req.box = std::make_shared<const VTime>(s.vt);
+    rt_->sendMessage(ctx, mgr, std::move(req));
+
+    ctx.noteWait("tmk_flag", flag_id);
+    Message rep = rt_->waitReplyIf(ctx, [flag_id](const Message& m) {
+        return m.type == TmkRepFlagGrant &&
+               m.a == static_cast<std::uint64_t>(flag_id);
+    });
+    auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
+    mergeRecords(ctx, g->records);
+    vtMax(s.vt, g->vt);
+}
+
+// ---------------------------------------------------------------------------
+// Request servicing
+// ---------------------------------------------------------------------------
+
+void
+TreadMarks::serviceRequest(ProcCtx& server, Message& msg)
+{
+    PState& s = st(server);
+
+    switch (msg.type) {
+      case TmkReqLock: {
+        const int lock_id = static_cast<int>(msg.a);
+        const ProcId requester = msg.src;
+        auto req_vt = std::static_pointer_cast<const VTime>(msg.box);
+
+        if (routeLockRequest(server, lock_id, requester, req_vt)) {
+            Message rep; // direct grant, no consistency info needed
+            rep.type = TmkRepLockGrant;
+            rep.a = msg.a;
+            rep.bytes = 32;
+            rt_->sendMessage(server, requester, std::move(rep));
+        }
+        break;
+      }
+
+      case TmkReqLockForward: {
+        const int lock_id = static_cast<int>(msg.a);
+        auto req_vt = std::static_pointer_cast<const VTime>(msg.box);
+        handleForward(server, lock_id, static_cast<ProcId>(msg.b),
+                      *req_vt, static_cast<std::uint32_t>(msg.c));
+        break;
+      }
+
+      case TmkReqBarrierArrive: {
+        const int barrier_id = static_cast<int>(msg.a);
+        mcdsm_assert(server.id == 0, "barrier arrival at non-manager");
+        auto info = std::static_pointer_cast<const ArrivalInfo>(msg.box);
+        mergeRecords(server, info->records);
+        vtMax(s.vt, info->vt);
+        BarrierState& bar = barriers_[barrier_id];
+        bar.waiters.emplace_back(msg.src, info->vt);
+        bar.arrived += 1;
+        break;
+      }
+
+      case TmkReqFlagSet: {
+        const int flag_id = static_cast<int>(msg.a);
+        auto info = std::static_pointer_cast<const ArrivalInfo>(msg.box);
+        mergeRecords(server, info->records);
+        vtMax(s.vt, info->vt);
+        FlagState& f = flags_[flag_id];
+        f.set = true;
+        for (const auto& [q, vt_q] : f.waiters) {
+            GrantInfo g = buildGrant(server, vt_q);
+            Message rep;
+            rep.type = TmkRepFlagGrant;
+            rep.a = msg.a;
+            rep.bytes = g.wireBytes();
+            rep.box = std::make_shared<const GrantInfo>(std::move(g));
+            rt_->sendMessage(server, q, std::move(rep));
+        }
+        f.waiters.clear();
+        break;
+      }
+
+      case TmkReqFlagWait: {
+        const int flag_id = static_cast<int>(msg.a);
+        auto req_vt = std::static_pointer_cast<const VTime>(msg.box);
+        FlagState& f = flags_[flag_id];
+        if (f.set) {
+            GrantInfo g = buildGrant(server, *req_vt);
+            Message rep;
+            rep.type = TmkRepFlagGrant;
+            rep.a = msg.a;
+            rep.bytes = g.wireBytes();
+            rep.box = std::make_shared<const GrantInfo>(std::move(g));
+            rt_->sendMessage(server, msg.src, std::move(rep));
+        } else {
+            f.waiters.emplace_back(msg.src, *req_vt);
+        }
+        break;
+      }
+
+      case TmkReqDiffs: {
+        const PageNum pn = static_cast<PageNum>(msg.a);
+        const std::uint32_t since = static_cast<std::uint32_t>(msg.b);
+        PageMeta& m = s.pages[pn];
+        if (m.twin)
+            flushTwin(server, pn);
+
+        auto out = std::make_shared<DiffList>();
+        std::size_t bytes = 32;
+        auto it = s.diffCache.find(pn);
+        if (it != s.diffCache.end()) {
+            for (const auto& d : it->second) {
+                if (d->seq > since) {
+                    out->push_back(d);
+                    bytes += d->wireBytes();
+                }
+            }
+        }
+        Message rep;
+        rep.type = TmkRepDiffs;
+        rep.a = msg.a;
+        rep.bytes = bytes;
+        rep.box = std::move(out);
+        rt_->sendMessage(server, msg.src, std::move(rep));
+        break;
+      }
+
+      default:
+        mcdsm_panic("TreadMarks: unknown request type %d", msg.type);
+    }
+}
+
+void
+TreadMarks::procEnd(ProcCtx& ctx)
+{
+    closeInterval(ctx);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The TreadMarks protocol (paper §2.2): lazy release consistency with
+ * vector timestamps, intervals, write notices, twins and diffs.
+ *
+ * Unlike Cashmere, TreadMarks uses the Memory Channel purely as a
+ * fast message transport: all coherence state is local, and every
+ * interaction is request-response.
+ *
+ *  - Time on each processor is divided into intervals delimited by
+ *    remote synchronization operations; each interval carries write
+ *    notices for the pages written in it.
+ *  - A lock acquire sends the acquirer's vector timestamp to the lock
+ *    manager, which forwards to the last owner; the grant carries all
+ *    intervals (and their write notices) in the owner's past that the
+ *    acquirer has not seen. Pages named by incoming notices are
+ *    invalidated.
+ *  - A barrier sends every processor's new intervals to a manager,
+ *    which merges and redistributes them.
+ *  - On a page fault the processor requests diffs (run-length-encoded
+ *    page-vs-twin differences) from the writers of pending notices,
+ *    and applies them in causal (vector-timestamp) order.
+ */
+
+#ifndef MCDSM_TREADMARKS_TREADMARKS_H
+#define MCDSM_TREADMARKS_TREADMARKS_H
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/protocol.h"
+#include "dsm/runtime.h"
+#include "treadmarks/intervals.h"
+#include "treadmarks/types.h"
+
+namespace mcdsm {
+
+/** TreadMarks message types. */
+enum TmkMsg : int {
+    TmkReqLock = 10,           ///< a=lock; box=VTime (requester's)
+    TmkReqLockForward = 11,    ///< a=lock; b=requester; box=VTime
+    TmkReqBarrierArrive = 12,  ///< a=barrier; box=ArrivalInfo
+    TmkReqFlagSet = 13,        ///< a=flag; box=ArrivalInfo
+    TmkReqFlagWait = 14,       ///< a=flag; box=VTime
+    TmkReqDiffs = 15,          ///< a=page; b=sinceSeq
+
+    TmkRepLockGrant = kReplyBase + 10,      ///< a=lock; box=GrantInfo
+    TmkRepBarrierRelease = kReplyBase + 12, ///< a=barrier; b=epoch
+    TmkRepFlagGrant = kReplyBase + 14,      ///< a=flag; box=GrantInfo
+    TmkRepDiffs = kReplyBase + 15,          ///< a=page; box=DiffList
+};
+
+/** Consistency info piggybacked on grants and barrier releases. */
+struct GrantInfo
+{
+    VTime vt;
+    std::vector<IntervalRecPtr> records;
+
+    std::size_t
+    wireBytes() const
+    {
+        std::size_t n = 16 + 4 * vt.size();
+        for (const auto& r : records)
+            n += r->wireBytes();
+        return n;
+    }
+};
+
+/** Payload of a barrier-arrival / flag-set message. */
+using ArrivalInfo = GrantInfo;
+
+using DiffList = std::vector<DiffPtr>;
+
+class TreadMarks final : public Protocol
+{
+  public:
+    void attach(DsmRuntime& rt) override;
+
+    void onReadFault(ProcCtx& ctx, PageNum pn) override;
+    void onWriteFault(ProcCtx& ctx, PageNum pn) override;
+
+    void acquire(ProcCtx& ctx, int lock_id) override;
+    void release(ProcCtx& ctx, int lock_id) override;
+    void barrier(ProcCtx& ctx, int barrier_id) override;
+    void setFlag(ProcCtx& ctx, int flag_id) override;
+    void waitFlag(ProcCtx& ctx, int flag_id) override;
+
+    void procEnd(ProcCtx& ctx) override;
+
+    void serviceRequest(ProcCtx& server, Message& msg) override;
+
+  private:
+    /** Per-page protocol metadata. */
+    struct PageMeta
+    {
+        /** Write notices received but not yet applied: (writer, id). */
+        std::vector<std::pair<ProcId, std::uint32_t>> pending;
+        std::uint8_t* twin = nullptr;
+        /** Newest diff seq applied, per writer. */
+        std::unordered_map<ProcId, std::uint32_t> lastSeqApplied;
+        /** Intervals covered by applied diffs, per writer. */
+        std::unordered_map<ProcId, std::uint32_t> coveredUpTo;
+        bool everMapped = false;
+    };
+
+    struct PState final : ProtocolProcState
+    {
+        explicit PState(int nprocs, std::size_t pages)
+            : vt(nprocs, 0), log(nprocs), lastBarrierVT(nprocs, 0),
+              pages(pages), curMark(pages, 0)
+        {}
+
+        VTime vt;
+        IntervalLog log;
+        VTime lastBarrierVT;
+        std::vector<PageNum> curWrites;
+        std::vector<PageMeta> pages;
+        std::vector<std::uint8_t> curMark;
+
+        /** Writer-side diff cache: per page, ordered by seq. */
+        std::unordered_map<PageNum, std::vector<DiffPtr>> diffCache;
+        std::uint32_t diffSeq = 0;
+
+        /** Completed tenures (release() calls) per lock. */
+        std::unordered_map<int, std::uint32_t> lockTenuresDone;
+
+        /** A forwarded request waiting for one of our tenures to end. */
+        struct PendingFwd
+        {
+            std::uint32_t obligation; ///< grant after this many releases
+            ProcId requester;
+            VTime vt;
+        };
+        std::unordered_map<int, std::vector<PendingFwd>> pendingGrants;
+    };
+
+    /**
+     * Lock-manager-side state (lives at proc lock%P). The manager
+     * serialises requests into a chain: each request is forwarded to
+     * the previous owner stamped with the *tenure* of that owner it
+     * must wait for, so a forward that reaches a processor which has
+     * already released (and may be re-acquiring) is granted
+     * immediately instead of deadlocking the chain.
+     */
+    struct LockState
+    {
+        ProcId lastOwner = kNoProc;
+        /** Grants issued (tenures started or scheduled), per proc. */
+        std::vector<std::uint32_t> grantsIssued;
+    };
+
+    /** Barrier-manager-side state (lives at proc 0). */
+    struct BarrierState
+    {
+        int arrived = 0;
+        long epoch = 0;
+        std::vector<std::pair<ProcId, VTime>> waiters;
+    };
+
+    /** Flag-manager-side state (lives at proc flag%P). */
+    struct FlagState
+    {
+        bool set = false;
+        std::vector<std::pair<ProcId, VTime>> waiters;
+    };
+
+    PState& st(ProcCtx& ctx);
+
+    ProcId lockManager(int lock_id) const;
+    ProcId flagManager(int flag_id) const;
+
+    /** Close the current interval if it performed any writes. */
+    void closeInterval(ProcCtx& ctx);
+
+    /** Merge received interval records; invalidate noticed pages. */
+    void mergeRecords(ProcCtx& ctx, const std::vector<IntervalRecPtr>& recs);
+    void mergeNotice(ProcCtx& ctx, PageNum pn, ProcId writer,
+                     std::uint32_t id);
+
+    /** Save a dirty page's modifications as a diff; drop the twin. */
+    void flushTwin(ProcCtx& ctx, PageNum pn);
+
+    /** Build the grant for @p requester (records newer than its vt). */
+    GrantInfo buildGrant(ProcCtx& ctx, const VTime& req_vt);
+
+    void grantLock(ProcCtx& owner, int lock_id, ProcId requester,
+                   const VTime& req_vt);
+
+    /**
+     * Manager-side routing of a lock request. Issues a direct grant,
+     * queues locally (manager is the previous owner), or forwards.
+     * @return true if @p requester was granted directly with no
+     *         consistency info (it was the previous owner).
+     */
+    bool routeLockRequest(ProcCtx& mgr, int lock_id, ProcId requester,
+                          const std::shared_ptr<const VTime>& req_vt);
+
+    /** Owner-side handling of a forwarded request. */
+    void handleForward(ProcCtx& owner, int lock_id, ProcId requester,
+                       const VTime& req_vt, std::uint32_t obligation);
+
+    /** The paper's conservative guess for barrier/flag uploads. */
+    ArrivalInfo buildArrival(ProcCtx& ctx);
+
+    void applyDiffs(ProcCtx& ctx, PageNum pn,
+                    std::vector<DiffPtr>& diffs);
+
+    DsmRuntime* rt_ = nullptr;
+    std::vector<LockState> locks_;
+    std::vector<BarrierState> barriers_;
+    std::vector<FlagState> flags_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_TREADMARKS_TREADMARKS_H

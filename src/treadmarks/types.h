@@ -1,0 +1,93 @@
+/**
+ * @file
+ * TreadMarks data types: vector timestamps, interval records and
+ * diffs (paper §2.2).
+ */
+
+#ifndef MCDSM_TREADMARKS_TYPES_H
+#define MCDSM_TREADMARKS_TYPES_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/**
+ * A vector timestamp: entry i is the number of intervals of processor
+ * i in the owner's logical past (i.e. the next expected interval id).
+ */
+using VTime = std::vector<std::uint32_t>;
+
+/** Elementwise max, in place. */
+void vtMax(VTime& a, const VTime& b);
+
+/** True if a <= b pointwise (a is in b's past or equal). */
+bool vtLeq(const VTime& a, const VTime& b);
+
+/** Sum of components (monotone under causality; used for ordering). */
+std::uint64_t vtSum(const VTime& v);
+
+/**
+ * One closed interval of one processor, with the pages it wrote
+ * (its write notices).
+ */
+struct IntervalRec
+{
+    ProcId proc = kNoProc;
+    std::uint32_t id = 0; ///< interval index on `proc`
+    VTime vt;             ///< timestamp when the interval was closed
+    std::vector<PageNum> pages;
+
+    /** Modelled wire size of this record. */
+    std::size_t
+    wireBytes() const
+    {
+        return 16 + 4 * vt.size() + 4 * pages.size();
+    }
+};
+
+using IntervalRecPtr = std::shared_ptr<const IntervalRec>;
+
+/**
+ * A diff: the run-length-encoded difference between a page and its
+ * twin. Diffs are created lazily by the writer when first requested
+ * (or when the writer must invalidate its own dirty copy), cover
+ * every write up to their creation, and are cached for later
+ * requesters.
+ */
+struct Diff
+{
+    ProcId writer = kNoProc;
+    PageNum page = 0;
+    std::uint32_t seq = 0;         ///< per-writer creation counter
+    std::uint32_t coversUpTo = 0;  ///< all intervals <= this are covered
+    std::uint64_t orderKey = 0;    ///< vtSum at creation (causal order)
+
+    struct Run
+    {
+        std::uint16_t offset;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::vector<Run> runs;
+
+    /** Total modified bytes. */
+    std::size_t dataBytes() const;
+    /** Modelled wire size. */
+    std::size_t wireBytes() const { return 16 + dataBytes() + 8 * runs.size(); }
+};
+
+using DiffPtr = std::shared_ptr<const Diff>;
+
+/** Compute the diff between @p page and @p twin (both kPageSize). */
+std::vector<Diff::Run> computeRuns(const std::uint8_t* page,
+                                   const std::uint8_t* twin);
+
+/** Apply a diff's runs to @p page. */
+void applyRuns(std::uint8_t* page, const std::vector<Diff::Run>& runs);
+
+} // namespace mcdsm
+
+#endif // MCDSM_TREADMARKS_TYPES_H

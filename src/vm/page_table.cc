@@ -1,0 +1,26 @@
+#include "vm/page_table.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+PageTable::PageTable(std::size_t pages)
+    : prot_(pages, ProtNone)
+{
+}
+
+void
+PageTable::setProtection(PageNum pn, PageProt p)
+{
+    mcdsm_assert(pn < prot_.size(), "page number out of range");
+    const bool was_mapped = prot_[pn] != ProtNone;
+    const bool now_mapped = p != ProtNone;
+    if (was_mapped && !now_mapped)
+        --mapped_;
+    else if (!was_mapped && now_mapped)
+        ++mapped_;
+    prot_[pn] = static_cast<std::uint8_t>(p);
+    ++protect_ops_;
+}
+
+} // namespace mcdsm

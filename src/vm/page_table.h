@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulated per-processor virtual-memory page table.
+ *
+ * Both protocols in the paper are "VM-based": they keep coherence by
+ * manipulating page protections and catching the resulting faults.
+ * This class models exactly that interface: a protection word per
+ * shared page, with the DSM runtime dispatching read/write faults into
+ * the active protocol and charging the paper's mprotect / fault costs.
+ */
+
+#ifndef MCDSM_VM_PAGE_TABLE_H
+#define MCDSM_VM_PAGE_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/** Page protection bits. */
+enum PageProt : std::uint8_t {
+    ProtNone = 0,
+    ProtRead = 1,
+    ProtWrite = 2,
+    ProtRw = ProtRead | ProtWrite,
+};
+
+class PageTable
+{
+  public:
+    /** @param pages number of pages in the shared segment. */
+    explicit PageTable(std::size_t pages);
+
+    std::size_t pageCount() const { return prot_.size(); }
+
+    bool
+    canRead(PageNum pn) const
+    {
+        return (prot_[pn] & ProtRead) != 0;
+    }
+
+    bool
+    canWrite(PageNum pn) const
+    {
+        return (prot_[pn] & ProtWrite) != 0;
+    }
+
+    PageProt
+    protection(PageNum pn) const
+    {
+        return static_cast<PageProt>(prot_[pn]);
+    }
+
+    /**
+     * Change a page's protection. Purely functional — the caller (the
+     * protocol) charges the mprotect cost.
+     */
+    void setProtection(PageNum pn, PageProt p);
+
+    /** Number of setProtection calls (one VM operation each). */
+    std::uint64_t protectOps() const { return protect_ops_; }
+
+    /** Pages currently mapped with at least read permission. */
+    std::size_t mappedPages() const { return mapped_; }
+
+  private:
+    std::vector<std::uint8_t> prot_;
+    std::uint64_t protect_ops_ = 0;
+    std::size_t mapped_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_VM_PAGE_TABLE_H

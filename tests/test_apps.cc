@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Application integration tests: every application, on every protocol
+ * variant, at several processor counts, must produce the sequential
+ * reference result. This is the end-to-end coherence check — a
+ * protocol bug shows up as a wrong checksum, not just wrong timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "harness/runner.h"
+#include "sim/rng.h"
+
+namespace mcdsm {
+namespace {
+
+struct Case
+{
+    const char* app;
+    ProtocolKind protocol;
+    int nprocs;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case>& info)
+{
+    return std::string(info.param.app) + "_" +
+           protocolName(info.param.protocol) + "_" +
+           std::to_string(info.param.nprocs) + "p";
+}
+
+/** Relative tolerance: FP reduction order differs across P. */
+double
+tolFor(const std::string& app)
+{
+    if (app == "tsp")
+        return 0.0; // integer optimum, exact
+    if (app == "water" || app == "barnes")
+        return 1e-4; // force-merge order varies with lock schedule
+    return 1e-9;
+}
+
+// Sequential checksums are computed once per app (they do not depend
+// on protocol or processor count).
+std::map<std::string, double>&
+seqChecksums()
+{
+    static std::map<std::string, double> memo;
+    return memo;
+}
+
+double
+seqChecksum(const std::string& app)
+{
+    auto& memo = seqChecksums();
+    auto it = memo.find(app);
+    if (it != memo.end())
+        return it->second;
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    double v = runSequential(app, opts).appResult.checksum;
+    memo[app] = v;
+    return v;
+}
+
+class AppMatrix : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(AppMatrix, MatchesSequentialResult)
+{
+    const Case& c = GetParam();
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult r = runExperiment(c.app, c.protocol, c.nprocs, opts);
+
+    const double want = seqChecksum(c.app);
+    const double got = r.appResult.checksum;
+    const double tol = tolFor(c.app);
+    if (tol == 0.0) {
+        EXPECT_EQ(got, want);
+    } else {
+        EXPECT_NEAR(got, want,
+                    std::max(1e-12, std::abs(want)) * tol)
+            << "checksum mismatch for " << c.app;
+    }
+    EXPECT_GT(r.elapsed, 0);
+}
+
+std::vector<Case>
+buildMatrix()
+{
+    std::vector<Case> cases;
+    const ProtocolKind kinds[] = {
+        ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+        ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+        ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+    };
+    for (const char* app : kAppNames) {
+        for (ProtocolKind k : kinds) {
+            for (int np : {2, 4, 8}) {
+                if (configSupported(k, np))
+                    cases.push_back({app, k, np});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppMatrix,
+                         ::testing::ValuesIn(buildMatrix()), caseName);
+
+// ---------------------------------------------------------------------------
+// Algorithm-level sanity checks (independent golden values).
+// ---------------------------------------------------------------------------
+
+TEST(AppAlgorithms, GaussSolvesTheSystem)
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult r = runSequential("gauss", opts);
+    // aux carries the max deviation from the known solution x_j =
+    // 1 + 0.001 j.
+    EXPECT_LT(r.appResult.aux, 1e-8);
+}
+
+TEST(AppAlgorithms, GaussParallelSolvesTheSystem)
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult r =
+        runExperiment("gauss", ProtocolKind::TmkMcPoll, 4, opts);
+    EXPECT_LT(r.appResult.aux, 1e-8);
+}
+
+TEST(AppAlgorithms, TspFindsTheBruteForceOptimum)
+{
+    // Independently recompute the optimum by brute force on the same
+    // instance (9 cities => 8! permutations).
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult r = runSequential("tsp", opts);
+
+    // Rebuild the distance matrix exactly as TspApp::configure does.
+    const int n = 9;
+    Rng rng(opts.seed);
+    std::vector<int> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+        x[i] = static_cast<int>(rng.nextBounded(1000));
+        y[i] = static_cast<int>(rng.nextBounded(1000));
+    }
+    auto dist = [&](int i, int j) {
+        const double dx = x[i] - x[j];
+        const double dy = y[i] - y[j];
+        return static_cast<int>(std::sqrt(dx * dx + dy * dy));
+    };
+    std::vector<int> perm;
+    for (int i = 1; i < n; ++i)
+        perm.push_back(i);
+    int best = 1 << 28;
+    do {
+        int cost = dist(0, perm[0]);
+        for (int i = 0; i + 1 < n - 1; ++i)
+            cost += dist(perm[i], perm[i + 1]);
+        cost += dist(perm[n - 2], 0);
+        best = std::min(best, cost);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    EXPECT_EQ(static_cast<int>(r.appResult.checksum), best);
+}
+
+TEST(AppAlgorithms, SorConvergesTowardBoundary)
+{
+    // With a hot top edge and enough iterations the interior warms
+    // up: checksum must exceed the initial interior sum (zero).
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult r = runSequential("sor", opts);
+    EXPECT_GT(r.appResult.checksum, 0.0);
+}
+
+TEST(AppAlgorithms, SequentialRunsAreDeterministic)
+{
+    for (const char* app : kAppNames) {
+        RunOpts opts;
+        opts.scale = AppScale::Tiny;
+        ExpResult a = runSequential(app, opts);
+        ExpResult b = runSequential(app, opts);
+        EXPECT_EQ(a.appResult.checksum, b.appResult.checksum) << app;
+        EXPECT_EQ(a.elapsed, b.elapsed) << app;
+    }
+}
+
+TEST(AppAlgorithms, ParallelRunsAreDeterministic)
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult a = runExperiment("sor", ProtocolKind::CsmPoll, 4, opts);
+    ExpResult b = runExperiment("sor", ProtocolKind::CsmPoll, 4, opts);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.stats.messages, b.stats.messages);
+}
+
+} // namespace
+} // namespace mcdsm

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * End-to-end DSM runtime tests: shared reads/writes, locks, barriers
+ * and flags across all protocol variants at small scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/proc.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+
+namespace mcdsm {
+namespace {
+
+DsmConfig
+makeCfg(ProtocolKind k, int nprocs)
+{
+    DsmConfig cfg;
+    cfg.protocol = k;
+    if (k == ProtocolKind::None) {
+        cfg.topo = Topology(1, 1);
+    } else if (nprocs <= 4 && k == ProtocolKind::CsmPp) {
+        // pp needs a spare CPU per node: spread 1 proc/node.
+        cfg.topo = Topology(nprocs, nprocs);
+    } else {
+        cfg.topo = Topology::standard(nprocs);
+    }
+    cfg.maxSharedBytes = 4 << 20;
+    return cfg;
+}
+
+const ProtocolKind kAllProtocols[] = {
+    ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+    ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+    ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+};
+
+class AllProtocols : public ::testing::TestWithParam<ProtocolKind>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AllProtocols, ::testing::ValuesIn(kAllProtocols),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+        return protocolName(info.param);
+    });
+
+TEST(DsmBasic, SequentialBaselineReadsHostData)
+{
+    auto sys = DsmSystem::create(makeCfg(ProtocolKind::None, 1));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 100);
+    for (int i = 0; i < 100; ++i)
+        arr.init(*sys, i, i * 3);
+
+    std::int64_t sum = 0;
+    sys->run([&](Proc& p) {
+        for (int i = 0; i < 100; ++i)
+            sum += arr.get(p, i);
+        arr.set(p, 0, 777);
+    });
+    EXPECT_EQ(sum, 99 * 100 / 2 * 3);
+    EXPECT_EQ(arr.host(*sys, 0), 777);
+    // The sequential baseline charges no protocol cost.
+    EXPECT_EQ(sys->stats().procs[0].timeIn[(int)TimeCat::Protocol], 0);
+    EXPECT_EQ(sys->stats().messages, 0u);
+}
+
+TEST_P(AllProtocols, SingleWriterReadBack)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 2));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 1024);
+    std::int64_t seen = -1;
+
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            for (int i = 0; i < 1024; ++i)
+                arr.set(p, i, 1000 + i);
+        }
+        p.barrier(0);
+        if (p.id() == 1)
+            seen = arr.get(p, 512);
+        p.barrier(0);
+    });
+    EXPECT_EQ(seen, 1512);
+}
+
+TEST_P(AllProtocols, InitImageVisibleToAll)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    auto arr = SharedArray<std::int32_t>::allocate(*sys, 4096);
+    for (int i = 0; i < 4096; ++i)
+        arr.init(*sys, i, i ^ 0x5a5a);
+
+    std::vector<std::int64_t> sums(4, 0);
+    sys->run([&](Proc& p) {
+        std::int64_t s = 0;
+        for (int i = p.id(); i < 4096; i += p.nprocs())
+            s += arr.get(p, i);
+        sums[p.id()] = s;
+    });
+    std::int64_t expect = 0;
+    for (int i = 0; i < 4096; ++i)
+        expect += i ^ 0x5a5a;
+    EXPECT_EQ(sums[0] + sums[1] + sums[2] + sums[3], expect);
+}
+
+TEST_P(AllProtocols, LockProtectedCounter)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    GAddr counter = sys->alloc(sizeof(std::int64_t));
+    sys->hostStore<std::int64_t>(counter, 0);
+    constexpr int kIters = 25;
+
+    sys->run([&](Proc& p) {
+        for (int i = 0; i < kIters; ++i) {
+            p.pollPoint();
+            p.acquire(3);
+            auto v = p.read<std::int64_t>(counter);
+            p.write<std::int64_t>(counter, v + 1);
+            p.release(3);
+        }
+    });
+
+    // Read back through a fresh run-less check: have proc 0 verify.
+    auto sys2 = DsmSystem::create(makeCfg(GetParam(), 4));
+    (void)sys2;
+    // Verify inside the same run instead: rerun with a final barrier.
+    auto sys3 = DsmSystem::create(makeCfg(GetParam(), 4));
+    GAddr c3 = sys3->alloc(sizeof(std::int64_t));
+    sys3->hostStore<std::int64_t>(c3, 0);
+    std::int64_t final_val = -1;
+    sys3->run([&](Proc& p) {
+        for (int i = 0; i < kIters; ++i) {
+            p.pollPoint();
+            p.acquire(3);
+            auto v = p.read<std::int64_t>(c3);
+            p.write<std::int64_t>(c3, v + 1);
+            p.release(3);
+        }
+        p.barrier(0);
+        if (p.id() == 0)
+            final_val = p.read<std::int64_t>(c3);
+    });
+    EXPECT_EQ(final_val, 4 * kIters);
+}
+
+TEST_P(AllProtocols, BarrierOrdersPhases)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 4);
+    bool ok = true;
+
+    sys->run([&](Proc& p) {
+        // Phase 1: each proc writes its slot (pages are shared —
+        // false sharing on one page, multi-writer).
+        arr.set(p, p.id(), p.id() + 1);
+        p.barrier(0);
+        // Phase 2: everyone checks everyone.
+        std::int64_t sum = 0;
+        for (int i = 0; i < 4; ++i)
+            sum += arr.get(p, i);
+        if (sum != 1 + 2 + 3 + 4)
+            ok = false;
+        p.barrier(1);
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST_P(AllProtocols, RepeatedBarrierEpochs)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 8);
+    bool ok = true;
+
+    sys->run([&](Proc& p) {
+        for (int round = 0; round < 10; ++round) {
+            p.pollPoint();
+            if (p.id() == round % 4)
+                arr.set(p, round % 8, round);
+            p.barrier(0);
+            if (arr.get(p, round % 8) != round)
+                ok = false;
+            p.barrier(0);
+        }
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST_P(AllProtocols, FlagsProvideReleaseAcquire)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 64);
+    std::vector<std::int64_t> got(4, -1);
+
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            for (int i = 0; i < 64; ++i)
+                arr.set(p, i, 4242 + i);
+            p.setFlag(5);
+        } else {
+            p.waitFlag(5);
+            got[p.id()] = arr.get(p, 63);
+        }
+        p.barrier(0);
+    });
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(got[i], 4242 + 63) << "proc " << i;
+}
+
+TEST_P(AllProtocols, ProducerConsumerChain)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 4096);
+    std::int64_t last = -1;
+
+    sys->run([&](Proc& p) {
+        const int id = p.id();
+        const int n = p.nprocs();
+        if (id > 0)
+            p.waitFlag(id - 1);
+        // Each proc increments a window written by its predecessor.
+        for (int i = 0; i < 512; ++i) {
+            p.pollPoint();
+            auto v = arr.get(p, i);
+            arr.set(p, i, v + id + 1);
+        }
+        p.setFlag(id);
+        p.barrier(0);
+        if (id == n - 1)
+            last = arr.get(p, 100);
+    });
+    EXPECT_EQ(last, 1 + 2 + 3 + 4);
+}
+
+TEST_P(AllProtocols, MultiWriterFalseSharing)
+{
+    // All four processors write disjoint quarters of the same pages
+    // concurrently — the multi-writer case both protocols must merge.
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 4));
+    const int n = 4096;
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, n);
+    bool ok = true;
+
+    sys->run([&](Proc& p) {
+        const int id = p.id();
+        for (int i = id; i < n; i += 4) {
+            p.pollPoint();
+            arr.set(p, i, id * 100000 + i);
+        }
+        p.barrier(0);
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t want = (i % 4) * 100000 + i;
+            if (arr.get(p, i) != want)
+                ok = false;
+        }
+        p.barrier(1);
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST_P(AllProtocols, StatsArePopulated)
+{
+    auto sys = DsmSystem::create(makeCfg(GetParam(), 2));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 2048);
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            for (int i = 0; i < 2048; ++i)
+                arr.set(p, i, i);
+        }
+        p.barrier(0);
+        std::int64_t s = 0;
+        for (int i = 0; i < 2048; ++i)
+            s += arr.get(p, i);
+        p.barrier(1);
+        p.computeOps(100);
+    });
+    const RunStats& st = sys->stats();
+    ASSERT_EQ(st.procs.size(), 2u);
+    EXPECT_GT(st.elapsed, 0);
+    EXPECT_GT(st.procs[0].writeFaults, 0u);
+    EXPECT_GT(st.procs[1].readFaults, 0u);
+    EXPECT_EQ(st.procs[0].barriers, 2u);
+    EXPECT_GT(st.procs[0].timeIn[(int)TimeCat::User], 0);
+    EXPECT_GT(st.procs[1].timeIn[(int)TimeCat::CommWait], 0);
+    if (isCashmere(GetParam())) {
+        EXPECT_GT(st.procs[1].pageTransfers, 0u);
+        EXPECT_GT(st.procs[0].timeIn[(int)TimeCat::Doubling], 0);
+        EXPECT_GT(st.mcStreamBytes, 0u);
+    } else {
+        EXPECT_GT(st.procs[0].twins, 0u);
+        EXPECT_GT(st.procs[0].diffsCreated, 0u);
+        EXPECT_GT(st.procs[1].diffsApplied, 0u);
+    }
+    EXPECT_GT(st.messages, 0u);
+}
+
+TEST(DsmBasic, ElapsedGrowsWithWork)
+{
+    auto run = [](int iters) {
+        auto sys = DsmSystem::create(makeCfg(ProtocolKind::CsmPoll, 2));
+        auto arr = SharedArray<std::int64_t>::allocate(*sys, 16);
+        sys->run([&](Proc& p) {
+            for (int i = 0; i < iters; ++i) {
+                p.pollPoint();
+                p.computeOps(100);
+                arr.set(p, p.id(), i);
+            }
+            p.barrier(0);
+        });
+        return sys->stats().elapsed;
+    };
+    EXPECT_GT(run(1000), run(10));
+}
+
+} // namespace
+} // namespace mcdsm

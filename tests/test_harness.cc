@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the experiment harness (runner, topology ladder, table
+ * formatting) and the cost-model helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/costs.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace mcdsm {
+namespace {
+
+TEST(Topology, StandardLadderMatchesPaper)
+{
+    // 1; 2 on separate nodes; 4 = 1x4; 8 = 2x4; 12 = 3x4; 16 = 2x8;
+    // 24 = 3x8; 32 = 4x8.
+    struct Want
+    {
+        int procs, nodes, per;
+    };
+    const Want wants[] = {{1, 1, 1},  {2, 2, 1},  {4, 4, 1},
+                          {8, 4, 2},  {12, 4, 3}, {16, 8, 2},
+                          {24, 8, 3}, {32, 8, 4}};
+    for (const auto& w : wants) {
+        Topology t = Topology::standard(w.procs);
+        EXPECT_EQ(t.nodes, w.nodes) << w.procs;
+        EXPECT_EQ(t.procsPerNode, w.per) << w.procs;
+        EXPECT_EQ(t.nodeOf(w.procs - 1), w.nodes - 1);
+    }
+}
+
+TEST(Topology, NodeMapping)
+{
+    Topology t(16, 8);
+    EXPECT_EQ(t.nodeOf(0), 0);
+    EXPECT_EQ(t.nodeOf(1), 0);
+    EXPECT_EQ(t.nodeOf(2), 1);
+    EXPECT_EQ(t.firstProcOf(3), 6);
+    EXPECT_TRUE(t.sameNode(4, 5));
+    EXPECT_FALSE(t.sameNode(3, 4));
+}
+
+TEST(Runner, ConfigSupportMatrix)
+{
+    EXPECT_TRUE(configSupported(ProtocolKind::CsmPoll, 32));
+    EXPECT_FALSE(configSupported(ProtocolKind::CsmPp, 32));
+    EXPECT_TRUE(configSupported(ProtocolKind::CsmPp, 24));
+    EXPECT_FALSE(configSupported(ProtocolKind::TmkMcPoll, 3));
+    EXPECT_TRUE(configSupported(ProtocolKind::TmkMcPoll, 12));
+}
+
+TEST(Runner, ProtocolNamesRoundTrip)
+{
+    const ProtocolKind kinds[] = {
+        ProtocolKind::None,      ProtocolKind::CsmPp,
+        ProtocolKind::CsmInt,    ProtocolKind::CsmPoll,
+        ProtocolKind::TmkUdpInt, ProtocolKind::TmkMcInt,
+        ProtocolKind::TmkMcPoll,
+    };
+    for (ProtocolKind k : kinds)
+        EXPECT_EQ(protocolFromName(protocolName(k)), k);
+}
+
+TEST(Runner, SequentialAndParallelProduceStats)
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    ExpResult seq = runSequential("sor", opts);
+    EXPECT_GT(seq.elapsed, 0);
+    EXPECT_EQ(seq.nprocs, 1);
+
+    ExpResult par =
+        runExperiment("sor", ProtocolKind::CsmPoll, 4, opts);
+    EXPECT_EQ(par.nprocs, 4);
+    EXPECT_EQ(par.stats.procs.size(), 4u);
+    EXPECT_GT(par.stats.messages, 0u);
+}
+
+TEST(Runner, SegmentSizedToApplication)
+{
+    // Large should not fatal on segment exhaustion for any app.
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    for (const char* app : kAppNames) {
+        ExpResult r = runExperiment(app, ProtocolKind::TmkMcPoll, 2,
+                                    opts);
+        EXPECT_GT(r.elapsed, 0) << app;
+    }
+}
+
+TEST(TextTable, FormatsAlignedColumns)
+{
+    TextTable t({"a", "long_header", "c"});
+    t.addRow({"x", "1", "2.50"});
+    t.addRow({"yyyy", "22", "3.00"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("long_header"), std::string::npos);
+    EXPECT_NE(s.find("yyyy"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumberHelpers)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::count(123456), "123456");
+}
+
+TEST(CostModel, DiffCostsScaleWithSize)
+{
+    CostModel c;
+    EXPECT_EQ(c.diffCreate(0), c.diffCreateMin);
+    EXPECT_EQ(c.diffCreate(kPageSize), c.diffCreateMax);
+    EXPECT_GT(c.diffCreate(kPageSize / 2), c.diffCreateMin);
+    EXPECT_LT(c.diffCreate(kPageSize / 2), c.diffCreateMax);
+    EXPECT_GT(c.diffApply(1000), c.diffApply(10));
+}
+
+} // namespace
+} // namespace mcdsm

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the Memory Channel model and the mailbox layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/costs.h"
+#include "net/mailbox.h"
+#include "net/memory_channel.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+
+namespace mcdsm {
+namespace {
+
+class McTest : public ::testing::Test
+{
+  protected:
+    CostModel costs;
+};
+
+TEST_F(McTest, SmallTransferArrivesAfterLatency)
+{
+    MemoryChannel mc(costs, 4);
+    Time arr = mc.transfer(0, 1, 8, 0);
+    // 8 bytes at 30 MB/s is ~267 ns of link time plus 5.2 us latency.
+    EXPECT_GT(arr, costs.mcLatency);
+    EXPECT_LT(arr, costs.mcLatency + 2 * kMicrosecond);
+}
+
+TEST_F(McTest, BandwidthLimitsLargeTransfer)
+{
+    MemoryChannel mc(costs, 4);
+    Time arr = mc.transfer(0, 1, 8192, 0);
+    // 8 KB at 30 MB/s takes ~273 us.
+    Time link_time = static_cast<Time>(8192 / costs.mcLinkBw);
+    EXPECT_GE(arr, link_time);
+    EXPECT_LE(arr, link_time + 20 * kMicrosecond);
+}
+
+TEST_F(McTest, BackToBackTransfersSerializeOnLink)
+{
+    MemoryChannel mc(costs, 4);
+    Time a1 = mc.transfer(0, 1, 8192, 0);
+    Time a2 = mc.transfer(0, 1, 8192, 0);
+    EXPECT_GT(a2, a1);
+    // Second transfer waits for the first to clear the link.
+    EXPECT_GE(a2 - a1, static_cast<Time>(8192 / costs.mcAggBw) - kMicrosecond);
+}
+
+TEST_F(McTest, HubContentionCouplesDistinctPairs)
+{
+    MemoryChannel mc(costs, 4);
+    // Transfers on disjoint node pairs still share the hub.
+    Time a1 = mc.transfer(0, 1, 65536, 0);
+    Time a2 = mc.transfer(2, 3, 65536, 0);
+    EXPECT_GT(a2, a1 - kMicrosecond);
+}
+
+TEST_F(McTest, DeliveryTimesMonotonePerDestination)
+{
+    MemoryChannel mc(costs, 4);
+    Time prev = 0;
+    for (int i = 0; i < 10; ++i) {
+        Time a = mc.transfer(i % 3, 3, 100 + i * 10, i * 100);
+        EXPECT_GE(a, prev); // write ordering at the receiver
+        prev = a;
+    }
+}
+
+TEST_F(McTest, BroadcastReachesAllAndCountsBytes)
+{
+    MemoryChannel mc(costs, 8);
+    std::uint64_t before = mc.totalBytes();
+    mc.broadcast(2, 32, 0);
+    EXPECT_EQ(mc.totalBytes() - before, 32u * 7);
+}
+
+TEST_F(McTest, StreamBytesTrackedSeparately)
+{
+    MemoryChannel mc(costs, 4);
+    mc.transfer(0, 1, 100, 0);
+    mc.streamWrite(0, 1, 8, 0);
+    mc.streamWrite(0, 2, 8, 0);
+    EXPECT_EQ(mc.streamBytes(), 16u);
+    EXPECT_EQ(mc.totalBytes(), 116u);
+}
+
+TEST_F(McTest, LoopbackCrossesPciTwice)
+{
+    MemoryChannel mc(costs, 4);
+    Time remote = mc.transfer(0, 1, 8192, 0);
+    MemoryChannel mc2(costs, 4);
+    Time loop = mc2.transfer(0, 0, 8192, 0);
+    EXPECT_GT(loop, remote);
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------------
+
+class MailboxTest : public ::testing::Test
+{
+  protected:
+    MailboxTest()
+        : topo(4, 2), mc(costs, topo.nodes), mail(sched, mc, costs, topo)
+    {}
+
+    CostModel costs;
+    Topology topo;
+    Scheduler sched;
+    MemoryChannel mc;
+    MailboxSystem mail;
+};
+
+TEST_F(MailboxTest, EndpointNodes)
+{
+    EXPECT_EQ(mail.endpointCount(), 6);
+    EXPECT_EQ(mail.nodeOfEndpoint(0), 0);
+    EXPECT_EQ(mail.nodeOfEndpoint(1), 0);
+    EXPECT_EQ(mail.nodeOfEndpoint(2), 1);
+    EXPECT_EQ(mail.nodeOfEndpoint(3), 1);
+    EXPECT_EQ(mail.nodeOfEndpoint(mail.ppEndpoint(0)), 0);
+    EXPECT_EQ(mail.nodeOfEndpoint(mail.ppEndpoint(1)), 1);
+}
+
+TEST_F(MailboxTest, CrossNodeSendArrivesAfterMcLatency)
+{
+    Time arrival = -1;
+    sched.spawn("s", [&](TaskId) {
+        Message m;
+        m.type = 1;
+        m.bytes = 64;
+        arrival = mail.send(0, 2, std::move(m), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_GT(arrival, costs.mcLatency);
+    // Receiver sees nothing before the arrival time.
+    EXPECT_FALSE(mail.tryReceive(2, arrival - 1).has_value());
+    auto got = mail.tryReceive(2, arrival);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, 1);
+    EXPECT_EQ(got->src, 0);
+    EXPECT_FALSE(got->sameNode);
+}
+
+TEST_F(MailboxTest, SameNodeBypassesMemoryChannel)
+{
+    Time arrival = -1;
+    sched.spawn("s", [&](TaskId) {
+        Message m;
+        m.type = 7;
+        arrival = mail.send(0, 1, std::move(m), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(mc.totalBytes(), 0u);
+    EXPECT_EQ(arrival, costs.mcPerMessage + costs.smpMessageLatency);
+    auto got = mail.tryReceive(1, arrival);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->sameNode);
+}
+
+TEST_F(MailboxTest, UdpChargesMoreSenderCpu)
+{
+    Time t_mc = 0, t_udp = 0;
+    sched.spawn("s", [&](TaskId) {
+        Message m1;
+        m1.bytes = 64;
+        mail.send(0, 2, std::move(m1), Transport::McBuffer);
+        t_mc = sched.now();
+        Message m2;
+        m2.bytes = 64;
+        mail.send(0, 2, std::move(m2), Transport::Udp);
+        t_udp = sched.now() - t_mc;
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(t_mc, costs.mcPerMessage);
+    EXPECT_EQ(t_udp, costs.udpPerMessage);
+}
+
+TEST_F(MailboxTest, DeliveryOrderIsArrivalOrder)
+{
+    sched.spawn("s", [&](TaskId) {
+        for (int i = 0; i < 5; ++i) {
+            Message m;
+            m.type = 10 + i;
+            m.bytes = 8;
+            mail.send(0, 2, std::move(m), Transport::McBuffer);
+        }
+    });
+    EXPECT_TRUE(sched.run());
+    int expect = 10;
+    while (auto m = mail.tryReceive(2, 1 * kSecond))
+        EXPECT_EQ(m->type, expect++);
+    EXPECT_EQ(expect, 15);
+}
+
+TEST_F(MailboxTest, TryReceiveIfSkipsNonMatching)
+{
+    sched.spawn("s", [&](TaskId) {
+        Message a;
+        a.type = 1;
+        mail.send(0, 2, std::move(a), Transport::McBuffer);
+        Message b;
+        b.type = 2;
+        mail.send(0, 2, std::move(b), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    auto got = mail.tryReceiveIf(2, 1 * kSecond, [](const Message& m) {
+        return m.type == 2;
+    });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, 2);
+    // Type 1 is still queued, in order.
+    auto first = mail.tryReceive(2, 1 * kSecond);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, 1);
+}
+
+TEST_F(MailboxTest, SendWakesBoundTask)
+{
+    Time woke = -1;
+    TaskId receiver = sched.spawn("r", [&](TaskId) {
+        sched.block();
+        woke = sched.now();
+    });
+    mail.bindTask(2, receiver);
+    sched.spawn("s", [&](TaskId) {
+        Message m;
+        m.bytes = 16;
+        mail.send(0, 2, std::move(m), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_GT(woke, costs.mcLatency);
+    EXPECT_EQ(woke, mail.earliestArrival(2));
+}
+
+TEST_F(MailboxTest, StatsPerSender)
+{
+    sched.spawn("s", [&](TaskId) {
+        Message m;
+        m.bytes = 100;
+        mail.send(0, 2, std::move(m), Transport::McBuffer);
+        Message n;
+        n.bytes = 50;
+        mail.send(0, 3, std::move(n), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(mail.messagesSentBy(0), 2u);
+    EXPECT_EQ(mail.bytesSentBy(0), 150u);
+    EXPECT_EQ(mail.totalMessages(), 2u);
+}
+
+TEST_F(MailboxTest, MinActionableEarlyExit)
+{
+    sched.spawn("s", [&](TaskId) {
+        Message a;
+        a.type = 1;
+        a.bytes = 8;
+        mail.send(0, 2, std::move(a), Transport::McBuffer);
+        Message b;
+        b.type = 2;
+        b.bytes = 8;
+        mail.send(0, 2, std::move(b), Transport::McBuffer);
+    });
+    EXPECT_TRUE(sched.run());
+    // Requests delayed by 1 ms, replies at arrival.
+    Time t = mail.minActionable(2, [](const Message& m) {
+        return m.type == 1 ? m.arrival + kMillisecond : m.arrival;
+    });
+    Time earliest = mail.earliestArrival(2);
+    EXPECT_GT(t, earliest);
+    EXPECT_LE(t, earliest + 2 * kMillisecond);
+}
+
+} // namespace
+} // namespace mcdsm

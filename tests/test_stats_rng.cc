@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the small utility modules: StatSet, the deterministic
+ * RNG, and the RunStats aggregation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/stats.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace mcdsm {
+namespace {
+
+TEST(StatSet, AddSetGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+    s.add("x", 2.5);
+    s.add("x", 1.5);
+    EXPECT_EQ(s.get("x"), 4.0);
+    s.set("x", 1.0);
+    EXPECT_EQ(s.get("x"), 1.0);
+    EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("x", 10);
+    b.add("z", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 11);
+    EXPECT_EQ(a.get("y"), 2);
+    EXPECT_EQ(a.get("z"), 3);
+}
+
+TEST(StatSet, ToStringListsAll)
+{
+    StatSet s;
+    s.set("alpha", 1);
+    s.set("beta", 2);
+    const std::string out = s.toString();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u); // all residues hit
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    double lo = 1, hi = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_LT(lo, 0.1);
+    EXPECT_GT(hi, 0.9);
+
+    for (int i = 0; i < 100; ++i) {
+        const double d = rng.nextDouble(-2.0, 3.0);
+        EXPECT_GE(d, -2.0);
+        EXPECT_LT(d, 3.0);
+    }
+}
+
+TEST(RunStats, TotalsAcrossProcs)
+{
+    RunStats rs;
+    rs.procs.resize(3);
+    rs.procs[0].readFaults = 5;
+    rs.procs[1].readFaults = 7;
+    rs.procs[2].readFaults = 1;
+    rs.procs[0].timeIn[static_cast<int>(TimeCat::User)] = 100;
+    rs.procs[2].timeIn[static_cast<int>(TimeCat::User)] = 50;
+
+    EXPECT_EQ(rs.total([](const ProcStats& p) { return p.readFaults; }),
+              13u);
+    EXPECT_EQ(rs.totalTime(TimeCat::User), 150);
+    EXPECT_EQ(rs.totalTime(TimeCat::Poll), 0);
+}
+
+TEST(TimeCatNames, AllNamed)
+{
+    for (int c = 0; c < kTimeCatCount; ++c) {
+        const char* n = timeCatName(static_cast<TimeCat>(c));
+        EXPECT_NE(std::string(n), "?");
+    }
+}
+
+} // namespace
+} // namespace mcdsm

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the protocol event-trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsm/proc.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+#include "dsm/trace.h"
+
+namespace mcdsm {
+namespace {
+
+TEST(TraceRing, DisabledRecordsNothing)
+{
+    TraceRing ring;
+    EXPECT_FALSE(ring.enabled());
+    ring.record(1, 0, TraceKind::ReadFault, 7);
+    EXPECT_TRUE(ring.events().empty());
+    EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRing, KeepsChronologicalOrder)
+{
+    TraceRing ring(8);
+    for (Time t = 0; t < 5; ++t)
+        ring.record(t * 10, 0, TraceKind::LockAcquire, t);
+    auto evs = ring.events();
+    ASSERT_EQ(evs.size(), 5u);
+    for (std::size_t i = 1; i < evs.size(); ++i)
+        EXPECT_GT(evs[i].time, evs[i - 1].time);
+    EXPECT_FALSE(ring.dropped());
+}
+
+TEST(TraceRing, WrapsAndReportsDrop)
+{
+    TraceRing ring(4);
+    for (Time t = 0; t < 10; ++t)
+        ring.record(t, 0, TraceKind::BarrierEnter, 0);
+    EXPECT_TRUE(ring.dropped());
+    EXPECT_EQ(ring.recorded(), 10u);
+    auto evs = ring.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs.front().time, 6);
+    EXPECT_EQ(evs.back().time, 9);
+}
+
+TEST(TraceRing, FilterByKind)
+{
+    TraceRing ring(16);
+    ring.record(1, 0, TraceKind::ReadFault, 5);
+    ring.record(2, 1, TraceKind::WriteFault, 5);
+    ring.record(3, 0, TraceKind::ReadFault, 6);
+    auto reads = ring.eventsOfKind(TraceKind::ReadFault);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[0].arg, 5u);
+    EXPECT_EQ(reads[1].arg, 6u);
+}
+
+TEST(TraceRing, DumpIsHumanReadable)
+{
+    TraceRing ring(4);
+    ring.record(1234, 2, TraceKind::MessageSend, 15, 3);
+    const std::string s = ring.dump();
+    EXPECT_NE(s.find("message_send"), std::string::npos);
+    EXPECT_NE(s.find("p2"), std::string::npos);
+    EXPECT_NE(s.find("peer=3"), std::string::npos);
+}
+
+TEST(Trace, RuntimeRecordsProtocolEvents)
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::TmkMcPoll;
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.traceCapacity = 4096;
+    auto sys = DsmSystem::create(cfg);
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 1024);
+
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            p.acquire(0);
+            arr.set(p, 0, 42);
+            p.release(0);
+        }
+        p.barrier(0);
+        if (p.id() == 1)
+            (void)arr.get(p, 0);
+        p.barrier(1);
+    });
+
+    const TraceRing& trace = sys->runtime().trace();
+    EXPECT_TRUE(trace.enabled());
+
+    // The write fault precedes the reader's read fault in time.
+    auto wf = trace.eventsOfKind(TraceKind::WriteFault);
+    auto rf = trace.eventsOfKind(TraceKind::ReadFault);
+    ASSERT_GE(wf.size(), 1u);
+    ASSERT_GE(rf.size(), 1u);
+    EXPECT_EQ(wf[0].proc, 0);
+    EXPECT_LT(wf[0].time, rf.back().time);
+
+    // Lock acquire precedes its release; barriers entered by both.
+    auto acq = trace.eventsOfKind(TraceKind::LockAcquire);
+    auto rel = trace.eventsOfKind(TraceKind::LockRelease);
+    ASSERT_EQ(acq.size(), 1u);
+    ASSERT_EQ(rel.size(), 1u);
+    EXPECT_LT(acq[0].time, rel[0].time);
+
+    auto enters = trace.eventsOfKind(TraceKind::BarrierEnter);
+    EXPECT_EQ(enters.size(), 4u); // 2 procs x 2 barriers
+
+    // TreadMarks barriers exchange messages.
+    EXPECT_FALSE(trace.eventsOfKind(TraceKind::MessageSend).empty());
+}
+
+TEST(Trace, DisabledByDefaultCostsNothing)
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::CsmPoll;
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    auto sys = DsmSystem::create(cfg);
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 64);
+    sys->run([&](Proc& p) {
+        arr.set(p, p.id(), 1);
+        p.barrier(0);
+    });
+    EXPECT_FALSE(sys->runtime().trace().enabled());
+    EXPECT_TRUE(sys->runtime().trace().events().empty());
+}
+
+} // namespace
+} // namespace mcdsm

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * TreadMarks protocol unit tests: vector-timestamp algebra, interval
+ * logs, diff round-trips, twin/diff lifecycle, lock-chain tenures and
+ * lazy-release behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dsm/proc.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+#include "sim/rng.h"
+#include "treadmarks/intervals.h"
+#include "treadmarks/types.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector timestamps
+// ---------------------------------------------------------------------------
+
+TEST(VectorClock, MaxAndLeq)
+{
+    VTime a = {1, 5, 2};
+    VTime b = {3, 1, 2};
+    EXPECT_FALSE(vtLeq(a, b));
+    EXPECT_FALSE(vtLeq(b, a));
+    vtMax(a, b);
+    EXPECT_EQ(a, (VTime{3, 5, 2}));
+    EXPECT_TRUE(vtLeq(b, a));
+    EXPECT_EQ(vtSum(a), 10u);
+}
+
+TEST(VectorClock, SumMonotoneUnderCausality)
+{
+    // If a <= b pointwise with a != b, sum(a) < sum(b).
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        VTime a(8), b(8);
+        bool strict = false;
+        for (int i = 0; i < 8; ++i) {
+            a[i] = static_cast<std::uint32_t>(rng.nextBounded(100));
+            b[i] = a[i] + static_cast<std::uint32_t>(rng.nextBounded(3));
+            strict |= b[i] != a[i];
+        }
+        if (strict) {
+            EXPECT_LT(vtSum(a), vtSum(b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval log
+// ---------------------------------------------------------------------------
+
+IntervalRecPtr
+rec(ProcId p, std::uint32_t id, std::vector<PageNum> pages = {})
+{
+    auto r = std::make_shared<IntervalRec>();
+    r->proc = p;
+    r->id = id;
+    r->vt = VTime(4, 0);
+    r->pages = std::move(pages);
+    return r;
+}
+
+TEST(IntervalLog, AddAndDuplicate)
+{
+    IntervalLog log(4);
+    EXPECT_TRUE(log.add(rec(1, 0)));
+    EXPECT_TRUE(log.add(rec(1, 1)));
+    EXPECT_FALSE(log.add(rec(1, 0))); // duplicate
+    EXPECT_EQ(log.count(1), 2u);
+    EXPECT_EQ(log.count(0), 0u);
+}
+
+TEST(IntervalLog, CollectSinceReturnsSuffixes)
+{
+    IntervalLog log(4);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        log.add(rec(0, i));
+    for (std::uint32_t i = 0; i < 3; ++i)
+        log.add(rec(2, i));
+
+    auto out = log.collectSince(VTime{3, 0, 1, 0});
+    // Expect intervals 3,4 of proc 0 and 1,2 of proc 2.
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0]->proc, 0);
+    EXPECT_EQ(out[0]->id, 3u);
+    EXPECT_EQ(out[3]->proc, 2);
+    EXPECT_EQ(out[3]->id, 2u);
+}
+
+TEST(IntervalLog, WireBytesGrowWithNotices)
+{
+    IntervalLog log(4);
+    log.add(rec(0, 0, {1, 2, 3}));
+    const std::size_t with = log.bytesSince(VTime(4, 0));
+    IntervalLog log2(4);
+    log2.add(rec(0, 0, {}));
+    EXPECT_GT(with, log2.bytesSince(VTime(4, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Diff engine
+// ---------------------------------------------------------------------------
+
+TEST(DiffEngine, RoundTripRandomWrites)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint8_t> twin(kPageSize);
+        for (auto& b : twin)
+            b = static_cast<std::uint8_t>(rng.next());
+        std::vector<std::uint8_t> page = twin;
+        const int writes = 1 + static_cast<int>(rng.nextBounded(200));
+        for (int w = 0; w < writes; ++w) {
+            const std::size_t at = rng.nextBounded(kPageSize);
+            page[at] = static_cast<std::uint8_t>(rng.next());
+        }
+
+        auto runs = computeRuns(page.data(), twin.data());
+        std::vector<std::uint8_t> rebuilt = twin;
+        applyRuns(rebuilt.data(), runs);
+        EXPECT_EQ(std::memcmp(rebuilt.data(), page.data(), kPageSize), 0);
+    }
+}
+
+TEST(DiffEngine, CleanPageYieldsEmptyDiff)
+{
+    std::vector<std::uint8_t> twin(kPageSize, 7);
+    auto runs = computeRuns(twin.data(), twin.data());
+    EXPECT_TRUE(runs.empty());
+}
+
+TEST(DiffEngine, RunsCoalesceAdjacentBytes)
+{
+    std::vector<std::uint8_t> twin(kPageSize, 0), page(kPageSize, 0);
+    for (int i = 100; i < 132; ++i)
+        page[i] = 9;
+    auto runs = computeRuns(page.data(), twin.data());
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].offset, 100);
+    EXPECT_EQ(runs[0].bytes.size(), 32u);
+
+    Diff d;
+    d.runs = std::move(runs);
+    EXPECT_EQ(d.dataBytes(), 32u);
+    EXPECT_EQ(d.wireBytes(), 16u + 32 + 8);
+}
+
+TEST(DiffEngine, DisjointDiffsComposeInAnyOrder)
+{
+    // The multi-writer guarantee: diffs of disjoint writes commute.
+    std::vector<std::uint8_t> twin(kPageSize, 0);
+    auto page_a = twin, page_b = twin;
+    for (int i = 0; i < 512; i += 2)
+        page_a[i] = 0xaa;
+    for (int i = 1; i < 512; i += 2)
+        page_b[i] = 0xbb;
+    auto ra = computeRuns(page_a.data(), twin.data());
+    auto rb = computeRuns(page_b.data(), twin.data());
+
+    auto ab = twin, ba = twin;
+    applyRuns(ab.data(), ra);
+    applyRuns(ab.data(), rb);
+    applyRuns(ba.data(), rb);
+    applyRuns(ba.data(), ra);
+    EXPECT_EQ(std::memcmp(ab.data(), ba.data(), kPageSize), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol behavior (through the public API)
+// ---------------------------------------------------------------------------
+
+DsmConfig
+cfg(int nprocs)
+{
+    DsmConfig c;
+    c.protocol = ProtocolKind::TmkMcPoll;
+    c.topo = Topology::standard(nprocs);
+    c.maxSharedBytes = 4 << 20;
+    return c;
+}
+
+TEST(TreadMarks, TwinCreatedOncePerWriteInterval)
+{
+    auto sys = DsmSystem::create(cfg(2));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 1024);
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            for (int i = 0; i < 100; ++i)
+                arr.set(p, i, i); // one page, many writes, one twin
+        }
+        p.barrier(0);
+    });
+    EXPECT_EQ(sys->stats().procs[0].twins, 1u);
+}
+
+TEST(TreadMarks, LazyReleaseewNoMessagesWithoutWaiters)
+{
+    auto sys = DsmSystem::create(cfg(2));
+    GAddr x = sys->alloc(8);
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            const std::uint64_t before =
+                sys->runtime().mail().messagesSentBy(0);
+            p.acquire(5); // manager is proc 1 (5 % 2), one exchange
+            p.write<std::int64_t>(x, 1);
+            const std::uint64_t mid =
+                sys->runtime().mail().messagesSentBy(0);
+            p.release(5); // lazy: nothing sent
+            EXPECT_EQ(sys->runtime().mail().messagesSentBy(0), mid);
+            EXPECT_GT(mid, before);
+        }
+        p.barrier(0);
+    });
+}
+
+TEST(TreadMarks, DiffsCarryLessDataThanPagesForSparseWrites)
+{
+    auto sys = DsmSystem::create(cfg(2));
+    auto arr = SharedArray<std::int64_t>::allocate(
+        *sys, 8 * (kPageSize / 8));
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            // 8 bytes dirtied in each of 8 pages.
+            for (int pg = 0; pg < 8; ++pg)
+                arr.set(p, pg * (kPageSize / 8), pg);
+        }
+        p.barrier(0);
+        if (p.id() == 1) {
+            for (int pg = 0; pg < 8; ++pg)
+                (void)arr.get(p, pg * (kPageSize / 8));
+        }
+        p.barrier(1);
+    });
+    const auto& st = sys->stats();
+    EXPECT_EQ(st.procs[1].diffsApplied, 8u);
+    // Total diff payload is ~64 bytes, not 64 KB of pages.
+    EXPECT_LT(st.procs[0].diffBytes, 1024u);
+}
+
+TEST(TreadMarks, MultiWriterMergeRequestsDiffsFromEachWriter)
+{
+    auto sys = DsmSystem::create(cfg(4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 1024);
+    sys->run([&](Proc& p) {
+        arr.set(p, p.id(), p.id() + 1); // same page, four writers
+        p.barrier(0);
+        std::int64_t sum = 0;
+        for (int i = 0; i < 4; ++i)
+            sum += arr.get(p, i);
+        EXPECT_EQ(sum, 10);
+        p.barrier(1);
+    });
+    // Each reader applied diffs from the 3 other writers.
+    for (const auto& ps : sys->stats().procs)
+        EXPECT_GE(ps.diffsApplied, 3u);
+}
+
+TEST(TreadMarks, LockChainTransfersConsistencyInfo)
+{
+    auto sys = DsmSystem::create(cfg(4));
+    GAddr x = sys->alloc(8);
+    std::int64_t final_val = -1;
+    sys->run([&](Proc& p) {
+        // Token-style increments through a lock chain.
+        for (int round = 0; round < 8; ++round) {
+            p.pollPoint();
+            p.acquire(0);
+            p.write<std::int64_t>(x, p.read<std::int64_t>(x) + 1);
+            p.release(0);
+        }
+        p.barrier(0);
+        if (p.id() == 0)
+            final_val = p.read<std::int64_t>(x);
+        p.barrier(1);
+    });
+    EXPECT_EQ(final_val, 32);
+}
+
+TEST(TreadMarks, BarrierDistributesAllWriteNotices)
+{
+    // After a barrier, every processor must see every write — even of
+    // pages it has never mapped (the paper's "unnecessary work"
+    // remark about barriers).
+    auto sys = DsmSystem::create(cfg(4));
+    auto arr = SharedArray<std::int64_t>::allocate(
+        *sys, 8 * (kPageSize / 8));
+    sys->run([&](Proc& p) {
+        // Each proc writes two private-ish pages.
+        const std::size_t per = kPageSize / 8;
+        arr.set(p, (2 * p.id()) * per, p.id());
+        arr.set(p, (2 * p.id() + 1) * per, p.id());
+        p.barrier(0);
+        // Everyone reads everything.
+        std::int64_t sum = 0;
+        for (int pg = 0; pg < 8; ++pg)
+            sum += arr.get(p, pg * per);
+        EXPECT_EQ(sum, 2 * (0 + 1 + 2 + 3));
+        p.barrier(1);
+    });
+}
+
+TEST(TreadMarks, FlagTransfersCausalPast)
+{
+    auto sys = DsmSystem::create(cfg(4));
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 4096);
+    bool ok = true;
+    sys->run([&](Proc& p) {
+        // proc 0 -> flag 1 -> proc 1 writes -> flag 2 -> proc 2 ...
+        const int id = p.id();
+        if (id > 0)
+            p.waitFlag(id);
+        // Check all predecessors' writes are visible (causal chain).
+        for (int q = 0; q < id; ++q) {
+            if (arr.get(p, q * 512) != q + 100)
+                ok = false;
+        }
+        arr.set(p, id * 512, id + 100);
+        p.setFlag(id + 1);
+        p.barrier(0);
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(TreadMarks, UdpVariantMovesMoreSlowly)
+{
+    auto run = [](ProtocolKind k) {
+        DsmConfig c;
+        c.protocol = k;
+        c.topo = Topology::standard(4);
+        c.maxSharedBytes = 1 << 20;
+        auto sys = DsmSystem::create(c);
+        auto arr = SharedArray<std::int64_t>::allocate(*sys, 4096);
+        sys->run([&](Proc& p) {
+            for (int r = 0; r < 5; ++r) {
+                if (p.id() == r % 4)
+                    arr.set(p, r, r);
+                p.barrier(0);
+                (void)arr.get(p, r);
+                p.barrier(1);
+            }
+        });
+        return sys->stats().elapsed;
+    };
+    EXPECT_GT(run(ProtocolKind::TmkUdpInt),
+              run(ProtocolKind::TmkMcPoll));
+}
+
+} // namespace
+} // namespace mcdsm

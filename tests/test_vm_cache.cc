@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the VM page table and the two-level cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.h"
+#include "cashmere/cashmere.h"
+#include "vm/page_table.h"
+
+namespace mcdsm {
+namespace {
+
+TEST(PageTable, StartsUnmapped)
+{
+    PageTable pt(16);
+    for (PageNum pn = 0; pn < 16; ++pn) {
+        EXPECT_FALSE(pt.canRead(pn));
+        EXPECT_FALSE(pt.canWrite(pn));
+    }
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}
+
+TEST(PageTable, ProtectionTransitions)
+{
+    PageTable pt(4);
+    pt.setProtection(1, ProtRead);
+    EXPECT_TRUE(pt.canRead(1));
+    EXPECT_FALSE(pt.canWrite(1));
+    pt.setProtection(1, ProtRw);
+    EXPECT_TRUE(pt.canRead(1));
+    EXPECT_TRUE(pt.canWrite(1));
+    pt.setProtection(1, ProtNone);
+    EXPECT_FALSE(pt.canRead(1));
+    EXPECT_EQ(pt.protectOps(), 3u);
+}
+
+TEST(PageTable, MappedPagesCount)
+{
+    PageTable pt(8);
+    pt.setProtection(0, ProtRead);
+    pt.setProtection(1, ProtRw);
+    EXPECT_EQ(pt.mappedPages(), 2u);
+    pt.setProtection(0, ProtNone);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    pt.setProtection(1, ProtRead); // still mapped
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache model
+// ---------------------------------------------------------------------------
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CostModel costs;
+    CacheConfig cfg; // 16 KB L1, 1 MB L2, 64 B lines
+};
+
+TEST_F(CacheTest, FirstAccessMissesBoth)
+{
+    CacheModel c(cfg, costs);
+    EXPECT_EQ(c.access(0x1000), costs.memTime);
+    EXPECT_EQ(c.l1Misses(), 1u);
+    EXPECT_EQ(c.l2Misses(), 1u);
+}
+
+TEST_F(CacheTest, SecondAccessHitsL1)
+{
+    CacheModel c(cfg, costs);
+    c.access(0x1000);
+    EXPECT_EQ(c.access(0x1000), 0);
+    EXPECT_EQ(c.access(0x1000 + 63), 0); // same line
+    EXPECT_EQ(c.l1Misses(), 1u);
+}
+
+TEST_F(CacheTest, L1ConflictFallsBackToL2)
+{
+    CacheModel c(cfg, costs);
+    c.access(0x0);
+    c.access(0x4000); // 16 KB apart: same L1 set, different L2 set
+    EXPECT_EQ(c.access(0x0), costs.l2HitTime);
+    EXPECT_EQ(c.l2Misses(), 2u);
+}
+
+TEST_F(CacheTest, WorkingSetFitsL1)
+{
+    CacheModel c(cfg, costs);
+    // 8 KB working set: after the first sweep everything hits.
+    for (int rep = 0; rep < 3; ++rep) {
+        for (std::uint64_t a = 0; a < 8192; a += 8)
+            c.access(a);
+    }
+    EXPECT_EQ(c.l1Misses(), 8192u / 64);
+}
+
+TEST_F(CacheTest, DoubledWritesBlowUpL1WorkingSet)
+{
+    // The key mechanism behind the paper's LU/Gauss findings: a 16 KB
+    // working set fits L1, but doubling each write to +kDoubleOffset
+    // makes the effective footprint 24 KB and L1 starts thrashing.
+    CostModel costs2;
+    CacheConfig cfg2;
+
+    auto misses_with_doubling = [&](bool doubling) {
+        CacheModel c(cfg2, costs2);
+        // Warm: 16 KB primary working set (two 8 KB blocks).
+        for (int rep = 0; rep < 4; ++rep) {
+            for (std::uint64_t a = 0; a < 16384; a += 8) {
+                c.access(a);
+                if (doubling && a < 8192)
+                    c.access(a + Cashmere::kDoubleOffset);
+            }
+        }
+        return c.l1Misses();
+    };
+
+    auto base = misses_with_doubling(false);
+    auto doubled = misses_with_doubling(true);
+    EXPECT_GT(doubled, 4 * base);
+}
+
+TEST_F(CacheTest, DoubleOffsetMapsToDifferentL1Line)
+{
+    // Verify the paper's address arithmetic: local and doubled
+    // addresses must land in different L1 sets.
+    const std::uint64_t a = 0x12340;
+    const std::uint64_t d = a + Cashmere::kDoubleOffset;
+    const std::uint64_t l1_sets = cfg.l1Bytes / cfg.lineSize;
+    EXPECT_NE((a / cfg.lineSize) % l1_sets, (d / cfg.lineSize) % l1_sets);
+}
+
+TEST_F(CacheTest, TouchRangeCostsPerLine)
+{
+    CacheModel c(cfg, costs);
+    Time t = c.touchRange(0, kPageSize);
+    EXPECT_EQ(t, static_cast<Time>(kPageSize / 64) * costs.memTime);
+    // Second touch: all L1-resident (8 KB < 16 KB).
+    EXPECT_EQ(c.touchRange(0, kPageSize), 0);
+}
+
+TEST_F(CacheTest, InvalidateRangeForcesRefetch)
+{
+    CacheModel c(cfg, costs);
+    c.touchRange(0, kPageSize);
+    c.invalidateRange(0, kPageSize);
+    EXPECT_GT(c.touchRange(0, kPageSize), 0);
+}
+
+TEST_F(CacheTest, L2CapacityEffect)
+{
+    // A 2 MB working set cannot live in a 1 MB L2; a 512 KB one can.
+    CacheModel big(cfg, costs);
+    for (int rep = 0; rep < 2; ++rep)
+        for (std::uint64_t a = 0; a < (2u << 20); a += 64)
+            big.access(a);
+    // Second sweep of a 2 MB set still misses L2 (direct-mapped wrap).
+    std::uint64_t second_sweep_l2 = big.l2Misses() - (2u << 20) / 64;
+    EXPECT_GT(second_sweep_l2, 0u);
+
+    CacheModel small(cfg, costs);
+    for (int rep = 0; rep < 2; ++rep)
+        for (std::uint64_t a = 0; a < (512u << 10); a += 64)
+            small.access(a);
+    EXPECT_EQ(small.l2Misses(), (512u << 10) / 64);
+}
+
+TEST(CacheGeometry, RejectsNonPowerOfTwo)
+{
+    CostModel costs;
+    CacheConfig bad;
+    bad.l1Bytes = 10000;
+    EXPECT_DEATH(CacheModel(bad, costs), "power of two");
+}
+
+} // namespace
+} // namespace mcdsm
