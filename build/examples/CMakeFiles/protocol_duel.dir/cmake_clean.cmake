@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_duel.dir/protocol_duel.cpp.o"
+  "CMakeFiles/protocol_duel.dir/protocol_duel.cpp.o.d"
+  "protocol_duel"
+  "protocol_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

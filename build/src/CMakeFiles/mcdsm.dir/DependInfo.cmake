@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/CMakeFiles/mcdsm.dir/apps/app.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/app.cc.o.d"
+  "/root/repo/src/apps/barnes.cc" "src/CMakeFiles/mcdsm.dir/apps/barnes.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/barnes.cc.o.d"
+  "/root/repo/src/apps/em3d.cc" "src/CMakeFiles/mcdsm.dir/apps/em3d.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/em3d.cc.o.d"
+  "/root/repo/src/apps/gauss.cc" "src/CMakeFiles/mcdsm.dir/apps/gauss.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/gauss.cc.o.d"
+  "/root/repo/src/apps/ilink.cc" "src/CMakeFiles/mcdsm.dir/apps/ilink.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/ilink.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/CMakeFiles/mcdsm.dir/apps/lu.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/lu.cc.o.d"
+  "/root/repo/src/apps/sor.cc" "src/CMakeFiles/mcdsm.dir/apps/sor.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/sor.cc.o.d"
+  "/root/repo/src/apps/tsp.cc" "src/CMakeFiles/mcdsm.dir/apps/tsp.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/tsp.cc.o.d"
+  "/root/repo/src/apps/water.cc" "src/CMakeFiles/mcdsm.dir/apps/water.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/apps/water.cc.o.d"
+  "/root/repo/src/cache/cache_model.cc" "src/CMakeFiles/mcdsm.dir/cache/cache_model.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/cache/cache_model.cc.o.d"
+  "/root/repo/src/cashmere/cashmere.cc" "src/CMakeFiles/mcdsm.dir/cashmere/cashmere.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/cashmere/cashmere.cc.o.d"
+  "/root/repo/src/cashmere/directory.cc" "src/CMakeFiles/mcdsm.dir/cashmere/directory.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/cashmere/directory.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/mcdsm.dir/common/log.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/common/log.cc.o.d"
+  "/root/repo/src/dsm/null_protocol.cc" "src/CMakeFiles/mcdsm.dir/dsm/null_protocol.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/dsm/null_protocol.cc.o.d"
+  "/root/repo/src/dsm/runtime.cc" "src/CMakeFiles/mcdsm.dir/dsm/runtime.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/dsm/runtime.cc.o.d"
+  "/root/repo/src/dsm/system.cc" "src/CMakeFiles/mcdsm.dir/dsm/system.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/dsm/system.cc.o.d"
+  "/root/repo/src/dsm/trace.cc" "src/CMakeFiles/mcdsm.dir/dsm/trace.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/dsm/trace.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/mcdsm.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/mcdsm.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/harness/table.cc.o.d"
+  "/root/repo/src/net/mailbox.cc" "src/CMakeFiles/mcdsm.dir/net/mailbox.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/net/mailbox.cc.o.d"
+  "/root/repo/src/net/memory_channel.cc" "src/CMakeFiles/mcdsm.dir/net/memory_channel.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/net/memory_channel.cc.o.d"
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/mcdsm.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/mcdsm.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/mcdsm.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/sim/stats.cc.o.d"
+  "/root/repo/src/treadmarks/diff.cc" "src/CMakeFiles/mcdsm.dir/treadmarks/diff.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/treadmarks/diff.cc.o.d"
+  "/root/repo/src/treadmarks/treadmarks.cc" "src/CMakeFiles/mcdsm.dir/treadmarks/treadmarks.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/treadmarks/treadmarks.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/mcdsm.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/mcdsm.dir/vm/page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

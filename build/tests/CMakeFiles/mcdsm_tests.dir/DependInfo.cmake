@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_cashmere.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_cashmere.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_cashmere.cc.o.d"
+  "/root/repo/tests/test_consistency.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_consistency.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_consistency.cc.o.d"
+  "/root/repo/tests/test_dsm_basic.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_dsm_basic.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_dsm_basic.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats_rng.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_stats_rng.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_stats_rng.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_treadmarks.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_treadmarks.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_treadmarks.cc.o.d"
+  "/root/repo/tests/test_vm_cache.cc" "tests/CMakeFiles/mcdsm_tests.dir/test_vm_cache.cc.o" "gcc" "tests/CMakeFiles/mcdsm_tests.dir/test_vm_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsm_tests.dir/test_apps.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_cashmere.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_cashmere.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_consistency.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_consistency.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_dsm_basic.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_dsm_basic.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_harness.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_net.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_net.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_sim.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_stats_rng.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_stats_rng.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_trace.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_treadmarks.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_treadmarks.cc.o.d"
+  "CMakeFiles/mcdsm_tests.dir/test_vm_cache.cc.o"
+  "CMakeFiles/mcdsm_tests.dir/test_vm_cache.cc.o.d"
+  "mcdsm_tests"
+  "mcdsm_tests.pdb"
+  "mcdsm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
