@@ -208,14 +208,17 @@ TspApp::worker(Proc& p)
     };
 
     // --- exhaustive DFS over the last kDfsTail cities -------------------
-    int best_seen = ctl_.get(p, kBestCost);
+    // The incumbent bound is refreshed with deliberately racy reads
+    // throughout: a stale bound only weakens pruning, and the final
+    // update is re-checked under kBestLock.
+    int best_seen = ctl_.getRacy(p, kBestCost);
     std::int64_t dfs_nodes = 0;
     std::int8_t path[kMaxCities];
     auto dfs = [&](auto&& self, int cost, std::uint32_t visited, int last,
                    int len) -> void {
         if (((++dfs_nodes) & 0xfff) == 0) {
             p.pollPoint();
-            best_seen = ctl_.get(p, kBestCost); // racy refresh: prune only
+            best_seen = ctl_.getRacy(p, kBestCost); // racy refresh: prune only
         }
         if (cost >= best_seen)
             return;
@@ -264,7 +267,7 @@ TspApp::worker(Proc& p)
         pool_free(node);
         p.release(kQueueLock);
 
-        best_seen = ctl_.get(p, kBestCost);
+        best_seen = ctl_.getRacy(p, kBestCost);
         std::uint32_t visited = 0;
         for (int i = 0; i < len; ++i)
             visited |= 1u << path[i];

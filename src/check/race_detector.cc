@@ -1,0 +1,290 @@
+#include "check/race_detector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+std::string
+RaceReport::toString() const
+{
+    return strprintf(
+        "race: page %u bytes [%u,%u) — P%d %s (%s) vs P%d %s (%s) "
+        "at t=%lld",
+        page, beginOff, endOff, firstProc,
+        firstIsWrite ? "write" : "read", firstSync.c_str(), secondProc,
+        secondIsWrite ? "write" : "read", secondSync.c_str(),
+        static_cast<long long>(when));
+}
+
+RaceChecker::RaceChecker(int nprocs, std::size_t page_count,
+                         int chunk_shift, std::size_t max_reports)
+    : nprocs_(nprocs), chunk_shift_(chunk_shift),
+      chunks_per_page_(kPageSize >> chunk_shift), max_reports_(max_reports),
+      pages_(page_count)
+{
+    mcdsm_assert(chunk_shift >= 0 &&
+                     (std::size_t{1} << chunk_shift) <= kPageSize,
+                 "bad race-detector chunk shift");
+    // Epochs start at 1 so a stored clock of 0 can mean "empty".
+    vc_.resize(nprocs);
+    for (int p = 0; p < nprocs; ++p) {
+        vc_[p].assign(nprocs, 0);
+        vc_[p][p] = 1;
+    }
+    syncCtx_.push_back("start");
+    curCtx_.assign(nprocs, 0);
+}
+
+RaceChecker::Chunk*
+RaceChecker::chunksFor(PageNum pn)
+{
+    mcdsm_assert(pn < pages_.size(), "race check: page out of range");
+    if (!pages_[pn])
+        pages_[pn] = std::make_unique<Chunk[]>(chunks_per_page_);
+    return pages_[pn].get();
+}
+
+void
+RaceChecker::joinInto(VC& dst, const VC& src)
+{
+    for (int q = 0; q < nprocs_; ++q)
+        dst[q] = std::max(dst[q], src[q]);
+}
+
+void
+RaceChecker::setSyncCtx(ProcId p, std::string desc)
+{
+    curCtx_[p] = static_cast<std::uint32_t>(syncCtx_.size());
+    syncCtx_.push_back(std::move(desc));
+}
+
+void
+RaceChecker::report(PageNum pn, std::uint32_t begin, std::uint32_t end,
+                    ProcId first, bool first_w, std::uint32_t first_sync,
+                    ProcId second, bool second_w, Time now)
+{
+    // Merge with the previous report when one multi-chunk access
+    // races with the same prior accessor over adjacent bytes.
+    if (!reports_.empty()) {
+        RaceReport& r = reports_.back();
+        if (r.page == pn && r.endOff >= begin && r.when == now &&
+            r.firstProc == first && r.firstIsWrite == first_w &&
+            r.secondProc == second && r.secondIsWrite == second_w) {
+            r.endOff = std::max(r.endOff, end);
+            return;
+        }
+    }
+    race_count_ += 1;
+    if (reports_.size() >= max_reports_)
+        return;
+    RaceReport r;
+    r.page = pn;
+    r.beginOff = begin;
+    r.endOff = end;
+    r.firstProc = first;
+    r.firstIsWrite = first_w;
+    r.firstSync = syncCtx_[first_sync];
+    r.secondProc = second;
+    r.secondIsWrite = second_w;
+    r.secondSync = syncCtx_[curCtx_[second]];
+    r.when = now;
+    reports_.push_back(std::move(r));
+}
+
+void
+RaceChecker::onWrite(ProcId p, GAddr a, std::size_t size, Time now)
+{
+    if (p < 0 || p >= nprocs_ || size == 0)
+        return;
+    const PageNum pn = pageOf(a);
+    Chunk* chunks = chunksFor(pn);
+    const std::size_t off = pageOffset(a);
+    const std::size_t c0 = off >> chunk_shift_;
+    const std::size_t c1 = (off + size - 1) >> chunk_shift_;
+    const VC& vc = vc_[p];
+
+    for (std::size_t c = c0; c <= c1; ++c) {
+        Chunk& ch = chunks[c];
+        const auto begin = static_cast<std::uint32_t>(c << chunk_shift_);
+        const auto end =
+            static_cast<std::uint32_t>((c + 1) << chunk_shift_);
+
+        if (ch.wProc >= 0 && ch.wProc != p &&
+            ch.wClock > vc[ch.wProc]) {
+            report(pn, begin, end, ch.wProc, true, ch.wSync, p, true,
+                   now);
+        }
+        if (ch.rShared >= 0) {
+            const SharedRead& sr = sharedReads_[ch.rShared];
+            for (int q = 0; q < nprocs_; ++q) {
+                if (q != p && sr.clocks[q] > vc[q]) {
+                    report(pn, begin, end, q, false, sr.sync[q], p,
+                           true, now);
+                    break; // one representative racing reader
+                }
+            }
+        } else if (ch.rProc >= 0 && ch.rProc != p &&
+                   ch.rClock > vc[ch.rProc]) {
+            report(pn, begin, end, ch.rProc, false, ch.rSync, p, true,
+                   now);
+        }
+
+        ch.wProc = p;
+        ch.wClock = vc[p];
+        ch.wSync = curCtx_[p];
+        ch.rProc = -1;
+        ch.rClock = 0;
+        ch.rShared = -1;
+    }
+}
+
+void
+RaceChecker::onRead(ProcId p, GAddr a, std::size_t size, Time now)
+{
+    if (p < 0 || p >= nprocs_ || size == 0)
+        return;
+    const PageNum pn = pageOf(a);
+    Chunk* chunks = chunksFor(pn);
+    const std::size_t off = pageOffset(a);
+    const std::size_t c0 = off >> chunk_shift_;
+    const std::size_t c1 = (off + size - 1) >> chunk_shift_;
+    const VC& vc = vc_[p];
+
+    for (std::size_t c = c0; c <= c1; ++c) {
+        Chunk& ch = chunks[c];
+
+        if (ch.wProc >= 0 && ch.wProc != p &&
+            ch.wClock > vc[ch.wProc]) {
+            report(pn, static_cast<std::uint32_t>(c << chunk_shift_),
+                   static_cast<std::uint32_t>((c + 1) << chunk_shift_),
+                   ch.wProc, true, ch.wSync, p, false, now);
+        }
+
+        if (ch.rShared >= 0) {
+            SharedRead& sr = sharedReads_[ch.rShared];
+            sr.clocks[p] = vc[p];
+            sr.sync[p] = curCtx_[p];
+        } else if (ch.rProc < 0 || ch.rProc == p ||
+                   ch.rClock <= vc[ch.rProc]) {
+            // The previous read epoch happens-before this one: the
+            // single-epoch slot can simply be replaced (FastTrack's
+            // "read exclusive" fast path).
+            ch.rProc = p;
+            ch.rClock = vc[p];
+            ch.rSync = curCtx_[p];
+        } else {
+            // Concurrent readers: promote to a full read vector.
+            SharedRead sr;
+            sr.clocks.assign(nprocs_, 0);
+            sr.sync.assign(nprocs_, 0);
+            sr.clocks[ch.rProc] = ch.rClock;
+            sr.sync[ch.rProc] = ch.rSync;
+            sr.clocks[p] = vc[p];
+            sr.sync[p] = curCtx_[p];
+            ch.rShared = static_cast<std::int32_t>(sharedReads_.size());
+            sharedReads_.push_back(std::move(sr));
+        }
+    }
+}
+
+void
+RaceChecker::afterAcquire(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    auto it = locks_.find(lock_id);
+    if (it != locks_.end())
+        joinInto(vc_[p], it->second);
+    setSyncCtx(p, strprintf("acquire(lock %d)", lock_id));
+}
+
+void
+RaceChecker::beforeRelease(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    VC& lv = locks_.try_emplace(lock_id, VC(nprocs_, 0)).first->second;
+    joinInto(lv, vc_[p]);
+    vc_[p][p] += 1;
+    setSyncCtx(p, strprintf("release(lock %d)", lock_id));
+}
+
+void
+RaceChecker::barrierEnter(ProcId p, int barrier_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    BarrierState& b =
+        barriers_.try_emplace(barrier_id, BarrierState{}).first->second;
+    if (b.pending.empty())
+        b.pending.assign(nprocs_, 0);
+    joinInto(b.pending, vc_[p]);
+    b.arrived += 1;
+    if (b.arrived == nprocs_) {
+        // Episode complete: publish the joined clock. The protocol
+        // guarantees no participant leaves before everyone entered,
+        // and nobody re-enters before everyone of the previous
+        // episode left, so a single published slot per barrier id is
+        // enough.
+        b.released = b.pending;
+        b.pending.assign(nprocs_, 0);
+        b.arrived = 0;
+    }
+}
+
+void
+RaceChecker::barrierLeave(ProcId p, int barrier_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    BarrierState& b = barriers_[barrier_id];
+    mcdsm_assert(!b.released.empty(),
+                 "barrier leave before episode completion");
+    joinInto(vc_[p], b.released);
+    vc_[p][p] += 1;
+    setSyncCtx(p, strprintf("barrier(%d)", barrier_id));
+}
+
+void
+RaceChecker::beforeFlagSet(ProcId p, int flag_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    VC& fv = flags_.try_emplace(flag_id, VC(nprocs_, 0)).first->second;
+    joinInto(fv, vc_[p]);
+    vc_[p][p] += 1;
+    setSyncCtx(p, strprintf("setFlag(%d)", flag_id));
+}
+
+void
+RaceChecker::afterFlagWait(ProcId p, int flag_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    auto it = flags_.find(flag_id);
+    // The protocol only returns from waitFlag after some setFlag, so
+    // the flag's clock must exist.
+    mcdsm_assert(it != flags_.end(), "flag wait without any set");
+    joinInto(vc_[p], it->second);
+    setSyncCtx(p, strprintf("waitFlag(%d)", flag_id));
+}
+
+std::string
+RaceChecker::summary() const
+{
+    std::string out;
+    for (const auto& r : reports_) {
+        out += r.toString();
+        out += "\n";
+    }
+    if (race_count_ > reports_.size()) {
+        out += strprintf("... and %llu more race(s)\n",
+                         static_cast<unsigned long long>(
+                             race_count_ - reports_.size()));
+    }
+    return out;
+}
+
+} // namespace mcdsm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Dynamic data-race detection for DSM programs.
+ *
+ * A happens-before checker in the FastTrack style, layered on the
+ * DSM's own synchronization events (the shape argued for by Butelle &
+ * Coti's coherent-distributed-memory race-detection model): each
+ * processor carries a vector clock that advances at release-type
+ * operations; locks, flags and barriers carry the clocks their
+ * releasers published; shared reads and writes are checked against
+ * per-page-chunk "last writer" / "last readers" epochs.
+ *
+ * The checker observes accesses through the runtime's read/write
+ * hooks and sync operations through the runtime's synchronization
+ * front, so it is protocol-independent: the same detector runs under
+ * all six Cashmere/TreadMarks variants (and would flag a coherence
+ * bug as a race only if the *application* is racy — protocol bugs
+ * show up instead as wrong golden values under schedule
+ * perturbation; the two tools are complementary).
+ *
+ * Granularity: pages are divided into fixed chunks of
+ * 2^chunkShift bytes (default 4). An access marks every chunk it
+ * overlaps. Two accesses to disjoint bytes of the same chunk are
+ * indistinguishable from a true overlap, so chunkShift trades memory
+ * for false-sharing precision; 4-byte chunks are exact for the
+ * int32/double element types the applications use.
+ *
+ * The detector maintains simulator-side state only — it charges no
+ * virtual time and sends no messages, so enabling it does not change
+ * the schedule or the modelled timings.
+ */
+
+#ifndef MCDSM_CHECK_RACE_DETECTOR_H
+#define MCDSM_CHECK_RACE_DETECTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/** One reported race: two unordered accesses to the same chunk. */
+struct RaceReport
+{
+    PageNum page = 0;
+    /** Byte range within the page covered by the racing access. */
+    std::uint32_t beginOff = 0;
+    std::uint32_t endOff = 0;
+
+    /** The earlier access (the recorded epoch). */
+    ProcId firstProc = kNoProc;
+    bool firstIsWrite = false;
+    /** Sync context of the earlier access ("start", "acquire(lock 3)"...). */
+    std::string firstSync;
+
+    /** The later access (the one that tripped the check). */
+    ProcId secondProc = kNoProc;
+    bool secondIsWrite = false;
+    std::string secondSync;
+
+    /** Virtual time of the later access. */
+    Time when = 0;
+
+    std::string toString() const;
+};
+
+class RaceChecker
+{
+  public:
+    /**
+     * @param nprocs compute processors tracked (ProcIds 0..nprocs-1)
+     * @param page_count pages in the shared segment
+     * @param chunk_shift log2 bytes per tracked chunk
+     * @param max_reports detailed reports kept; races past the cap
+     *        are still counted
+     */
+    RaceChecker(int nprocs, std::size_t page_count, int chunk_shift,
+                std::size_t max_reports);
+
+    // ---- data-access hooks (called by the runtime's read/write hooks)
+    void onRead(ProcId p, GAddr a, std::size_t size, Time now);
+    void onWrite(ProcId p, GAddr a, std::size_t size, Time now);
+
+    // ---- synchronization hooks -------------------------------------
+    // Placement relative to the protocol operation matters: the
+    // release side must publish *before* any other processor can
+    // observe the synchronization object, the acquire side must join
+    // *after* the operation completed.
+    void afterAcquire(ProcId p, int lock_id);
+    void beforeRelease(ProcId p, int lock_id);
+    void barrierEnter(ProcId p, int barrier_id);
+    void barrierLeave(ProcId p, int barrier_id);
+    void beforeFlagSet(ProcId p, int flag_id);
+    void afterFlagWait(ProcId p, int flag_id);
+
+    /** Total races detected (>= reports().size()). */
+    std::uint64_t raceCount() const { return race_count_; }
+
+    /** Detailed reports, up to the construction-time cap. */
+    const std::vector<RaceReport>& reports() const { return reports_; }
+
+    /** One line per retained report. */
+    std::string summary() const;
+
+  private:
+    using Clock = std::uint32_t;
+    using VC = std::vector<Clock>;
+
+    /** Epoch state of one 2^chunkShift-byte chunk. */
+    struct Chunk
+    {
+        std::int32_t wProc = -1; ///< last writer (-1: never written)
+        Clock wClock = 0;
+        std::uint32_t wSync = 0; ///< index into syncCtx_
+
+        // Read state: a single epoch in the common case, promoted to
+        // a full vector (sharedReads_[rShared]) on concurrent readers.
+        std::int32_t rProc = -1;
+        Clock rClock = 0;
+        std::uint32_t rSync = 0;
+        std::int32_t rShared = -1;
+    };
+
+    struct SharedRead
+    {
+        VC clocks;
+        std::vector<std::uint32_t> sync;
+    };
+
+    Chunk* chunksFor(PageNum pn);
+    void joinInto(VC& dst, const VC& src);
+    void report(PageNum pn, std::uint32_t begin, std::uint32_t end,
+                ProcId first, bool first_w, std::uint32_t first_sync,
+                ProcId second, bool second_w, Time now);
+    void setSyncCtx(ProcId p, std::string desc);
+
+    int nprocs_;
+    int chunk_shift_;
+    std::size_t chunks_per_page_;
+    std::size_t max_reports_;
+
+    std::vector<VC> vc_;                     ///< per-proc vector clock
+    std::unordered_map<int, VC> locks_;      ///< lock id -> released VC
+    std::unordered_map<int, VC> flags_;      ///< flag id -> released VC
+
+    struct BarrierState
+    {
+        VC pending;  ///< join of clocks of arrivals this episode
+        VC released; ///< published clock of the completed episode
+        int arrived = 0;
+    };
+    std::unordered_map<int, BarrierState> barriers_;
+
+    std::vector<std::unique_ptr<Chunk[]>> pages_;
+    std::vector<SharedRead> sharedReads_;
+
+    /** Interned per-proc sync-context descriptions. */
+    std::vector<std::string> syncCtx_;
+    std::vector<std::uint32_t> curCtx_; ///< per-proc index into syncCtx_
+
+    std::uint64_t race_count_ = 0;
+    std::vector<RaceReport> reports_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_RACE_DETECTOR_H

@@ -7,6 +7,7 @@
 #ifndef MCDSM_DSM_CONFIG_H
 #define MCDSM_DSM_CONFIG_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "cache/cache_model.h"
@@ -122,6 +123,32 @@ struct DsmConfig
 
     /** Seed for applications' deterministic RNG. */
     std::uint64_t seed = 1;
+
+    /**
+     * Enable the vector-clock happens-before race detector
+     * (src/check/race_detector.h). Adds simulator-side bookkeeping on
+     * every shared access but charges no virtual time, so timings are
+     * unchanged; benches leave it off.
+     */
+    bool raceDetect = false;
+
+    /** Race-detector chunk granularity: log2 bytes per chunk. */
+    int raceChunkShift = 2;
+
+    /** Detailed race reports retained (the counter is unbounded). */
+    std::size_t raceMaxReports = 64;
+
+    /**
+     * Schedule-perturbation seed. 0 = the deterministic baseline
+     * schedule (FIFO tie-break, no jitter); any other value seeds
+     * randomized tie-breaking plus bounded virtual-time jitter at
+     * block/wake points (see Scheduler::perturb). Runs remain fully
+     * reproducible: the same seed always yields the same schedule.
+     */
+    std::uint64_t schedSeed = 0;
+
+    /** Jitter bound (ns) injected per block/wake when schedSeed != 0. */
+    Time schedMaxJitter = 200;
 
     /**
      * Protocol event-trace ring capacity (0 = tracing disabled).

@@ -40,6 +40,25 @@ class Proc
         static_assert(std::is_trivially_copyable_v<T>);
         T v;
         std::memcpy(&v, rt_.readAccess(ctx_, a, sizeof(T)), sizeof(T));
+        if (rt_.readHook())
+            rt_.afterRead(ctx_, a, sizeof(T));
+        return v;
+    }
+
+    /**
+     * A read the program declares intentionally racy (e.g. TSP's
+     * best-bound refresh, which only prunes and is re-checked under
+     * the lock before use). Identical to read() except the race
+     * detector neither checks it nor records a read epoch — the
+     * DSM-level annotation equivalent of a relaxed atomic load.
+     */
+    template <typename T>
+    T
+    readRacy(GAddr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        std::memcpy(&v, rt_.readAccess(ctx_, a, sizeof(T)), sizeof(T));
         return v;
     }
 

@@ -47,6 +47,17 @@ class Protocol
     /** Called after the store's bytes are in the local frame. */
     virtual void afterWrite(ProcCtx&, GAddr, std::size_t) {}
 
+    /**
+     * Symmetric to wantsWriteHook(): true if every shared load must
+     * be reported via afterRead(). No shipped protocol needs it, but
+     * the runtime also raises the read hook on behalf of observers
+     * such as the race detector (DsmConfig::raceDetect).
+     */
+    virtual bool wantsReadHook() const { return false; }
+
+    /** Called after the load's bytes left the local frame. */
+    virtual void afterRead(ProcCtx&, GAddr, std::size_t) {}
+
     virtual void acquire(ProcCtx&, int lock_id) = 0;
     virtual void release(ProcCtx&, int lock_id) = 0;
     virtual void barrier(ProcCtx&, int barrier_id) = 0;

@@ -74,7 +74,17 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
     }
 
     protocol_->attach(*this);
-    write_hook_ = protocol_->wantsWriteHook();
+
+    if (cfg_.raceDetect) {
+        checker_ = std::make_unique<RaceChecker>(
+            cfg_.topo.nprocs, page_count_, cfg_.raceChunkShift,
+            cfg_.raceMaxReports);
+    }
+    write_hook_ = protocol_->wantsWriteHook() || checker_ != nullptr;
+    read_hook_ = protocol_->wantsReadHook() || checker_ != nullptr;
+
+    if (cfg_.schedSeed != 0)
+        sched_.perturb(cfg_.schedSeed, cfg_.schedMaxJitter);
 }
 
 DsmRuntime::~DsmRuntime() = default;
@@ -208,6 +218,10 @@ DsmRuntime::acquireLock(ProcCtx& ctx, int lock_id)
     ctx.stats.lockAcquires += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::LockAcquire, lock_id);
     protocol_->acquire(ctx, lock_id);
+    // The detector joins the lock's clock only once the lock is held:
+    // by then the previous holder has published via beforeRelease.
+    if (checker_)
+        checker_->afterAcquire(ctx.id, lock_id);
 }
 
 void
@@ -216,6 +230,8 @@ DsmRuntime::releaseLock(ProcCtx& ctx, int lock_id)
     mcdsm_assert(lock_id >= 0 && lock_id < cfg_.numLocks, "bad lock id");
     sched_.yield();
     trace_.record(sched_.now(), ctx.id, TraceKind::LockRelease, lock_id);
+    if (checker_)
+        checker_->beforeRelease(ctx.id, lock_id);
     protocol_->release(ctx, lock_id);
 }
 
@@ -228,7 +244,11 @@ DsmRuntime::barrier(ProcCtx& ctx, int barrier_id)
     ctx.stats.barriers += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::BarrierEnter,
                   barrier_id);
+    if (checker_)
+        checker_->barrierEnter(ctx.id, barrier_id);
     protocol_->barrier(ctx, barrier_id);
+    if (checker_)
+        checker_->barrierLeave(ctx.id, barrier_id);
     trace_.record(sched_.now(), ctx.id, TraceKind::BarrierLeave,
                   barrier_id);
 }
@@ -240,6 +260,9 @@ DsmRuntime::setFlag(ProcCtx& ctx, int flag_id)
     sched_.yield();
     ctx.stats.flagOps += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::FlagSet, flag_id);
+    // Publish before the protocol makes the flag observable.
+    if (checker_)
+        checker_->beforeFlagSet(ctx.id, flag_id);
     protocol_->setFlag(ctx, flag_id);
 }
 
@@ -251,6 +274,9 @@ DsmRuntime::waitFlag(ProcCtx& ctx, int flag_id)
     ctx.stats.flagOps += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::FlagWait, flag_id);
     protocol_->waitFlag(ctx, flag_id);
+    // Join only after the wait completed: the setter has published.
+    if (checker_)
+        checker_->afterFlagWait(ctx.id, flag_id);
 }
 
 Time
@@ -476,9 +502,6 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
     }
 
     if (!sched_.run()) {
-        std::string who;
-        for (const auto& name : sched_.blockedTasks())
-            who += " " + name;
         for (const auto& ctx : procs_) {
             if (ctx->task >= 0) {
                 std::string types;
@@ -500,7 +523,7 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
                              types.c_str());
             }
         }
-        mcdsm_panic("deadlock: blocked tasks:%s", who.c_str());
+        mcdsm_panic("%s", sched_.deadlockReport().c_str());
     }
 
     collectStats();
@@ -527,6 +550,7 @@ DsmRuntime::collectStats()
     stats_.mcBytes = mc_.totalBytes();
     stats_.mcStreamBytes = mc_.streamBytes();
     stats_.messages = mail_->totalMessages();
+    stats_.racesDetected = checker_ ? checker_->raceCount() : 0;
 }
 
 } // namespace mcdsm

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/race_detector.h"
 #include "common/costs.h"
 #include "common/log.h"
 #include "common/types.h"
@@ -98,18 +99,41 @@ class DsmRuntime
                      "access spans a page boundary");
         if (!ctx.pt.canWrite(pn)) [[unlikely]]
             handleWriteFault(ctx, pn);
-        if (int_mode_) [[unlikely]]
+        if (int_mode_) [[unlikely]] {
+            // A request serviced here can race with the store about
+            // to be issued: e.g. a TreadMarks diff request arriving
+            // between the fault and the store flushes the fresh twin
+            // (capturing pre-store contents) and write-protects the
+            // page — the store would then land unseen by the
+            // protocol and be lost from every future diff. Keep
+            // re-faulting until the page is still writable when the
+            // pointer is handed back (a real SIGIO handler gets the
+            // same guarantee from the hardware: the store re-faults).
             maybeInterrupt(ctx);
+            while (!ctx.pt.canWrite(pn)) [[unlikely]]
+                handleWriteFault(ctx, pn);
+        }
         chargeUser(ctx, costs_.l1HitTime + ctx.cache.access(a));
         return ctx.frame(pn) + pageOffset(a);
     }
 
     bool writeHook() const { return write_hook_; }
+    bool readHook() const { return read_hook_; }
 
     void
     afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
     {
         protocol_->afterWrite(ctx, a, size);
+        if (checker_ && !ctx.isPp)
+            checker_->onWrite(ctx.id, a, size, sched_.now());
+    }
+
+    void
+    afterRead(ProcCtx& ctx, GAddr a, std::size_t size)
+    {
+        protocol_->afterRead(ctx, a, size);
+        if (checker_ && !ctx.isPp)
+            checker_->onRead(ctx.id, a, size, sched_.now());
     }
 
     /** Application loop-top instrumentation point. */
@@ -227,6 +251,9 @@ class DsmRuntime
     /** Protocol event trace (empty unless cfg.traceCapacity > 0). */
     const TraceRing& trace() const { return trace_; }
 
+    /** Race detector (nullptr unless cfg.raceDetect). */
+    const RaceChecker* raceChecker() const { return checker_.get(); }
+
   private:
     void handleReadFault(ProcCtx& ctx, PageNum pn);
     void handleWriteFault(ProcCtx& ctx, PageNum pn);
@@ -266,6 +293,8 @@ class DsmRuntime
     bool int_mode_ = false;
     bool polls_while_waiting_ = true;
     bool write_hook_ = false;
+    bool read_hook_ = false;
+    std::unique_ptr<RaceChecker> checker_;
 
     std::size_t page_count_;
     std::size_t alloc_bytes_ = 0;

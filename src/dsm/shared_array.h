@@ -52,6 +52,13 @@ class SharedArray
         p.write<T>(addr(i), v);
     }
 
+    /** Deliberately unsynchronized read; see Proc::readRacy. */
+    T
+    getRacy(Proc& p, std::size_t i) const
+    {
+        return p.readRacy<T>(addr(i));
+    }
+
     /** Host-side initialization (before run). */
     void
     init(DsmSystem& sys, std::size_t i, T v) const

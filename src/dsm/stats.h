@@ -80,6 +80,12 @@ struct RunStats
     /** Total mailbox messages (both systems; "Messages" in Table 3). */
     std::uint64_t messages = 0;
 
+    /**
+     * Data races detected (always 0 unless DsmConfig::raceDetect;
+     * detailed reports via DsmRuntime::raceChecker()).
+     */
+    std::uint64_t racesDetected = 0;
+
     /** Sum a per-processor counter across processors. */
     template <typename F>
     std::uint64_t

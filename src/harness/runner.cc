@@ -61,6 +61,9 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     cfg.topo = (protocol == ProtocolKind::None) ? Topology(1, 1)
                                                 : Topology::standard(nprocs);
     cfg.seed = opts.seed;
+    cfg.raceDetect = opts.raceDetect;
+    cfg.schedSeed = opts.schedSeed;
+    cfg.schedMaxJitter = opts.schedMaxJitter;
     // Size the segment to the application, rounded up with headroom.
     std::size_t need = app->sharedBytes() + (1 << 20);
     std::size_t cap = 1 << 20;
@@ -79,6 +82,10 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     r.stats = sys->stats();
     r.elapsed = r.stats.elapsed;
     r.appResult = app->result();
+    if (const RaceChecker* rc = sys->runtime().raceChecker()) {
+        r.races = rc->raceCount();
+        r.raceSummary = rc->summary();
+    }
     return r;
 }
 

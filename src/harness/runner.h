@@ -25,6 +25,10 @@ struct ExpResult
     RunStats stats;
     AppResult appResult;
 
+    /** Race-detector output (empty unless RunOpts::raceDetect). */
+    std::uint64_t races = 0;
+    std::string raceSummary;
+
     double
     seconds() const
     {
@@ -39,6 +43,13 @@ struct RunOpts
     std::uint64_t seed = 1;
     /** Start from this config (protocol/topo overwritten). */
     std::optional<DsmConfig> base;
+
+    /** Run under the vector-clock race detector. */
+    bool raceDetect = false;
+    /** Schedule-perturbation seed (0 = baseline schedule). */
+    std::uint64_t schedSeed = 0;
+    /** Jitter bound for perturbed schedules (ns). */
+    Time schedMaxJitter = 200;
 };
 
 /**

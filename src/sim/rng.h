@@ -52,6 +52,22 @@ class Rng
         return lo + (hi - lo) * nextDouble();
     }
 
+    /**
+     * Derive an independent stream. The child is seeded from the next
+     * parent output remixed with a distinct odd constant, so parent and
+     * child sequences do not overlap even for adjacent seeds; repeated
+     * split() calls yield mutually independent streams. Advances the
+     * parent by one draw.
+     */
+    Rng
+    split()
+    {
+        std::uint64_t z = next() ^ 0xd6e8feb86659fd93ULL;
+        z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93ULL;
+        z = z ^ (z >> 32);
+        return Rng(z);
+    }
+
   private:
     std::uint64_t state_;
 };

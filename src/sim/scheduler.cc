@@ -18,7 +18,7 @@ Scheduler::spawn(std::string name, std::function<void(TaskId)> fn,
     task->state = State::Runnable;
     task->fiber = std::make_unique<Fiber>([this, fn, id] { fn(id); });
     tasks_.push_back(std::move(task));
-    ready_.insert({start, ready_seq_++, id});
+    ready_.insert({start, nextSeq(), id});
     return id;
 }
 
@@ -59,7 +59,7 @@ Scheduler::switchOut(State next_state)
     Task& t = *tasks_[current_];
     t.state = next_state;
     if (next_state == State::Runnable)
-        ready_.insert({t.now, ready_seq_++, current_});
+        ready_.insert({t.now, nextSeq(), current_});
     Fiber::yield();
 }
 
@@ -75,6 +75,12 @@ Scheduler::block()
 {
     mcdsm_assert(current_ >= 0, "block() outside any task");
     Task& t = *tasks_[current_];
+
+    // Perturbation point: nudging the blocking task's clock forward
+    // reshuffles which task is the minimum when it re-enters the
+    // ready queue. Clocks only move forward, so this is always a
+    // legal interleaving.
+    t.now += jitter();
 
     if (!t.pendingWakes.empty()) {
         auto it = std::min_element(t.pendingWakes.begin(),
@@ -96,7 +102,7 @@ Scheduler::makeRunnable(TaskId id)
 {
     Task& t = *tasks_[id];
     t.state = State::Runnable;
-    ready_.insert({t.now, ready_seq_++, id});
+    ready_.insert({t.now, nextSeq(), id});
 }
 
 void
@@ -104,6 +110,10 @@ Scheduler::wake(TaskId id, Time time)
 {
     mcdsm_assert(id >= 0 && id < taskCount(), "wake() on bad task id");
     Task& t = *tasks_[id];
+
+    // Perturbation point: delaying a wake is conservative — the woken
+    // task only ever observes state at or after the requested time.
+    time += jitter();
 
     switch (t.state) {
       case State::Finished:
@@ -127,6 +137,15 @@ Scheduler::blockedTasks() const
         if (t->state == State::Blocked)
             out.push_back(t->name);
     }
+    return out;
+}
+
+std::string
+Scheduler::deadlockReport() const
+{
+    std::string out = "deadlock: blocked tasks:";
+    for (const auto& name : blockedTasks())
+        out += " " + name;
     return out;
 }
 

@@ -18,6 +18,15 @@
  * and wakers call wake(task, t). A wake targeted at a task that is not
  * currently blocked is remembered and consumed by the next block()
  * call, so the wake/block race is benign.
+ *
+ * Schedule perturbation (perturb()): by default ties between
+ * equal-clock runnable tasks are broken FIFO, so every run explores
+ * exactly one interleaving. In perturbed mode the tie-break is
+ * randomized and a bounded amount of virtual-time jitter is injected
+ * at block/wake points. Both draws come from a single seeded Rng, so
+ * a schedule is fully reproducible from its seed, and because clocks
+ * only ever move forward the conservative-PDES delivery guarantee is
+ * preserved: a perturbed run is simply a different legal interleaving.
  */
 
 #ifndef MCDSM_SIM_SCHEDULER_H
@@ -29,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 #include "sim/fiber.h"
+#include "sim/rng.h"
 
 namespace mcdsm {
 
@@ -120,6 +131,31 @@ class Scheduler
     /** Names of tasks still blocked after run() returned false. */
     std::vector<std::string> blockedTasks() const;
 
+    /**
+     * One-line deadlock diagnostic naming every still-blocked task.
+     * Meaningful after run() returned false.
+     */
+    std::string deadlockReport() const;
+
+    /**
+     * Enable seeded schedule perturbation. Must be called before
+     * run(). @p max_jitter bounds the virtual-time jitter (ns)
+     * injected at each block/wake point; ties between equal-clock
+     * runnable tasks are broken pseudo-randomly. The whole schedule
+     * is a deterministic function of @p seed.
+     */
+    void
+    perturb(std::uint64_t seed, Time max_jitter)
+    {
+        mcdsm_assert(!running_, "perturb() during run()");
+        perturb_ = true;
+        prng_ = Rng(seed);
+        max_jitter_ = max_jitter;
+    }
+
+    /** True if perturb() was called. */
+    bool perturbed() const { return perturb_; }
+
   private:
     enum class State { Runnable, Running, Blocked, Finished };
 
@@ -147,9 +183,28 @@ class Scheduler
         {
             if (time != o.time)
                 return time < o.time;
-            return seq < o.seq;
+            if (seq != o.seq)
+                return seq < o.seq;
+            return id < o.id;
         }
     };
+
+    /** Tie-break rank: FIFO normally, pseudo-random when perturbed. */
+    std::uint64_t
+    nextSeq()
+    {
+        return perturb_ ? prng_.next() : ready_seq_++;
+    }
+
+    /** Bounded virtual-time jitter (0 unless perturbed). */
+    Time
+    jitter()
+    {
+        if (!perturb_ || max_jitter_ <= 0)
+            return 0;
+        return static_cast<Time>(
+            prng_.nextBounded(static_cast<std::uint64_t>(max_jitter_) + 1));
+    }
 
     std::vector<std::unique_ptr<Task>> tasks_;
     /// Runnable tasks ordered by (clock, insertion order).
@@ -158,6 +213,10 @@ class Scheduler
     TaskId current_ = -1;
     Time max_finish_ = 0;
     bool running_ = false;
+
+    bool perturb_ = false;
+    Rng prng_{0};
+    Time max_jitter_ = 0;
 };
 
 } // namespace mcdsm

@@ -73,6 +73,8 @@ TreadMarks::closeInterval(ProcCtx& ctx)
 
     s.vt[ctx.id] += 1;
     rec->vt = s.vt;
+    for (PageNum pn : rec->pages)
+        s.pages[pn].closeKey = vtSum(rec->vt);
     s.log.add(rec);
 
     rt_->charge(ctx, TimeCat::Protocol,
@@ -99,7 +101,7 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     d->page = pn;
     d->seq = ++s.diffSeq;
     d->coversUpTo = s.vt[ctx.id] == 0 ? 0 : s.vt[ctx.id] - 1;
-    d->orderKey = vtSum(s.vt);
+    d->orderKey = m.closeKey;
     d->runs = computeRuns(ctx.frame(pn), m.twin);
 
     const std::size_t bytes = d->dataBytes();

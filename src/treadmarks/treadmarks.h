@@ -98,6 +98,15 @@ class TreadMarks final : public Protocol
         /** Write notices received but not yet applied: (writer, id). */
         std::vector<std::pair<ProcId, std::uint32_t>> pending;
         std::uint8_t* twin = nullptr;
+        /**
+         * vtSum of the last closed interval that wrote this page; the
+         * orderKey of the next flushed diff. Diffs are created lazily,
+         * so the writer's clock at flush time may have advanced past
+         * knowledge a causally-later writer acted on — stamping at
+         * flush time would let an older diff sort after (and clobber)
+         * a newer one at a reader.
+         */
+        std::uint64_t closeKey = 0;
         /** Newest diff seq applied, per writer. */
         std::unordered_map<ProcId, std::uint32_t> lastSeqApplied;
         /** Intervals covered by applied diffs, per writer. */

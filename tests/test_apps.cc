@@ -114,6 +114,56 @@ INSTANTIATE_TEST_SUITE_P(AllApps, AppMatrix,
                          ::testing::ValuesIn(buildMatrix()), caseName);
 
 // ---------------------------------------------------------------------------
+// Race-detector matrix: every application on every variant must be
+// race-free under the vector-clock checker (intentionally racy reads,
+// like TSP's bound refresh, are annotated in the app and exempt), and
+// the checker must not perturb the computed result.
+// ---------------------------------------------------------------------------
+
+class RaceCleanMatrix : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(RaceCleanMatrix, NoRacesAndGoldenUnchanged)
+{
+    const Case& c = GetParam();
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    opts.raceDetect = true;
+    ExpResult r = runExperiment(c.app, c.protocol, c.nprocs, opts);
+
+    EXPECT_EQ(r.races, 0u) << r.raceSummary;
+
+    const double want = seqChecksum(c.app);
+    const double got = r.appResult.checksum;
+    const double tol = tolFor(c.app);
+    if (tol == 0.0) {
+        EXPECT_EQ(got, want);
+    } else {
+        EXPECT_NEAR(got, want, std::max(1e-12, std::abs(want)) * tol);
+    }
+}
+
+std::vector<Case>
+buildRaceMatrix()
+{
+    std::vector<Case> cases;
+    const ProtocolKind kinds[] = {
+        ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+        ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+        ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+    };
+    for (const char* app : kAppNames) {
+        for (ProtocolKind k : kinds)
+            cases.push_back({app, k, 4});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, RaceCleanMatrix,
+                         ::testing::ValuesIn(buildRaceMatrix()),
+                         caseName);
+
+// ---------------------------------------------------------------------------
 // Algorithm-level sanity checks (independent golden values).
 // ---------------------------------------------------------------------------
 
