@@ -29,22 +29,57 @@ main(int argc, char** argv)
     const auto apps =
         splitList(flags.get("apps", "sor,em3d,gauss"));
 
+    // All three ablations as one batch for the parallel engine;
+    // per-section index bookkeeping recovers the original layout.
+    const Time kIntLats[] = {Time(10), Time(100), Time(1000)};
+    const ProtocolKind kMc2Kinds[] = {ProtocolKind::CsmPoll,
+                                      ProtocolKind::TmkMcPoll};
+    std::vector<ExpSpec> specs;
+    const std::size_t excl_at = specs.size(); // app -> {on, off}
+    for (const auto& app : apps) {
+        specs.push_back({app, ProtocolKind::CsmPoll, np, opts});
+        RunOpts off = opts;
+        DsmConfig cfg;
+        cfg.cashmereExclusiveMode = false;
+        off.base = cfg;
+        specs.push_back({app, ProtocolKind::CsmPoll, np, off});
+    }
+    const std::size_t int_at = specs.size(); // (app, lat) -> {ci, ti}
+    for (const auto& app : apps) {
+        for (Time lat : kIntLats) {
+            RunOpts o = opts;
+            DsmConfig cfg;
+            cfg.costs.remoteSignalLatency = lat * kMicrosecond;
+            o.base = cfg;
+            specs.push_back({app, ProtocolKind::CsmInt, np, o});
+            specs.push_back({app, ProtocolKind::TmkMcInt, np, o});
+        }
+    }
+    const std::size_t mc2_at = specs.size(); // (app, kind) -> {g1, g2}
+    for (const auto& app : apps) {
+        for (ProtocolKind k : kMc2Kinds) {
+            specs.push_back({app, k, np, opts});
+            RunOpts o = opts;
+            DsmConfig cfg;
+            cfg.costs.mcLatency /= 2;
+            cfg.costs.mcLinkBw *= 10;
+            cfg.costs.mcAggBw *= 10;
+            o.base = cfg;
+            specs.push_back({app, k, np, o});
+        }
+    }
+    const auto results = runExperiments(specs, jobsFrom(flags));
+
     // ---- 1. exclusive mode ------------------------------------------------
     std::printf("Ablation 1: Cashmere exclusive mode (csm_poll, %d "
                 "procs)\n\n", np);
     {
         TextTable t({"App", "on: time(s)", "off: time(s)",
                      "on: notices", "off: notices", "slowdown"});
-        for (const auto& app : apps) {
-            RunOpts on = opts;
-            ExpResult with = runExperiment(app, ProtocolKind::CsmPoll,
-                                           np, on);
-            RunOpts off = opts;
-            DsmConfig cfg;
-            cfg.cashmereExclusiveMode = false;
-            off.base = cfg;
-            ExpResult without = runExperiment(
-                app, ProtocolKind::CsmPoll, np, off);
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const auto& app = apps[a];
+            const ExpResult& with = results[excl_at + 2 * a];
+            const ExpResult& without = results[excl_at + 2 * a + 1];
             auto notices = [](const RunStats& s) {
                 return s.total([](const ProcStats& p) {
                     return p.writeNoticesSent;
@@ -65,16 +100,11 @@ main(int argc, char** argv)
                 "(csm_int / tmk_mc_int, %d procs)\n\n", np);
     {
         TextTable t({"App", "latency", "csm_int (s)", "tmk_mc_int (s)"});
+        std::size_t idx = int_at;
         for (const auto& app : apps) {
-            for (Time lat : {Time(10), Time(100), Time(1000)}) {
-                RunOpts o = opts;
-                DsmConfig cfg;
-                cfg.costs.remoteSignalLatency = lat * kMicrosecond;
-                o.base = cfg;
-                ExpResult ci =
-                    runExperiment(app, ProtocolKind::CsmInt, np, o);
-                ExpResult ti =
-                    runExperiment(app, ProtocolKind::TmkMcInt, np, o);
+            for (Time lat : kIntLats) {
+                const ExpResult& ci = results[idx++];
+                const ExpResult& ti = results[idx++];
                 t.addRow({app, strprintf("%lld us", (long long)lat),
                           TextTable::num(ci.seconds(), 2),
                           TextTable::num(ti.seconds(), 2)});
@@ -88,17 +118,11 @@ main(int argc, char** argv)
                 "(half latency, 10x bandwidth; %d procs)\n\n", np);
     {
         TextTable t({"App", "System", "MC1 (s)", "MC2 (s)", "gain"});
+        std::size_t idx = mc2_at;
         for (const auto& app : apps) {
-            for (ProtocolKind k :
-                 {ProtocolKind::CsmPoll, ProtocolKind::TmkMcPoll}) {
-                ExpResult gen1 = runExperiment(app, k, np, opts);
-                RunOpts o = opts;
-                DsmConfig cfg;
-                cfg.costs.mcLatency /= 2;
-                cfg.costs.mcLinkBw *= 10;
-                cfg.costs.mcAggBw *= 10;
-                o.base = cfg;
-                ExpResult gen2 = runExperiment(app, k, np, o);
+            for (ProtocolKind k : kMc2Kinds) {
+                const ExpResult& gen1 = results[idx++];
+                const ExpResult& gen2 = results[idx++];
                 t.addRow({app, protocolName(k),
                           TextTable::num(gen1.seconds(), 2),
                           TextTable::num(gen2.seconds(), 2),

@@ -7,11 +7,13 @@
 #ifndef MCDSM_BENCH_BENCH_COMMON_H
 #define MCDSM_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "harness/pool.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 
@@ -118,6 +120,21 @@ optsFrom(const Flags& flags)
     opts.scale = scaleFromName(flags.get("scale", "small"));
     opts.seed = std::stoull(flags.get("seed", "1"));
     return opts;
+}
+
+/**
+ * Worker threads for the parallel experiment engine: --jobs=N, else
+ * the MCDSM_JOBS environment variable, else hardware_concurrency.
+ * Results are identical for any value (see harness/pool.h); jobs only
+ * changes how many independent simulations run at once.
+ */
+inline int
+jobsFrom(const Flags& flags)
+{
+    const std::string v = flags.get("jobs", "");
+    if (!v.empty())
+        return std::max(1, std::stoi(v));
+    return jobsFromEnv(defaultJobs());
 }
 
 } // namespace mcdsm::bench

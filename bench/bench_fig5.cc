@@ -4,7 +4,8 @@
  * 32 processors for all six protocol variants. Speedups are relative
  * to the unlinked sequential run (Table 2), as in the paper.
  *
- * Flags: --apps=..., --protocols=..., --procs=..., --scale=...
+ * Flags: --apps=..., --protocols=..., --procs=..., --scale=...,
+ * --jobs=N (parallel experiment engine; default hardware threads).
  */
 
 #include "bench_common.h"
@@ -20,13 +21,41 @@ main(int argc, char** argv)
     const auto apps = appList(flags);
     const auto kinds = protocolList(flags);
     const auto procs = procList(flags);
+    const int jobs = jobsFrom(flags);
 
-    std::printf("Figure 5: speedups (scale=%s)\n\n",
-                flags.get("scale", "small").c_str());
+    // Build the whole grid as one batch — the engine overlaps every
+    // cell (and the sequential baselines) across worker threads; the
+    // printout below then walks results in the original order.
+    std::vector<ExpSpec> specs;
+    std::vector<std::size_t> seq_at(apps.size());
+    // cell_at[app][proc][kind] = index into specs, or npos.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::vector<std::vector<std::size_t>>> cell_at(
+        apps.size(),
+        std::vector<std::vector<std::size_t>>(
+            procs.size(), std::vector<std::size_t>(kinds.size(), npos)));
 
-    for (const auto& app : apps) {
-        ExpResult seq = runSequential(app, opts);
-        std::printf("%s  (sequential: %.2f s)\n", app.c_str(),
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        seq_at[a] = specs.size();
+        specs.push_back({apps[a], ProtocolKind::None, 1, opts});
+        for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+            for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+                if (!configSupported(kinds[ki], procs[pi]))
+                    continue;
+                cell_at[a][pi][ki] = specs.size();
+                specs.push_back({apps[a], kinds[ki], procs[pi], opts});
+            }
+        }
+    }
+
+    const std::vector<ExpResult> results = runExperiments(specs, jobs);
+
+    std::printf("Figure 5: speedups (scale=%s, jobs=%d)\n\n",
+                flags.get("scale", "small").c_str(), jobs);
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExpResult& seq = results[seq_at[a]];
+        std::printf("%s  (sequential: %.2f s)\n", apps[a].c_str(),
                     seq.seconds());
 
         std::vector<std::string> headers = {"procs"};
@@ -34,14 +63,15 @@ main(int argc, char** argv)
             headers.push_back(protocolName(k));
         TextTable table(std::move(headers));
 
-        for (int np : procs) {
-            std::vector<std::string> row = {std::to_string(np)};
-            for (ProtocolKind k : kinds) {
-                if (!configSupported(k, np)) {
+        for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+            std::vector<std::string> row = {std::to_string(procs[pi])};
+            for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+                const std::size_t idx = cell_at[a][pi][ki];
+                if (idx == npos) {
                     row.push_back("n/a");
                     continue;
                 }
-                ExpResult r = runExperiment(app, k, np, opts);
+                const ExpResult& r = results[idx];
                 row.push_back(
                     TextTable::num(seq.seconds() / r.seconds(), 2));
             }

@@ -27,12 +27,19 @@ main(int argc, char** argv)
     TextTable table({"App", "System", "User", "Polling", "Doubling",
                      "Protocol", "Comm&Wait", "Total"});
 
-    for (const auto& app : appList(flags)) {
+    const auto apps = appList(flags);
+    std::vector<ExpSpec> specs;
+    for (const auto& app : apps) {
         const int np = (app == "barnes") ? procs / 2 : procs;
-        ExpResult csm = runExperiment(app, ProtocolKind::CsmPoll, np,
-                                      opts);
-        ExpResult tmk = runExperiment(app, ProtocolKind::TmkMcPoll, np,
-                                      opts);
+        specs.push_back({app, ProtocolKind::CsmPoll, np, opts});
+        specs.push_back({app, ProtocolKind::TmkMcPoll, np, opts});
+    }
+    const auto results = runExperiments(specs, jobsFrom(flags));
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto& app = apps[a];
+        const ExpResult& csm = results[2 * a];
+        const ExpResult& tmk = results[2 * a + 1];
 
         // Normalize by summed per-processor Cashmere time.
         double csm_total = 0;

@@ -5,12 +5,22 @@
  * context switching, vector-timestamp algebra and page-table ops.
  * These measure *host* performance of the simulator itself — useful
  * for keeping large sweeps affordable.
+ *
+ * With --grid or --json=FILE the binary instead runs a small
+ * experiment grid through the parallel engine and reports host
+ * wall-clock seconds, simulated seconds and simulator events/sec per
+ * configuration — the machine-readable perf trajectory future PRs
+ * diff against (schema suitable for BENCH_*.json). Simulated times
+ * and checksums are bit-identical for any --jobs value; only host
+ * timing changes.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 
+#include "bench_common.h"
 #include "cache/cache_model.h"
 #include "net/memory_channel.h"
 #include "sim/scheduler.h"
@@ -144,7 +154,142 @@ BM_PageTableProtect(benchmark::State& state)
 }
 BENCHMARK(BM_PageTableProtect);
 
+// ---------------------------------------------------------------------------
+// Grid mode: host-performance trajectory of whole simulations.
+// ---------------------------------------------------------------------------
+
+/** Simulator work proxy: events processed during one run. */
+std::uint64_t
+simEvents(const RunStats& s)
+{
+    std::uint64_t n = s.messages;
+    for (const auto& p : s.procs) {
+        n += p.cacheAccesses + p.readFaults + p.writeFaults +
+             p.requestsServiced + p.lockAcquires + p.barriers +
+             p.flagOps;
+    }
+    return n;
+}
+
+int
+runGrid(const bench::Flags& flags)
+{
+    using clock = std::chrono::steady_clock;
+    RunOpts opts;
+    opts.scale = bench::scaleFromName(flags.get("scale", "tiny"));
+    opts.seed = std::stoull(flags.get("seed", "1"));
+    const int jobs = bench::jobsFrom(flags);
+
+    std::vector<ExpSpec> specs;
+    for (const auto& app :
+         bench::splitList(flags.get("apps", "sor,gauss,lu"))) {
+        for (const auto& proto : bench::splitList(
+                 flags.get("protocols", "csm_poll,tmk_mc_poll"))) {
+            for (const auto& np :
+                 bench::splitList(flags.get("procs", "4,8"))) {
+                specs.push_back({app, protocolFromName(proto),
+                                 std::stoi(np), opts});
+            }
+        }
+    }
+
+    // Run through the engine, timing each experiment on its worker.
+    std::vector<ExpResult> results(specs.size());
+    std::vector<double> host_secs(specs.size(), 0.0);
+    const auto wall0 = clock::now();
+    parallelFor(specs.size(), jobs, [&](std::size_t i) {
+        const auto t0 = clock::now();
+        const ExpSpec& s = specs[i];
+        results[i] = runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+        host_secs[i] =
+            std::chrono::duration<double>(clock::now() - t0).count();
+    });
+    const double wall =
+        std::chrono::duration<double>(clock::now() - wall0).count();
+
+    double host_total = 0, sim_total = 0;
+    std::uint64_t events_total = 0;
+    std::printf("%-8s %-12s %6s %10s %10s %14s %14s\n", "app",
+                "protocol", "procs", "host(s)", "sim(s)", "events",
+                "events/host-s");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const ExpResult& r = results[i];
+        const std::uint64_t ev = simEvents(r.stats);
+        host_total += host_secs[i];
+        sim_total += r.seconds();
+        events_total += ev;
+        std::printf("%-8s %-12s %6d %10.3f %10.3f %14llu %14.0f\n",
+                    r.app.c_str(), protocolName(r.protocol), r.nprocs,
+                    host_secs[i], r.seconds(),
+                    static_cast<unsigned long long>(ev),
+                    host_secs[i] > 0 ? ev / host_secs[i] : 0.0);
+    }
+    std::printf("total: wall %.3f s, host-cpu %.3f s, sim %.3f s, "
+                "jobs %d, speedup-vs-serial %.2fx\n",
+                wall, host_total, sim_total, jobs,
+                wall > 0 ? host_total / wall : 0.0);
+
+    const std::string json = flags.get("json", "");
+    if (!json.empty()) {
+        std::FILE* f = std::fopen(json.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"bench_micro_grid\",\n");
+        std::fprintf(f, "  \"scale\": \"%s\",\n",
+                     flags.get("scale", "tiny").c_str());
+        std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+        std::fprintf(f, "  \"wallSeconds\": %.6f,\n", wall);
+        std::fprintf(f, "  \"configs\": [\n");
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const ExpResult& r = results[i];
+            const std::uint64_t ev = simEvents(r.stats);
+            std::uint64_t cks_bits = 0;
+            static_assert(sizeof(cks_bits) ==
+                          sizeof(r.appResult.checksum));
+            std::memcpy(&cks_bits, &r.appResult.checksum,
+                        sizeof(cks_bits));
+            std::fprintf(
+                f,
+                "    {\"app\": \"%s\", \"protocol\": \"%s\", "
+                "\"nprocs\": %d, \"hostSeconds\": %.6f, "
+                "\"simSeconds\": %.9f, \"simEvents\": %llu, "
+                "\"eventsPerHostSec\": %.1f, "
+                "\"checksumBits\": \"0x%016llx\"}%s\n",
+                r.app.c_str(), protocolName(r.protocol), r.nprocs,
+                host_secs[i], r.seconds(),
+                static_cast<unsigned long long>(ev),
+                host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+                static_cast<unsigned long long>(cks_bits),
+                i + 1 < specs.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"totals\": {\"hostSeconds\": %.6f, "
+                     "\"simSeconds\": %.9f, \"simEvents\": %llu, "
+                     "\"eventsPerWallSec\": %.1f}\n}\n",
+                     host_total, sim_total,
+                     static_cast<unsigned long long>(events_total),
+                     wall > 0 ? events_total / wall : 0.0);
+        std::fclose(f);
+        std::printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 } // namespace mcdsm
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    mcdsm::bench::Flags flags(argc, argv);
+    // Grid mode: whole-simulation throughput via the parallel engine.
+    if (flags.has("grid") || flags.has("json"))
+        return mcdsm::runGrid(flags);
+    // Otherwise: the google-benchmark micro suite.
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -46,11 +46,19 @@ main(int argc, char** argv)
                 "(paper: polling 0-36%%, doubling 0-39%%):\n\n");
 
     TextTable table({"App", "Polling %", "Write doubling %"});
-    for (const auto& app : appList(flags)) {
+    const auto apps = appList(flags);
+    std::vector<ExpSpec> specs;
+    for (const auto& app : apps) {
+        specs.push_back({app, ProtocolKind::TmkMcPoll, 1, opts});
+        specs.push_back({app, ProtocolKind::CsmPoll, 1, opts});
+    }
+    const auto results = runExperiments(specs, jobsFrom(flags));
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto& app = apps[a];
         // Polling overhead: 1-processor run of the polling TreadMarks
         // variant; the Poll category is pure instrumentation.
-        ExpResult tmk =
-            runExperiment(app, ProtocolKind::TmkMcPoll, 1, opts);
+        const ExpResult& tmk = results[2 * a];
         const double user =
             static_cast<double>(tmk.stats.totalTime(TimeCat::User));
         const double poll =
@@ -59,8 +67,7 @@ main(int argc, char** argv)
         // Doubling overhead: 1-processor Cashmere run; the Doubling
         // category covers the extra stores plus the cache pollution
         // they cause is reflected in User (compare totals).
-        ExpResult csm =
-            runExperiment(app, ProtocolKind::CsmPoll, 1, opts);
+        const ExpResult& csm = results[2 * a + 1];
         const double dbl =
             static_cast<double>(csm.stats.totalTime(TimeCat::Doubling)) +
             static_cast<double>(csm.stats.totalTime(TimeCat::User)) -

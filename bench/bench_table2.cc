@@ -21,14 +21,19 @@ main(int argc, char** argv)
     TextTable table(
         {"Program", "Problem Size", "Shared MB", "Time (sec.)"});
 
-    for (const auto& app_name : appList(flags)) {
-        auto app = makeApp(app_name, opts.scale, opts.seed);
+    const auto apps = appList(flags);
+    std::vector<ExpSpec> specs;
+    for (const auto& app_name : apps)
+        specs.push_back({app_name, ProtocolKind::None, 1, opts});
+    const auto results = runExperiments(specs, jobsFrom(flags));
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        auto app = makeApp(apps[a], opts.scale, opts.seed);
         const std::string desc = app->problemDesc();
         const double mb =
             static_cast<double>(app->sharedBytes()) / (1 << 20);
-        ExpResult r = runSequential(app_name, opts);
-        table.addRow({app_name, desc, TextTable::num(mb, 1),
-                      TextTable::num(r.seconds(), 2)});
+        table.addRow({apps[a], desc, TextTable::num(mb, 1),
+                      TextTable::num(results[a].seconds(), 2)});
     }
     table.print();
     return 0;

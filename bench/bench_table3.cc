@@ -23,14 +23,25 @@ main(int argc, char** argv)
 
     const auto apps = appList(flags);
 
+    // Both blocks as one batch for the parallel engine.
+    std::vector<ExpSpec> specs;
+    for (const auto& app : apps) {
+        const int np = (app == "barnes") ? procs / 2 : procs;
+        specs.push_back({app, ProtocolKind::CsmPoll, np, opts});
+    }
+    for (const auto& app : apps) {
+        const int np = (app == "barnes") ? procs / 2 : procs;
+        specs.push_back({app, ProtocolKind::TmkMcPoll, np, opts});
+    }
+    const auto results = runExperiments(specs, jobsFrom(flags));
+
     // Cashmere block.
     {
         TextTable t({"CSM", "Exec(s)", "Barriers", "Locks", "Read flt",
                      "Write flt", "Page transfers", "Data KB"});
-        for (const auto& app : apps) {
-            const int np = (app == "barnes") ? procs / 2 : procs;
-            ExpResult r =
-                runExperiment(app, ProtocolKind::CsmPoll, np, opts);
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const auto& app = apps[a];
+            const ExpResult& r = results[a];
             const RunStats& s = r.stats;
             t.addRow({app, TextTable::num(r.seconds(), 2),
                       TextTable::count(s.total([](const ProcStats& p) {
@@ -59,10 +70,9 @@ main(int argc, char** argv)
     {
         TextTable t({"TMK", "Exec(s)", "Barriers", "Locks", "Read flt",
                      "Write flt", "Messages", "Data KB"});
-        for (const auto& app : apps) {
-            const int np = (app == "barnes") ? procs / 2 : procs;
-            ExpResult r =
-                runExperiment(app, ProtocolKind::TmkMcPoll, np, opts);
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const auto& app = apps[a];
+            const ExpResult& r = results[apps.size() + a];
             const RunStats& s = r.stats;
             std::uint64_t bytes = 0;
             for (const auto& p : s.procs)

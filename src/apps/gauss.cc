@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace mcdsm {
 
@@ -67,15 +68,25 @@ GaussApp::worker(Proc& p)
     };
     const int ncols = n_ + 1;
 
+    // Row sweeps are fully contiguous, so they run through the bulk
+    // fast path (Proc::readBlock/writeBlock): the active [k, ncols)
+    // segments of the pivot row and the target row are read once,
+    // updated locally in the same element order, and written back
+    // once. Only elements the scalar loop touched are covered, so
+    // protocol and race-detector behaviour is unchanged.
+    std::vector<double> krow(static_cast<std::size_t>(ncols));
+    std::vector<double> irow(static_cast<std::size_t>(ncols));
+
     // Elimination: row k's owner normalizes it and raises its flag;
     // everyone then eliminates column k from their own later rows.
     for (int k = 0; k < n; ++k) {
+        const std::size_t seg = static_cast<std::size_t>(ncols - k);
         if (k % np == id) {
-            const double pivot = p.read<double>(at(k, k));
-            for (int j = k; j < ncols; ++j) {
-                p.write<double>(at(k, j),
-                                p.read<double>(at(k, j)) / pivot);
-            }
+            p.readBlock<double>(at(k, k), krow.data(), seg);
+            const double pivot = krow[0];
+            for (std::size_t j = 0; j < seg; ++j)
+                krow[j] /= pivot;
+            p.writeBlock<double>(at(k, k), krow.data(), seg);
             p.computeOps(6 * (ncols - k));
             p.setFlag(k);
         } else {
@@ -88,11 +99,11 @@ GaussApp::worker(Proc& p)
             const double f = p.read<double>(at(i, k));
             if (f == 0.0)
                 continue;
-            for (int j = k; j < ncols; ++j) {
-                const double v = p.read<double>(at(i, j)) -
-                                 f * p.read<double>(at(k, j));
-                p.write<double>(at(i, j), v);
-            }
+            p.readBlock<double>(at(i, k), irow.data(), seg);
+            p.readBlock<double>(at(k, k), krow.data(), seg);
+            for (std::size_t j = 0; j < seg; ++j)
+                irow[j] -= f * krow[j];
+            p.writeBlock<double>(at(i, k), irow.data(), seg);
             p.computeOps(6 * (ncols - k));
         }
     }
@@ -103,9 +114,13 @@ GaussApp::worker(Proc& p)
     if (id == 0) {
         for (int i = n - 1; i >= 0; --i) {
             p.pollPoint();
-            double v = p.read<double>(at(i, n));
+            const std::size_t tail = static_cast<std::size_t>(n - i);
+            // irow holds a[i][i+1 .. n]: the solved coefficients plus
+            // the right-hand side as its last element.
+            p.readBlock<double>(at(i, i + 1), irow.data(), tail);
+            double v = irow[tail - 1];
             for (int j = i + 1; j < n; ++j)
-                v -= p.read<double>(at(i, j)) * x_.get(p, j);
+                v -= irow[j - (i + 1)] * x_.get(p, j);
             x_.set(p, i, v); // row i is normalized: a[i][i] == 1
             p.computeOps(2 * (n - i));
         }

@@ -1,5 +1,7 @@
 #include "apps/sor.h"
 
+#include <vector>
+
 namespace mcdsm {
 
 SorApp::SorApp(int rows, int cols, int iters)
@@ -47,16 +49,41 @@ SorApp::worker(Proc& p)
         return static_cast<std::size_t>(i) * cols_ + j;
     };
 
+    // Row buffers for the bulk-access fast path. A whole-row read is
+    // only safe when no *other* processor is writing cells of that
+    // row this phase: our own band rows (any same-proc overlap is
+    // program-ordered) and the fixed boundary rows (never written).
+    // The rows just outside the band belong to a neighbour that is
+    // updating its color cells concurrently, so those stay at element
+    // granularity to read exactly the cells the stencil needs.
+    std::vector<double> up_row(cols_), mid_row(cols_), down_row(cols_);
+    auto wholeRowSafe = [&](int r) {
+        return (lo <= r && r < hi) || r < 1 || r >= rows_ - 1;
+    };
+    auto loadRow = [&](int r, std::vector<double>& buf, int start) {
+        if (wholeRowSafe(r)) {
+            grid_.getRange(p, at(r, 0), buf.data(),
+                           static_cast<std::size_t>(cols_));
+        } else {
+            for (int j = start; j < cols_ - 1; j += 2)
+                buf[static_cast<std::size_t>(j)] = grid_.get(p, at(r, j));
+        }
+    };
+
     for (int iter = 0; iter < iters_; ++iter) {
         for (int phase = 0; phase < 2; ++phase) {
             for (int i = lo; i < hi; ++i) {
                 p.pollPoint();
                 const int start = 1 + ((i + phase) & 1);
+                loadRow(i - 1, up_row, start);
+                loadRow(i + 1, down_row, start);
+                grid_.getRange(p, at(i, 0), mid_row.data(),
+                               static_cast<std::size_t>(cols_));
                 for (int j = start; j < cols_ - 1; j += 2) {
-                    const double up = grid_.get(p, at(i - 1, j));
-                    const double down = grid_.get(p, at(i + 1, j));
-                    const double left = grid_.get(p, at(i, j - 1));
-                    const double right = grid_.get(p, at(i, j + 1));
+                    const double up = up_row[j];
+                    const double down = down_row[j];
+                    const double left = mid_row[j - 1];
+                    const double right = mid_row[j + 1];
                     grid_.set(p, at(i, j),
                               0.25 * (up + down + left + right));
                     p.computeOps(6);
@@ -66,12 +93,15 @@ SorApp::worker(Proc& p)
         }
     }
 
-    // Verification: per-proc partial sums, combined by proc 0.
+    // Verification: per-proc partial sums, combined by proc 0. The
+    // phases are over (barrier-ordered), so whole-row reads are safe.
     double sum = 0;
     for (int i = lo; i < hi; ++i) {
         p.pollPoint();
+        grid_.getRange(p, at(i, 0), mid_row.data(),
+                       static_cast<std::size_t>(cols_));
         for (int j = 0; j < cols_; ++j)
-            sum += grid_.get(p, at(i, j));
+            sum += mid_row[j];
         p.computeOps(cols_);
     }
     sums_.set(p, static_cast<std::size_t>(id) * 64, sum);

@@ -100,9 +100,9 @@ Cashmere::loadPage(ProcCtx& ctx, PageNum pn)
     rt_->sendMessage(ctx, rt_->requestEndpointForNode(home), req);
 
     ctx.noteWait("csm_fetch", pn, home);
-    Message rep = rt_->waitReplyIf(ctx, [pn](const Message& m) {
-        return m.type == CsmRepPageFetch && m.a == pn;
-    });
+    Message rep = rt_->waitReply(
+        ctx, ReplyMatch{CsmRepPageFetch, static_cast<std::int64_t>(pn),
+                        -1});
     mcdsm_assert(rep.payload.size() == kPageSize, "bad page payload");
     std::memcpy(ctx.frame(pn), rep.payload.data(), kPageSize);
     // The copy into the local frame streams the page through our
@@ -174,9 +174,20 @@ Cashmere::afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
     // but the line it installs *pollutes* the cache — subsequent
     // loads pay the evictions. This is the working-set blowup the
     // paper measures on LU and Gauss, and it applies on the home node
-    // too (the MC receive region is a distinct mapping).
-    ctx.cache.access(a + kDoubleOffset);
-    rt_->charge(ctx, TimeCat::Doubling, c.mcPerWriteCpu);
+    // too (the MC receive region is a distinct mapping). Bulk writes
+    // (writeRange) arrive here with size > one scalar datum: the
+    // doubled region is then streamed line-by-line and the per-word
+    // write-buffer cost charged once per 8-byte doubled store, the
+    // same totals a per-element loop would produce.
+    if (size <= sizeof(std::uint64_t)) {
+        ctx.cache.access(a + kDoubleOffset);
+        rt_->charge(ctx, TimeCat::Doubling, c.mcPerWriteCpu);
+    } else {
+        ctx.cache.touchRange(a + kDoubleOffset, size);
+        rt_->charge(ctx, TimeCat::Doubling,
+                    c.mcPerWriteCpu *
+                        static_cast<Time>((size + 7) / 8));
+    }
 
     // Apply to the canonical copy; Memory Channel bandwidth is only
     // consumed when the home is remote (first-touch homing makes most

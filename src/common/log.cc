@@ -2,8 +2,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mcdsm {
+
+namespace {
+
+/**
+ * Serializes diagnostic emission. The parallel experiment engine
+ * (harness/pool.h) runs one simulation per host thread; messages are
+ * formatted into a private buffer first, so the lock only covers the
+ * single fprintf and lines never interleave.
+ */
+std::mutex&
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 std::string
 vstrprintf(const char* fmt, va_list ap)
@@ -35,7 +53,11 @@ panicImpl(const char* file, int line, const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
@@ -46,7 +68,11 @@ fatalImpl(const char* file, int line, const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
@@ -54,8 +80,12 @@ void
 assertFail(const char* file, int line, const char* cond,
            const std::string& msg)
 {
-    std::fprintf(stderr, "panic: assertion failed: %s (%s) at %s:%d\n",
-                 msg.c_str(), cond, file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr,
+                     "panic: assertion failed: %s (%s) at %s:%d\n",
+                     msg.c_str(), cond, file, line);
+    }
     std::abort();
 }
 
@@ -66,6 +96,7 @@ warnImpl(const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -76,6 +107,7 @@ informImpl(const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -72,6 +72,38 @@ class Proc
             rt_.afterWrite(ctx_, a, sizeof(T));
     }
 
+    /**
+     * Bulk read of @p n elements starting at @p a into @p dst.
+     * Equivalent to n read<T>() calls but charged in bulk: one
+     * permission check, one per-line cache charge and one
+     * race-detector range call per contiguous page chunk (see
+     * DsmRuntime::readRange). Use for contiguous inner loops — row
+     * sweeps, reductions — where per-element hook dispatch dominates
+     * host time.
+     */
+    template <typename T>
+    void
+    readBlock(GAddr a, T* dst, std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (n > 0)
+            rt_.readRange(ctx_, a, dst, n * sizeof(T));
+    }
+
+    /** Bulk write of @p n elements; see readBlock. Writes every byte
+     *  of the range, so callers must own the whole span (writing back
+     *  unmodified bytes is harmless to the protocols — diffs are
+     *  byte-exact — but would look like writes to the race detector).
+     */
+    template <typename T>
+    void
+    writeBlock(GAddr a, const T* src, std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (n > 0)
+            rt_.writeRange(ctx_, a, src, n * sizeof(T));
+    }
+
     // ---- synchronization --------------------------------------------------
     void acquire(int lock_id) { rt_.acquireLock(ctx_, lock_id); }
     void release(int lock_id) { rt_.releaseLock(ctx_, lock_id); }

@@ -349,41 +349,6 @@ DsmRuntime::nextActionable(ProcCtx& ctx, bool in_wait) const
     });
 }
 
-Message
-DsmRuntime::waitReplyIf(ProcCtx& ctx,
-                        const std::function<bool(const Message&)>& pred)
-{
-    const Time t0 = sched_.now();
-    const Time a0 = ctx.accounted;
-    sched_.yield();
-    for (;;) {
-        serviceArrived(ctx, true);
-        auto m = mail_->tryReceiveIf(
-            ctx.id, sched_.now(), [&](const Message& msg) {
-                return msg.type >= kReplyBase && pred(msg);
-            });
-        if (m) {
-            if (getenv("MCDSM_TRACE") && m->type == 1015)
-                fprintf(stderr, "[%lld] consume type=%d at %d from %d "
-                        "a=%llu\n", (long long)sched_.now(), m->type,
-                        ctx.id, m->src, (unsigned long long)m->a);
-            const Time waited =
-                (sched_.now() - t0) - (ctx.accounted - a0);
-            if (waited > 0) {
-                ctx.stats.timeIn[static_cast<int>(TimeCat::CommWait)] +=
-                    waited;
-                ctx.accounted += waited;
-            }
-            charge(ctx, TimeCat::Protocol, mail_->receiveCpuCost(*m));
-            return std::move(*m);
-        }
-        const Time next = nextActionable(ctx, true);
-        if (next >= 0 && next > sched_.now())
-            sched_.wake(ctx.task, next);
-        sched_.block();
-    }
-}
-
 void
 DsmRuntime::waitEvent(ProcCtx& ctx, const std::function<bool()>& ready)
 {

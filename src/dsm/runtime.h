@@ -34,6 +34,29 @@ class Proc;
 /** Message types >= kReplyBase are replies; below are requests. */
 constexpr int kReplyBase = 1000;
 
+/**
+ * Non-allocating reply matcher for the waitReply fast path. Every
+ * protocol wait in the system reduces to "a reply of this type,
+ * optionally about this page/id, optionally from this processor";
+ * encoding that as three integers keeps the per-wait loop free of the
+ * std::function allocation a capturing-lambda predicate would cost.
+ * Negative a / src mean "don't care".
+ */
+struct ReplyMatch
+{
+    int type = 0;
+    std::int64_t a = -1;
+    std::int64_t src = -1;
+
+    bool
+    operator()(const Message& m) const
+    {
+        return m.type == type &&
+               (a < 0 || m.a == static_cast<std::uint64_t>(a)) &&
+               (src < 0 || m.src == static_cast<ProcId>(src));
+    }
+};
+
 class DsmRuntime
 {
   public:
@@ -115,6 +138,72 @@ class DsmRuntime
         }
         chargeUser(ctx, costs_.l1HitTime + ctx.cache.access(a));
         return ctx.frame(pn) + pageOffset(a);
+    }
+
+    /**
+     * Bulk read of [a, a+bytes) into @p dst. Semantically equivalent
+     * to per-element readAccess/afterRead, but charged in bulk: per
+     * page chunk it performs one permission check (faulting at most
+     * once per page), one per-line cache charge for the whole run
+     * (l1HitTime per overlapped line rather than per element), one
+     * protocol afterRead and one race-detector range call (the
+     * checker already marks every chunk the range overlaps). See
+     * DESIGN.md §8.
+     */
+    void
+    readRange(ProcCtx& ctx, GAddr a, void* dst, std::size_t bytes)
+    {
+        auto* d = static_cast<std::uint8_t*>(dst);
+        while (bytes > 0) {
+            const PageNum pn = pageOf(a);
+            const std::size_t off = pageOffset(a);
+            const std::size_t chunk = std::min(bytes, kPageSize - off);
+            if (!ctx.pt.canRead(pn)) [[unlikely]]
+                handleReadFault(ctx, pn);
+            if (int_mode_) [[unlikely]]
+                maybeInterrupt(ctx);
+            chargeUser(ctx, costs_.l1HitTime * lineSpan(a, chunk) +
+                                ctx.cache.touchRange(a, chunk));
+            std::memcpy(d, ctx.frame(pn) + off, chunk);
+            if (read_hook_)
+                afterRead(ctx, a, chunk);
+            a += chunk;
+            d += chunk;
+            bytes -= chunk;
+        }
+    }
+
+    /**
+     * Bulk write of [a, a+bytes) from @p src. Same bulk charging as
+     * readRange; the interrupt-mode re-fault loop of writeAccess is
+     * preserved per page chunk (a request serviced between the fault
+     * and the store can write-protect the page again — see
+     * writeAccess).
+     */
+    void
+    writeRange(ProcCtx& ctx, GAddr a, const void* src, std::size_t bytes)
+    {
+        const auto* s = static_cast<const std::uint8_t*>(src);
+        while (bytes > 0) {
+            const PageNum pn = pageOf(a);
+            const std::size_t off = pageOffset(a);
+            const std::size_t chunk = std::min(bytes, kPageSize - off);
+            if (!ctx.pt.canWrite(pn)) [[unlikely]]
+                handleWriteFault(ctx, pn);
+            if (int_mode_) [[unlikely]] {
+                maybeInterrupt(ctx);
+                while (!ctx.pt.canWrite(pn)) [[unlikely]]
+                    handleWriteFault(ctx, pn);
+            }
+            chargeUser(ctx, costs_.l1HitTime * lineSpan(a, chunk) +
+                                ctx.cache.touchRange(a, chunk));
+            std::memcpy(ctx.frame(pn) + off, s, chunk);
+            if (write_hook_)
+                afterWrite(ctx, a, chunk);
+            a += chunk;
+            s += chunk;
+            bytes -= chunk;
+        }
     }
 
     bool writeHook() const { return write_hook_; }
@@ -213,17 +302,28 @@ class DsmRuntime
      * Block until a reply satisfying @p pred arrives; services
      * incoming requests while waiting (per variant rules). The wait
      * time is charged as CommWait; the reply's receive CPU cost as
-     * Protocol.
+     * Protocol. Prefer the ReplyMatch overload on hot paths — this
+     * one allocates for the std::function.
      */
-    Message waitReplyIf(ProcCtx& ctx,
-                        const std::function<bool(const Message&)>& pred);
+    Message
+    waitReplyIf(ProcCtx& ctx,
+                const std::function<bool(const Message&)>& pred)
+    {
+        return waitReplyLoop(ctx, pred);
+    }
+
+    /** Non-allocating fast path: wait for a (type, a, src) match. */
+    Message
+    waitReply(ProcCtx& ctx, ReplyMatch match)
+    {
+        return waitReplyLoop(ctx, match);
+    }
 
     /** Convenience: wait for a reply of exactly @p type. */
     Message
     waitReply(ProcCtx& ctx, int type)
     {
-        return waitReplyIf(
-            ctx, [type](const Message& m) { return m.type == type; });
+        return waitReplyLoop(ctx, ReplyMatch{type, -1, -1});
     }
 
     /**
@@ -257,6 +357,52 @@ class DsmRuntime
   private:
     void handleReadFault(ProcCtx& ctx, PageNum pn);
     void handleWriteFault(ProcCtx& ctx, PageNum pn);
+
+    /** Cache lines overlapped by [a, a+bytes), bytes >= 1. */
+    static Time
+    lineSpan(GAddr a, std::size_t bytes)
+    {
+        return static_cast<Time>((a + bytes - 1) / kCacheLineSize -
+                                 a / kCacheLineSize + 1);
+    }
+
+    /**
+     * The wait-for-reply loop, templated on the predicate so the
+     * ReplyMatch fast path compiles to direct integer compares with
+     * no std::function indirection or allocation.
+     */
+    template <typename Pred>
+    Message
+    waitReplyLoop(ProcCtx& ctx, const Pred& pred)
+    {
+        const Time t0 = sched_.now();
+        const Time a0 = ctx.accounted;
+        sched_.yield();
+        for (;;) {
+            serviceArrived(ctx, true);
+            auto m = mail_->tryReceiveIf(
+                ctx.id, sched_.now(), [&](const Message& msg) {
+                    return msg.type >= kReplyBase && pred(msg);
+                });
+            if (m) {
+                const Time waited =
+                    (sched_.now() - t0) - (ctx.accounted - a0);
+                if (waited > 0) {
+                    ctx.stats
+                        .timeIn[static_cast<int>(TimeCat::CommWait)] +=
+                        waited;
+                    ctx.accounted += waited;
+                }
+                charge(ctx, TimeCat::Protocol,
+                       mail_->receiveCpuCost(*m));
+                return std::move(*m);
+            }
+            const Time next = nextActionable(ctx, true);
+            if (next >= 0 && next > sched_.now())
+                sched_.wake(ctx.task, next);
+            sched_.block();
+        }
+    }
 
     void
     chargeUser(ProcCtx& ctx, Time ns)

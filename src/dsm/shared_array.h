@@ -59,6 +59,20 @@ class SharedArray
         return p.readRacy<T>(addr(i));
     }
 
+    /** Bulk read of elements [i, i+n) into @p dst; see Proc::readBlock. */
+    void
+    getRange(Proc& p, std::size_t i, T* dst, std::size_t n) const
+    {
+        p.readBlock<T>(addr(i), dst, n);
+    }
+
+    /** Bulk write of elements [i, i+n); see Proc::writeBlock. */
+    void
+    setRange(Proc& p, std::size_t i, const T* src, std::size_t n) const
+    {
+        p.writeBlock<T>(addr(i), src, n);
+    }
+
     /** Host-side initialization (before run). */
     void
     init(DsmSystem& sys, std::size_t i, T v) const

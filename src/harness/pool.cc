@@ -1,0 +1,144 @@
+#include "harness/pool.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        threads = 1;
+    queues_.resize(static_cast<std::size_t>(threads));
+    threads_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mcdsm_assert(!stop_, "submit() on a stopped pool");
+        queues_[next_].push_back(std::move(fn));
+        next_ = (next_ + 1) % queues_.size();
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::takeLocked(int self, std::function<void()>& out)
+{
+    // Own deque from the back (most recently submitted: LIFO keeps a
+    // worker on the cluster of tasks routed to it)...
+    auto& own = queues_[self];
+    if (!own.empty()) {
+        out = std::move(own.back());
+        own.pop_back();
+        return true;
+    }
+    // ...then steal the oldest task from the fullest victim.
+    std::size_t victim = queues_.size();
+    std::size_t best = 0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (queues_[q].size() > best) {
+            best = queues_[q].size();
+            victim = q;
+        }
+    }
+    if (victim == queues_.size())
+        return false;
+    out = std::move(queues_[victim].front());
+    queues_[victim].pop_front();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        std::function<void()> task;
+        if (takeLocked(self, task)) {
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--pending_ == 0)
+                idle_cv_.notify_all();
+            continue;
+        }
+        if (stop_)
+            return;
+        work_cv_.wait(lock);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int
+jobsFromEnv(int fallback)
+{
+    if (const char* env = std::getenv("MCDSM_JOBS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+void
+parallelFor(std::size_t n, int jobs,
+            const std::function<void(std::size_t)>& fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (static_cast<std::size_t>(jobs) > n)
+        jobs = static_cast<int>(n);
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<ExpResult>
+runExperiments(const std::vector<ExpSpec>& specs, int jobs)
+{
+    std::vector<ExpResult> results(specs.size());
+    parallelFor(specs.size(), jobs, [&](std::size_t i) {
+        const ExpSpec& s = specs[i];
+        results[i] =
+            runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+    });
+    return results;
+}
+
+} // namespace mcdsm

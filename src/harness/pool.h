@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parallel experiment engine: a small work-stealing thread pool and a
+ * batch API that runs independent experiments concurrently.
+ *
+ * Every table/figure in the paper is a grid of independent
+ * (application × variant × nprocs) simulations. Each simulation is a
+ * self-contained DsmRuntime — its Scheduler, MailboxSystem,
+ * MemoryChannel, page frames and RaceChecker all hang off the
+ * instance, and Fiber keeps the current-fiber pointer in a
+ * thread_local — so one runtime per host thread is safe and the batch
+ * parallelizes embarrassingly. Results are written into pre-sized
+ * slots, so runExperiments() output is bit-identical to a sequential
+ * loop regardless of the job count (see DESIGN.md §8 for the
+ * isolation argument).
+ */
+
+#ifndef MCDSM_HARNESS_POOL_H
+#define MCDSM_HARNESS_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace mcdsm {
+
+/**
+ * Work-stealing thread pool. Tasks are submitted round-robin to
+ * per-worker deques; a worker pops from the back of its own deque
+ * (LIFO, cache-warm) and steals from the front of another's (FIFO,
+ * oldest first). Tasks here are whole simulations — milliseconds to
+ * minutes each — so a single mutex guarding the deques is nowhere
+ * near contended; the deque discipline is what keeps the workers
+ * balanced when task runtimes are skewed (one 32-proc Water run vs a
+ * handful of 1-proc SORs).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(int threads);
+
+    /** Joins workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task. Thread-safe. */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    int threads() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    bool takeLocked(int self, std::function<void()>& out);
+    void workerLoop(int self);
+
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< signalled on submit / stop
+    std::condition_variable idle_cv_; ///< signalled when pending_ hits 0
+    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<std::thread> threads_;
+    std::size_t next_ = 0;  ///< round-robin submission cursor
+    int pending_ = 0;       ///< queued + running tasks
+    bool stop_ = false;
+};
+
+/** Default parallelism: hardware_concurrency, at least 1. */
+int defaultJobs();
+
+/**
+ * Job count from the MCDSM_JOBS environment variable, or @p fallback
+ * when unset/invalid. Lets CI and test binaries opt into parallelism
+ * without plumbing a flag everywhere.
+ */
+int jobsFromEnv(int fallback);
+
+/**
+ * Run fn(0..n-1), each index exactly once. jobs <= 1 (or n <= 1) runs
+ * inline on the calling thread in index order — the true sequential
+ * baseline, no pool involved. Otherwise indices are distributed over
+ * min(jobs, n) pool workers. @p fn must be safe to call concurrently
+ * for distinct indices.
+ */
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)>& fn);
+
+/** One cell of an experiment grid. */
+struct ExpSpec
+{
+    std::string app;
+    ProtocolKind protocol = ProtocolKind::None;
+    int nprocs = 1;
+    RunOpts opts;
+};
+
+/**
+ * Run a batch of independent experiments with @p jobs worker threads.
+ * results[i] corresponds to specs[i]; every ExpResult is bit-identical
+ * to what a sequential runExperiment(specs[i]) loop would produce,
+ * for any jobs value (each simulation is deterministic and
+ * thread-confined; parallelism only changes host-time overlap).
+ */
+std::vector<ExpResult> runExperiments(const std::vector<ExpSpec>& specs,
+                                      int jobs);
+
+} // namespace mcdsm
+
+#endif // MCDSM_HARNESS_POOL_H

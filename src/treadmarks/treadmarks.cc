@@ -293,11 +293,10 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
             (void)since;
             const ProcId writer = w;
             ctx.noteWait("tmk_diffs", pn, writer);
-            Message rep = rt_->waitReplyIf(ctx, [pn, writer](
-                                                    const Message& msg) {
-                return msg.type == TmkRepDiffs &&
-                       msg.a == pn && msg.src == writer;
-            });
+            Message rep = rt_->waitReply(
+                ctx,
+                ReplyMatch{TmkRepDiffs, static_cast<std::int64_t>(pn),
+                           writer});
             auto list = std::static_pointer_cast<const DiffList>(rep.box);
             mcdsm_assert(list != nullptr, "diff reply without payload");
             collected.insert(collected.end(), list->begin(), list->end());
@@ -426,10 +425,8 @@ TreadMarks::acquire(ProcCtx& ctx, int lock_id)
     }
 
     ctx.noteWait("tmk_lock", lock_id);
-    Message rep = rt_->waitReplyIf(ctx, [lock_id](const Message& m) {
-        return m.type == TmkRepLockGrant &&
-               m.a == static_cast<std::uint64_t>(lock_id);
-    });
+    Message rep =
+        rt_->waitReply(ctx, ReplyMatch{TmkRepLockGrant, lock_id, -1});
     auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
     if (g) {
         mergeRecords(ctx, g->records);
@@ -503,10 +500,8 @@ TreadMarks::barrier(ProcCtx& ctx, int barrier_id)
         rt_->sendMessage(ctx, 0, std::move(arr));
 
         ctx.noteWait("tmk_barrier", barrier_id);
-        Message rep = rt_->waitReplyIf(ctx, [barrier_id](const Message& m) {
-            return m.type == TmkRepBarrierRelease &&
-                   m.a == static_cast<std::uint64_t>(barrier_id);
-        });
+        Message rep = rt_->waitReply(
+            ctx, ReplyMatch{TmkRepBarrierRelease, barrier_id, -1});
         auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
         mergeRecords(ctx, g->records);
         vtMax(s.vt, g->vt);
@@ -575,10 +570,8 @@ TreadMarks::waitFlag(ProcCtx& ctx, int flag_id)
     rt_->sendMessage(ctx, mgr, std::move(req));
 
     ctx.noteWait("tmk_flag", flag_id);
-    Message rep = rt_->waitReplyIf(ctx, [flag_id](const Message& m) {
-        return m.type == TmkRepFlagGrant &&
-               m.a == static_cast<std::uint64_t>(flag_id);
-    });
+    Message rep =
+        rt_->waitReply(ctx, ReplyMatch{TmkRepFlagGrant, flag_id, -1});
     auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
     mergeRecords(ctx, g->records);
     vtMax(s.vt, g->vt);

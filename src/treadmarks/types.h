@@ -71,12 +71,24 @@ struct Diff
         std::uint16_t offset;
         std::vector<std::uint8_t> bytes;
     };
+    // A page offset must fit Run::offset; widen the field before
+    // growing kPageSize past 64 KB.
+    static_assert(kPageSize - 1 <= UINT16_MAX,
+                  "Diff::Run::offset cannot address the whole page");
     std::vector<Run> runs;
 
     /** Total modified bytes. */
     std::size_t dataBytes() const;
-    /** Modelled wire size. */
-    std::size_t wireBytes() const { return 16 + dataBytes() + 8 * runs.size(); }
+    /**
+     * Modelled wire size. Adjacent runs separated by fewer than 8
+     * equal bytes share one 8 B wire header, with the gap shipped as
+     * data (always no more expensive than a fresh header). The merge
+     * exists only in this wire-format accounting: the applied runs
+     * stay byte-exact, because diffs of disjoint concurrent writes
+     * must compose in any order and shipping a neighbour's gap bytes
+     * as data would clobber its concurrent writes.
+     */
+    std::size_t wireBytes() const;
 };
 
 using DiffPtr = std::shared_ptr<const Diff>;

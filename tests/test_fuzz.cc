@@ -15,6 +15,12 @@
  * Every failure is reproducible from the (variant, seed) pair printed
  * in the scoped trace; MCDSM_FUZZ_ITERS scales the number of programs
  * per variant (default 40, CI uses 200).
+ *
+ * The seed sweep runs through the parallel experiment engine
+ * (MCDSM_JOBS workers, default hardware threads): each iteration is a
+ * self-contained simulation, outcomes are collected into pre-sized
+ * slots and all gtest assertions happen on the main thread (gtest's
+ * EXPECT macros are not thread-safe).
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +32,7 @@
 #include "dsm/proc.h"
 #include "dsm/shared_array.h"
 #include "dsm/system.h"
+#include "harness/pool.h"
 #include "sim/rng.h"
 
 namespace mcdsm {
@@ -239,6 +246,20 @@ TEST_P(FuzzAllVariants, RandomProgramsGoldenAndRaceVerdicts)
 {
     const ProtocolKind kind = GetParam();
     const int iters = fuzzIters();
+    const int jobs = jobsFromEnv(defaultJobs());
+
+    // Run the sweep in parallel, verify serially.
+    std::vector<Program> progs(iters);
+    std::vector<FuzzOutcome> outs(iters);
+    parallelFor(static_cast<std::size_t>(iters), jobs,
+                [&](std::size_t i) {
+                    const std::uint64_t seed = 0x5eed0000ull + i;
+                    const bool racy = (i % 2) == 1;
+                    const std::uint64_t sched_seed = seed * 31 + 7;
+                    progs[i] = genProgram(seed, racy);
+                    outs[i] = runProgram(progs[i], kind, sched_seed);
+                });
+
     for (int i = 0; i < iters; ++i) {
         const std::uint64_t seed = 0x5eed0000ull + i;
         const bool racy = (i % 2) == 1;
@@ -247,8 +268,7 @@ TEST_P(FuzzAllVariants, RandomProgramsGoldenAndRaceVerdicts)
                      << protocolName(kind) << " seed=" << seed
                      << " schedSeed=" << sched_seed
                      << (racy ? " racy" : " clean"));
-        const Program prog = genProgram(seed, racy);
-        const FuzzOutcome out = runProgram(prog, kind, sched_seed);
+        const FuzzOutcome& out = outs[i];
         if (racy) {
             EXPECT_GE(out.races, 1u)
                 << "injected race escaped detection";
@@ -256,7 +276,7 @@ TEST_P(FuzzAllVariants, RandomProgramsGoldenAndRaceVerdicts)
             EXPECT_EQ(out.races, 0u)
                 << "false positive:\n"
                 << out.raceSummary;
-            EXPECT_EQ(out.checksum, expectedChecksum(prog))
+            EXPECT_EQ(out.checksum, expectedChecksum(progs[i]))
                 << "golden value changed under perturbed schedule";
         }
     }
@@ -269,15 +289,19 @@ TEST_P(FuzzAllVariants, PerturbedScheduleMatchesBaseline)
     const ProtocolKind kind = GetParam();
     const Program prog = genProgram(0xba5e, false);
     const std::uint64_t want = expectedChecksum(prog);
-    const FuzzOutcome base = runProgram(prog, kind, 0);
-    EXPECT_EQ(base.checksum, want);
-    EXPECT_EQ(base.races, 0u) << base.raceSummary;
+    std::vector<FuzzOutcome> outs(4);
+    parallelFor(outs.size(), jobsFromEnv(defaultJobs()),
+                [&](std::size_t s) {
+                    outs[s] = runProgram(prog, kind,
+                                         static_cast<std::uint64_t>(s));
+                });
+    EXPECT_EQ(outs[0].checksum, want);
+    EXPECT_EQ(outs[0].races, 0u) << outs[0].raceSummary;
     for (std::uint64_t s = 1; s <= 3; ++s) {
         SCOPED_TRACE(testing::Message()
                      << protocolName(kind) << " schedSeed=" << s);
-        const FuzzOutcome out = runProgram(prog, kind, s);
-        EXPECT_EQ(out.checksum, want);
-        EXPECT_EQ(out.races, 0u) << out.raceSummary;
+        EXPECT_EQ(outs[s].checksum, want);
+        EXPECT_EQ(outs[s].races, 0u) << outs[s].raceSummary;
     }
 }
 

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine (harness/pool.h) and the
+ * hot-path optimization pass:
+ *
+ *   1. ThreadPool / parallelFor execute every task exactly once.
+ *   2. runExperiments(jobs=4) produces byte-identical ExpResults to
+ *      jobs=1 over a mixed grid — the bit-determinism contract that
+ *      makes the engine safe to use for paper-figure regeneration.
+ *   3. The word-scan computeRuns is byte-for-byte equivalent to a
+ *      reference byte scan on random page/twin pairs, including runs
+ *      that straddle 8-byte word boundaries, and applyRuns round-trips.
+ *   4. Diff::wireBytes merges headers of runs separated by < 8 equal
+ *      bytes without ever undercounting data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "harness/pool.h"
+#include "sim/rng.h"
+#include "treadmarks/types.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pool basics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+
+    // Reusable after wait().
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    for (int jobs : {1, 2, 3, 4, 8}) {
+        std::vector<std::atomic<int>> hits(57);
+        parallelFor(hits.size(), jobs, [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeCases)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&](std::size_t i) { calls += 1 + (int)i; });
+    EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical results regardless of jobs
+// ---------------------------------------------------------------------------
+
+void
+expectProcStatsEq(const ProcStats& a, const ProcStats& b)
+{
+    EXPECT_EQ(a.readFaults, b.readFaults);
+    EXPECT_EQ(a.writeFaults, b.writeFaults);
+    EXPECT_EQ(a.pageTransfers, b.pageTransfers);
+    EXPECT_EQ(a.lockAcquires, b.lockAcquires);
+    EXPECT_EQ(a.barriers, b.barriers);
+    EXPECT_EQ(a.flagOps, b.flagOps);
+    EXPECT_EQ(a.twins, b.twins);
+    EXPECT_EQ(a.diffsCreated, b.diffsCreated);
+    EXPECT_EQ(a.diffsApplied, b.diffsApplied);
+    EXPECT_EQ(a.diffBytes, b.diffBytes);
+    EXPECT_EQ(a.writeNoticesSent, b.writeNoticesSent);
+    EXPECT_EQ(a.dirUpdates, b.dirUpdates);
+    EXPECT_EQ(a.requestsServiced, b.requestsServiced);
+    EXPECT_EQ(a.messagesSent, b.messagesSent);
+    EXPECT_EQ(a.bytesSent, b.bytesSent);
+    EXPECT_EQ(a.cacheAccesses, b.cacheAccesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.vmProtOps, b.vmProtOps);
+    for (int c = 0; c < kTimeCatCount; ++c)
+        EXPECT_EQ(a.timeIn[c], b.timeIn[c]) << "cat " << c;
+    EXPECT_EQ(a.endTime, b.endTime);
+}
+
+void
+expectResultsEq(const ExpResult& a, const ExpResult& b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_EQ(a.nprocs, b.nprocs);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    // Checksums compared as bit patterns, not via ==: NaN-safe and
+    // catches even sign-of-zero divergence.
+    EXPECT_EQ(std::memcmp(&a.appResult.checksum, &b.appResult.checksum,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&a.appResult.aux, &b.appResult.aux,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(a.races, b.races);
+    EXPECT_EQ(a.raceSummary, b.raceSummary);
+    EXPECT_EQ(a.stats.elapsed, b.stats.elapsed);
+    EXPECT_EQ(a.stats.mcBytes, b.stats.mcBytes);
+    EXPECT_EQ(a.stats.mcStreamBytes, b.stats.mcStreamBytes);
+    EXPECT_EQ(a.stats.messages, b.stats.messages);
+    EXPECT_EQ(a.stats.racesDetected, b.stats.racesDetected);
+    ASSERT_EQ(a.stats.procs.size(), b.stats.procs.size());
+    for (std::size_t p = 0; p < a.stats.procs.size(); ++p) {
+        SCOPED_TRACE(testing::Message() << "proc " << p);
+        expectProcStatsEq(a.stats.procs[p], b.stats.procs[p]);
+    }
+}
+
+TEST(RunExperiments, ParallelBitIdenticalToSequential)
+{
+    RunOpts tiny;
+    tiny.scale = AppScale::Tiny;
+    RunOpts perturbed = tiny;
+    perturbed.schedSeed = 42;
+    RunOpts raced = tiny;
+    raced.raceDetect = true;
+
+    // A mixed grid: both protocol families, several variants and
+    // processor counts, a perturbed schedule and a race-detector run.
+    const std::vector<ExpSpec> specs = {
+        {"sor", ProtocolKind::TmkMcPoll, 4, tiny},
+        {"gauss", ProtocolKind::CsmPoll, 4, tiny},
+        {"lu", ProtocolKind::CsmPp, 4, tiny},
+        {"sor", ProtocolKind::CsmInt, 2, tiny},
+        {"gauss", ProtocolKind::TmkUdpInt, 2, tiny},
+        {"sor", ProtocolKind::TmkMcInt, 4, perturbed},
+        {"lu", ProtocolKind::TmkMcPoll, 2, raced},
+        {"sor", ProtocolKind::None, 1, tiny},
+    };
+
+    const auto seq = runExperiments(specs, 1);
+    const auto par = runExperiments(specs, 4);
+    ASSERT_EQ(seq.size(), specs.size());
+    ASSERT_EQ(par.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << specs[i].app << "/"
+                     << protocolName(specs[i].protocol) << "/"
+                     << specs[i].nprocs);
+        expectResultsEq(seq[i], par[i]);
+    }
+
+    // A third round at an odd jobs value must match too.
+    const auto par3 = runExperiments(specs, 3);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectResultsEq(seq[i], par3[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Word-scan diff equivalence
+// ---------------------------------------------------------------------------
+
+/** The pre-optimization byte-at-a-time scan, kept as the oracle. */
+std::vector<Diff::Run>
+referenceRuns(const std::uint8_t* page, const std::uint8_t* twin)
+{
+    std::vector<Diff::Run> runs;
+    std::size_t i = 0;
+    while (i < kPageSize) {
+        if (page[i] == twin[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < kPageSize && page[j] != twin[j])
+            ++j;
+        Diff::Run run;
+        run.offset = static_cast<std::uint16_t>(i);
+        run.bytes.assign(page + i, page + j);
+        runs.push_back(std::move(run));
+        i = j;
+    }
+    return runs;
+}
+
+void
+expectSameRuns(const std::vector<Diff::Run>& got,
+               const std::vector<Diff::Run>& want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+        EXPECT_EQ(got[r].offset, want[r].offset) << "run " << r;
+        EXPECT_EQ(got[r].bytes, want[r].bytes) << "run " << r;
+    }
+}
+
+TEST(WordScanDiff, MatchesByteScanOnRandomPages)
+{
+    Rng rng(0xd1ff);
+    std::vector<std::uint8_t> page(kPageSize), twin(kPageSize);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Random base content, shared by page and twin.
+        for (std::size_t i = 0; i < kPageSize; ++i)
+            twin[i] = static_cast<std::uint8_t>(rng.nextBounded(256));
+        std::memcpy(page.data(), twin.data(), kPageSize);
+        // Dirty a random number of random spans (lengths 1..40, so
+        // plenty of runs start/end mid-word and straddle boundaries).
+        const int spans = static_cast<int>(rng.nextBounded(30));
+        for (int s = 0; s < spans; ++s) {
+            const std::size_t at = rng.nextBounded(kPageSize);
+            const std::size_t len =
+                std::min<std::size_t>(1 + rng.nextBounded(40),
+                                      kPageSize - at);
+            for (std::size_t k = 0; k < len; ++k)
+                page[at + k] = static_cast<std::uint8_t>(
+                    twin[at + k] ^ (1 + rng.nextBounded(255)));
+        }
+        const auto got = computeRuns(page.data(), twin.data());
+        const auto want = referenceRuns(page.data(), twin.data());
+        SCOPED_TRACE(testing::Message() << "iter " << iter);
+        expectSameRuns(got, want);
+
+        // Applying the runs to the twin must reproduce the page.
+        std::vector<std::uint8_t> rebuilt = twin;
+        applyRuns(rebuilt.data(), got);
+        EXPECT_EQ(rebuilt, page);
+    }
+}
+
+TEST(WordScanDiff, WordBoundaryStraddles)
+{
+    // Deterministic straddle shapes around every flavour of 8-byte
+    // boundary: single bytes either side, runs covering exactly one
+    // word, runs ending/starting on a boundary, and a full page.
+    std::vector<std::uint8_t> page(kPageSize, 0), twin(kPageSize, 0);
+    auto flip = [&](std::size_t i) { page[i] = 0xff; };
+    flip(7);
+    flip(8); // adjacent across a boundary -> one run [7, 10)
+    flip(9);
+    flip(16); // exactly one byte at a word start
+    flip(31); // exactly one byte at a word end
+    for (std::size_t i = 40; i < 48; ++i)
+        flip(i); // exactly one aligned word
+    for (std::size_t i = 50; i < 75; ++i)
+        flip(i); // unaligned span across three words
+    flip(kPageSize - 1); // last byte of the page
+    expectSameRuns(computeRuns(page.data(), twin.data()),
+                   referenceRuns(page.data(), twin.data()));
+
+    // Fully dirty page: one run of kPageSize bytes.
+    std::fill(page.begin(), page.end(), 0x5a);
+    const auto full = computeRuns(page.data(), twin.data());
+    ASSERT_EQ(full.size(), 1u);
+    EXPECT_EQ(full[0].offset, 0);
+    EXPECT_EQ(full[0].bytes.size(), kPageSize);
+
+    // Alternating bytes: worst case, every other byte its own run.
+    for (std::size_t i = 0; i < kPageSize; ++i)
+        page[i] = (i % 2 == 0) ? 1 : 0;
+    std::fill(twin.begin(), twin.end(), 0);
+    expectSameRuns(computeRuns(page.data(), twin.data()),
+                   referenceRuns(page.data(), twin.data()));
+}
+
+// ---------------------------------------------------------------------------
+// wireBytes header merging
+// ---------------------------------------------------------------------------
+
+TEST(DiffWireBytes, MergesNearbyRunHeaders)
+{
+    auto mkrun = [](std::uint16_t off, std::size_t len) {
+        Diff::Run r;
+        r.offset = off;
+        r.bytes.assign(len, 0xab);
+        return r;
+    };
+
+    Diff d;
+    d.runs.push_back(mkrun(0, 32));
+    EXPECT_EQ(d.wireBytes(), 16u + 8 + 32);
+
+    // Gap of 4 (< 8): second header merges, the 4 gap bytes ship as
+    // data — 4 bytes instead of a fresh 8-byte header.
+    d.runs.push_back(mkrun(36, 10));
+    EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10);
+
+    // Gap of 8 (>= 8): fresh header is cheaper, no merge.
+    d.runs.push_back(mkrun(54, 6));
+    EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10 + 8 + 6);
+
+    // The merge only affects accounting: dataBytes stays exact.
+    EXPECT_EQ(d.dataBytes(), 32u + 10 + 6);
+
+    // Never larger than the unmerged 8-bytes-per-run encoding.
+    EXPECT_LE(d.wireBytes(), 16 + d.dataBytes() + 8 * d.runs.size());
+}
+
+} // namespace
+} // namespace mcdsm
