@@ -24,6 +24,11 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Ablations: exclusive mode, interrupt latency, "
+                "second-generation Memory Channel",
+                {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
     const int np = std::stoi(flags.get("procs", "16"));
     const auto apps =
@@ -132,5 +137,6 @@ main(int argc, char** argv)
         }
         t.print();
     }
+    maybeWriteTrace(flags, results);
     return 0;
 }

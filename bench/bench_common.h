@@ -9,15 +9,51 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "harness/chrome_trace.h"
 #include "harness/pool.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 
 namespace mcdsm::bench {
+
+/** A flag a binary accepts, for --help and unknown-flag rejection. */
+struct FlagInfo
+{
+    const char* name;
+    const char* help;
+};
+
+// Stock descriptions for the flags shared across binaries; each main
+// lists exactly the subset it honors.
+inline constexpr FlagInfo kFlagApps{
+    "apps", "comma-separated applications"};
+inline constexpr FlagInfo kFlagProtocols{
+    "protocols", "comma-separated protocol variants"};
+inline constexpr FlagInfo kFlagProcs{
+    "procs", "comma-separated processor counts"};
+inline constexpr FlagInfo kFlagScale{
+    "scale", "problem scale: tiny, small or large"};
+inline constexpr FlagInfo kFlagSeed{
+    "seed", "application RNG seed (default 1)"};
+inline constexpr FlagInfo kFlagJobs{
+    "jobs",
+    "experiment-engine worker threads (default: MCDSM_JOBS or "
+    "hardware threads); results are identical for any value"};
+inline constexpr FlagInfo kFlagScenario{
+    "scenario",
+    "fault scenario name[:magnitude], e.g. straggler:4 "
+    "(src/fault/; default null)"};
+inline constexpr FlagInfo kFlagFaultSeed{
+    "fault-seed", "fault-injection seed (default 1)"};
+inline constexpr FlagInfo kFlagTraceOut{
+    "trace-out", "write a Chrome-trace JSON of every run to FILE"};
 
 /** Very small --key=value flag parser. */
 class Flags
@@ -25,6 +61,8 @@ class Flags
   public:
     Flags(int argc, char** argv)
     {
+        if (argc > 0)
+            prog_ = argv[0];
         for (int i = 1; i < argc; ++i)
             args_.emplace_back(argv[i]);
     }
@@ -51,9 +89,68 @@ class Flags
         return false;
     }
 
+    const std::string& prog() const { return prog_; }
+    const std::vector<std::string>& raw() const { return args_; }
+
   private:
+    std::string prog_ = "bench";
     std::vector<std::string> args_;
 };
+
+/**
+ * Uniform --help / unknown-flag handling: every bench binary calls
+ * this right after constructing Flags, passing the flags it honors.
+ * --help prints them and exits 0; an argument that is not one of them
+ * (or not --key[=value] shaped at all) exits 2.
+ */
+inline void
+handleUsage(const Flags& flags, const char* summary,
+            std::initializer_list<FlagInfo> known)
+{
+    if (flags.has("help")) {
+        std::printf("%s: %s\n\nFlags:\n", flags.prog().c_str(), summary);
+        for (const FlagInfo& f : known)
+            std::printf("  --%-14s %s\n", f.name, f.help);
+        std::printf("  --%-14s %s\n", "help", "show this message");
+        std::exit(0);
+    }
+    for (const std::string& a : flags.raw()) {
+        std::string name;
+        if (a.rfind("--", 0) == 0)
+            name = a.substr(2, a.find('=') - 2);
+        const bool ok =
+            !name.empty() &&
+            std::any_of(known.begin(), known.end(),
+                        [&](const FlagInfo& f) { return name == f.name; });
+        if (!ok) {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s' (--help lists "
+                         "accepted flags)\n",
+                         flags.prog().c_str(), a.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+/** Parse --scenario / --fault-seed into a FaultPlan. */
+inline FaultPlan
+faultFrom(const Flags& flags)
+{
+    return faultPlanFromSpec(flags.get("scenario", "null"),
+                             std::stoull(flags.get("fault-seed", "1")));
+}
+
+/** Write the Chrome trace of a finished batch if --trace-out=FILE. */
+inline void
+maybeWriteTrace(const Flags& flags, const std::vector<ExpResult>& results)
+{
+    const std::string path = flags.get("trace-out", "");
+    if (path.empty())
+        return;
+    writeChromeTrace(path, results);
+    std::printf("wrote Chrome trace of %zu runs to %s\n", results.size(),
+                path.c_str());
+}
 
 inline std::vector<std::string>
 splitList(const std::string& s)
@@ -119,6 +216,9 @@ optsFrom(const Flags& flags)
     RunOpts opts;
     opts.scale = scaleFromName(flags.get("scale", "small"));
     opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.fault = faultFrom(flags);
+    if (flags.has("trace-out"))
+        opts.traceCapacity = std::size_t{1} << 18;
     return opts;
 }
 

@@ -16,6 +16,12 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Figure 5: speedups of the eight applications for all "
+                "six protocol variants",
+                {kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale,
+                 kFlagSeed, kFlagJobs, kFlagScenario, kFlagFaultSeed,
+                 kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
 
     const auto apps = appList(flags);
@@ -81,5 +87,6 @@ main(int argc, char** argv)
         std::printf("\n");
         std::fflush(stdout);
     }
+    maybeWriteTrace(flags, results);
     return 0;
 }

@@ -18,6 +18,11 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Figure 6: execution-time breakdown for the polling "
+                "variants",
+                {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
 
@@ -66,5 +71,6 @@ main(int argc, char** argv)
         add("TMK", tmk.stats);
     }
     table.print();
+    maybeWriteTrace(flags, results);
     return 0;
 }

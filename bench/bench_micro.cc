@@ -178,6 +178,9 @@ runGrid(const bench::Flags& flags)
     RunOpts opts;
     opts.scale = bench::scaleFromName(flags.get("scale", "tiny"));
     opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.fault = bench::faultFrom(flags);
+    if (flags.has("trace-out"))
+        opts.traceCapacity = std::size_t{1} << 18;
     const int jobs = bench::jobsFrom(flags);
 
     std::vector<ExpSpec> specs;
@@ -275,6 +278,7 @@ runGrid(const bench::Flags& flags)
         std::fclose(f);
         std::printf("wrote %s\n", json.c_str());
     }
+    bench::maybeWriteTrace(flags, results);
     return 0;
 }
 
@@ -284,10 +288,23 @@ runGrid(const bench::Flags& flags)
 int
 main(int argc, char** argv)
 {
-    mcdsm::bench::Flags flags(argc, argv);
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
     // Grid mode: whole-simulation throughput via the parallel engine.
-    if (flags.has("grid") || flags.has("json"))
+    // Other arguments (e.g. --benchmark_filter) pass through to the
+    // google-benchmark suite, so unknown flags are rejected only here.
+    if (flags.has("grid") || flags.has("json") || flags.has("help")) {
+        handleUsage(
+            flags,
+            "simulator micro/throughput benchmarks; --grid runs whole "
+            "simulations through the parallel engine, otherwise "
+            "arguments go to the google-benchmark suite",
+            {{"grid", "run the whole-simulation throughput grid"},
+             {"json", "write the grid report to FILE (implies --grid)"},
+             kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale, kFlagSeed,
+             kFlagJobs, kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
         return mcdsm::runGrid(flags);
+    }
     // Otherwise: the google-benchmark micro suite.
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();

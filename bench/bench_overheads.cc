@@ -16,6 +16,11 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Section 4.1 instrumentation overheads: polling and "
+                "write doubling on one processor",
+                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
 
     CostModel costs;
@@ -77,5 +82,6 @@ main(int argc, char** argv)
                       TextTable::num(100.0 * dbl / user, 1)});
     }
     table.print();
+    maybeWriteTrace(flags, results);
     return 0;
 }

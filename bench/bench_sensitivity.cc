@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Ranking-stability (sensitivity) bench for the paper's central
+ * comparison: how hard must the machine be perturbed before the
+ * Cashmere-vs-TreadMarks ordering flips?
+ *
+ * For every fault scenario (src/fault/) the bench sweeps the scenario
+ * magnitude over all six protocol variants and reports, per
+ * application, the *flip point*: the smallest magnitude at which the
+ * faster system at magnitude 1 (the healthy machine) loses to the
+ * other. The whole grid runs as one batch through the parallel
+ * experiment engine, so --jobs=N changes wall time only — every
+ * result is bit-deterministic.
+ *
+ * --check-null verifies the fault subsystem's no-op guarantee: an
+ * explicit "null" scenario must produce bit-identical RunStats to a
+ * run that never mentions faults, for all six variants, and results
+ * must not depend on the job count.
+ */
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <iterator>
+
+#include "common/log.h"
+
+namespace mcdsm::bench {
+namespace {
+
+constexpr ProtocolKind kVariants[] = {
+    ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+    ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+    ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+};
+constexpr std::size_t kNumVariants = std::size(kVariants);
+
+/** Bit-exact RunStats comparison (the determinism contract). */
+bool
+sameStats(const ExpResult& a, const ExpResult& b)
+{
+    if (a.elapsed != b.elapsed || a.stats.mcBytes != b.stats.mcBytes ||
+        a.stats.mcStreamBytes != b.stats.mcStreamBytes ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.procs.size() != b.stats.procs.size())
+        return false;
+    if (std::memcmp(&a.appResult.checksum, &b.appResult.checksum,
+                    sizeof(a.appResult.checksum)) != 0)
+        return false;
+    for (std::size_t p = 0; p < a.stats.procs.size(); ++p) {
+        const ProcStats& x = a.stats.procs[p];
+        const ProcStats& y = b.stats.procs[p];
+        if (x.endTime != y.endTime || x.readFaults != y.readFaults ||
+            x.writeFaults != y.writeFaults ||
+            x.messagesSent != y.messagesSent ||
+            x.bytesSent != y.bytesSent)
+            return false;
+        for (int c = 0; c < kTimeCatCount; ++c)
+            if (x.timeIn[c] != y.timeIn[c])
+                return false;
+    }
+    return true;
+}
+
+int
+checkNull(const Flags& flags)
+{
+    RunOpts plain = optsFrom(flags);
+    plain.fault = FaultPlan{}; // never heard of faults
+    RunOpts nulled = plain;
+    nulled.fault = makeScenario("null", 1.0, 7);
+
+    const std::vector<std::string> apps = {"sor", "water"};
+    std::vector<ExpSpec> specs;
+    for (const auto& app : apps) {
+        for (ProtocolKind k : kVariants) {
+            specs.push_back({app, k, 8, plain});
+            specs.push_back({app, k, 8, nulled});
+        }
+    }
+    const auto seq = runExperiments(specs, 1);
+    const auto par = runExperiments(specs, 3);
+
+    int bad = 0;
+    for (std::size_t i = 0; i < specs.size(); i += 2) {
+        const char* app = specs[i].app.c_str();
+        const char* proto = protocolName(specs[i].protocol);
+        if (!sameStats(seq[i], seq[i + 1])) {
+            std::fprintf(stderr,
+                         "FAIL: %s/%s differs under an explicit null "
+                         "fault plan\n",
+                         app, proto);
+            ++bad;
+        }
+        if (!sameStats(seq[i], par[i])) {
+            std::fprintf(stderr,
+                         "FAIL: %s/%s differs between --jobs=1 and "
+                         "--jobs=3\n",
+                         app, proto);
+            ++bad;
+        }
+    }
+    std::printf("null-plan bit-equality: %zu configs, %d failures\n",
+                specs.size() / 2, bad);
+    return bad == 0 ? 0 : 1;
+}
+
+struct Point
+{
+    double magnitude = 1.0;
+    /** elapsed per variant; -1 = configuration unsupported. */
+    Time elapsed[kNumVariants];
+    NodeId slowestNode = 0;
+    Time bestCsm = 0, bestTmk = 0;
+
+    bool csmWins() const { return bestCsm <= bestTmk; }
+};
+
+void
+bestOfPoint(Point& pt)
+{
+    pt.bestCsm = pt.bestTmk = -1;
+    for (std::size_t v = 0; v < kNumVariants; ++v) {
+        const Time t = pt.elapsed[v];
+        if (t < 0)
+            continue;
+        Time& best = isCashmere(kVariants[v]) ? pt.bestCsm : pt.bestTmk;
+        if (best < 0 || t < best)
+            best = t;
+    }
+}
+
+} // namespace
+} // namespace mcdsm::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    handleUsage(
+        flags,
+        "fault-scenario sensitivity of the Cashmere-vs-TreadMarks "
+        "ranking: sweeps scenario magnitude over all six variants and "
+        "reports the flip point per scenario and application",
+        {{"scenarios",
+          "comma-separated fault scenarios to sweep (src/fault/)"},
+         {"magnitudes", "comma-separated scenario magnitudes"},
+         {"json", "write a machine-readable report to FILE"},
+         {"check-null",
+          "verify null-plan bit-equality and --jobs invariance, then "
+          "exit"},
+         kFlagApps, {"procs", "processor count (one value)"}, kFlagScale,
+         kFlagSeed, kFlagJobs, kFlagFaultSeed, kFlagTraceOut});
+
+    if (flags.has("check-null"))
+        return checkNull(flags);
+
+    RunOpts opts = optsFrom(flags);
+    const std::uint64_t fault_seed =
+        std::stoull(flags.get("fault-seed", "1"));
+    const int np = std::stoi(flags.get("procs", "16"));
+    const int jobs = jobsFrom(flags);
+    const auto apps = splitList(flags.get("apps", "sor,water"));
+    const auto scenarios = splitList(flags.get(
+        "scenarios",
+        "link_degrade,one_slow_link,hub_load,jitter,brownout,straggler,"
+        "slow_interrupts"));
+    std::vector<double> mags;
+    for (const auto& m : splitList(flags.get("magnitudes", "1,2,4,8,16")))
+        mags.push_back(std::strtod(m.c_str(), nullptr));
+    // The flip point is relative to the healthy machine; make sure the
+    // sweep starts there.
+    if (mags.empty() || mags.front() != 1.0)
+        mags.insert(mags.begin(), 1.0);
+
+    // One batch: scenario x magnitude x app x variant.
+    std::vector<ExpSpec> specs;
+    for (const auto& sc : scenarios) {
+        for (double mag : mags) {
+            RunOpts o = opts;
+            o.fault = makeScenario(sc, mag, fault_seed);
+            for (const auto& app : apps) {
+                for (ProtocolKind k : kVariants) {
+                    if (!configSupported(k, np))
+                        continue;
+                    specs.push_back({app, k, np, o});
+                }
+            }
+        }
+    }
+    const auto results = runExperiments(specs, jobs);
+
+    // grid[scenario][app][mag] -> Point
+    std::vector<std::vector<std::vector<Point>>> grid(
+        scenarios.size(),
+        std::vector<std::vector<Point>>(
+            apps.size(), std::vector<Point>(mags.size())));
+    {
+        std::size_t idx = 0;
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            for (std::size_t m = 0; m < mags.size(); ++m) {
+                for (std::size_t a = 0; a < apps.size(); ++a) {
+                    Point& pt = grid[s][a][m];
+                    pt.magnitude = mags[m];
+                    Time best_any = -1;
+                    for (std::size_t v = 0; v < kNumVariants; ++v) {
+                        if (!configSupported(kVariants[v], np)) {
+                            pt.elapsed[v] = -1;
+                            continue;
+                        }
+                        const ExpResult& r = results[idx++];
+                        pt.elapsed[v] = r.elapsed;
+                        // Report which node bound the overall winner
+                        // (interesting under straggler scenarios).
+                        if (best_any < 0 || r.elapsed < best_any) {
+                            best_any = r.elapsed;
+                            pt.slowestNode = r.stats.slowestNode();
+                        }
+                    }
+                    bestOfPoint(pt);
+                }
+            }
+        }
+    }
+
+    // Flip points. flip[s][a] = smallest magnitude where the healthy
+    // winner loses, or -1 if the ranking never flips in the sweep.
+    std::vector<std::vector<double>> flip(
+        scenarios.size(), std::vector<double>(apps.size(), -1.0));
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const bool base_csm = grid[s][a][0].csmWins();
+            for (std::size_t m = 1; m < mags.size(); ++m) {
+                if (grid[s][a][m].csmWins() != base_csm) {
+                    flip[s][a] = mags[m];
+                    break;
+                }
+            }
+        }
+    }
+
+    std::printf("Sensitivity: CSM-vs-TMK ranking stability "
+                "(%d procs, scale=%s, fault seed %llu)\n\n",
+                np, flags.get("scale", "small").c_str(),
+                (unsigned long long)fault_seed);
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        std::printf("scenario %s\n", scenarios[s].c_str());
+        TextTable t({"app", "magnitude", "best CSM (s)", "best TMK (s)",
+                     "CSM/TMK", "winner"});
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            for (std::size_t m = 0; m < mags.size(); ++m) {
+                const Point& pt = grid[s][a][m];
+                const double ratio =
+                    static_cast<double>(pt.bestCsm) /
+                    static_cast<double>(pt.bestTmk);
+                t.addRow({apps[a], TextTable::num(pt.magnitude, 1),
+                          TextTable::num(pt.bestCsm / double(kSecond), 3),
+                          TextTable::num(pt.bestTmk / double(kSecond), 3),
+                          TextTable::num(ratio, 3),
+                          pt.csmWins() ? "CSM" : "TMK"});
+            }
+        }
+        t.print();
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            if (flip[s][a] > 0)
+                std::printf("  %s: ranking flips at magnitude %g\n",
+                            apps[a].c_str(), flip[s][a]);
+            else
+                std::printf("  %s: ranking stable across the sweep\n",
+                            apps[a].c_str());
+        }
+        std::printf("\n");
+    }
+
+    const std::string json_path = flags.get("json", "");
+    if (flags.has("json")) {
+        std::FILE* f = json_path.empty()
+                           ? stdout
+                           : std::fopen(json_path.c_str(), "w");
+        if (f == nullptr)
+            mcdsm_fatal("cannot write '%s'", json_path.c_str());
+        std::fprintf(f, "{\n  \"bench\": \"bench_sensitivity\",\n");
+        std::fprintf(f, "  \"procs\": %d,\n", np);
+        std::fprintf(f, "  \"scale\": \"%s\",\n",
+                     flags.get("scale", "small").c_str());
+        std::fprintf(f, "  \"faultSeed\": %llu,\n",
+                     (unsigned long long)fault_seed);
+        std::fprintf(f, "  \"scenarios\": [\n");
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            std::fprintf(f, "    {\"scenario\": \"%s\", \"apps\": [\n",
+                         scenarios[s].c_str());
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                std::fprintf(f,
+                             "      {\"app\": \"%s\", "
+                             "\"baselineWinner\": \"%s\", ",
+                             apps[a].c_str(),
+                             grid[s][a][0].csmWins() ? "csm" : "tmk");
+                if (flip[s][a] > 0)
+                    std::fprintf(f, "\"flipMagnitude\": %g,\n",
+                                 flip[s][a]);
+                else
+                    std::fprintf(f, "\"flipMagnitude\": null,\n");
+                std::fprintf(f, "       \"points\": [\n");
+                for (std::size_t m = 0; m < mags.size(); ++m) {
+                    const Point& pt = grid[s][a][m];
+                    std::fprintf(
+                        f,
+                        "        {\"magnitude\": %g, "
+                        "\"bestCsmSeconds\": %.9f, "
+                        "\"bestTmkSeconds\": %.9f, "
+                        "\"winner\": \"%s\", \"slowestNode\": %d, "
+                        "\"elapsedSeconds\": {",
+                        pt.magnitude, pt.bestCsm / double(kSecond),
+                        pt.bestTmk / double(kSecond),
+                        pt.csmWins() ? "csm" : "tmk", pt.slowestNode);
+                    bool first = true;
+                    for (std::size_t v = 0; v < kNumVariants; ++v) {
+                        if (pt.elapsed[v] < 0)
+                            continue;
+                        std::fprintf(f, "%s\"%s\": %.9f",
+                                     first ? "" : ", ",
+                                     protocolName(kVariants[v]),
+                                     pt.elapsed[v] / double(kSecond));
+                        first = false;
+                    }
+                    std::fprintf(f, "}}%s\n",
+                                 m + 1 < mags.size() ? "," : "");
+                }
+                std::fprintf(f, "       ]}%s\n",
+                             a + 1 < apps.size() ? "," : "");
+            }
+            std::fprintf(f, "    ]}%s\n",
+                         s + 1 < scenarios.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        if (f != stdout) {
+            std::fclose(f);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    }
+
+    maybeWriteTrace(flags, results);
+    return 0;
+}

@@ -14,6 +14,9 @@
 namespace mcdsm::bench {
 namespace {
 
+/** Fault plan applied to every measurement (default: null plan). */
+FaultPlan g_fault;
+
 DsmConfig
 cfgFor(ProtocolKind k, int nprocs)
 {
@@ -21,6 +24,7 @@ cfgFor(ProtocolKind k, int nprocs)
     cfg.protocol = k;
     cfg.topo = Topology::standard(nprocs);
     cfg.maxSharedBytes = 8 << 20;
+    cfg.fault = g_fault;
     return cfg;
 }
 
@@ -107,6 +111,11 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Table 1: minimum cost of basic operations for all six "
+                "protocol variants",
+                {kFlagScenario, kFlagFaultSeed});
+    g_fault = faultFrom(flags);
 
     std::printf("Table 1: cost of basic operations (microseconds)\n");
     std::printf("(paper: Table 1; barrier column shows 2-proc with "
@@ -142,6 +151,5 @@ main(int argc, char** argv)
     table.addRow(bar_row);
     table.addRow(pt_row);
     table.print();
-    (void)flags;
     return 0;
 }

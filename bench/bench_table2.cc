@@ -12,6 +12,10 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Table 2: data-set sizes and sequential execution time",
+                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
 
     std::printf("Table 2: data set sizes and sequential execution time\n");
@@ -36,5 +40,6 @@ main(int argc, char** argv)
                       TextTable::num(results[a].seconds(), 2)});
     }
     table.print();
+    maybeWriteTrace(flags, results);
     return 0;
 }

@@ -13,6 +13,11 @@ main(int argc, char** argv)
     using namespace mcdsm;
     using namespace mcdsm::bench;
     Flags flags(argc, argv);
+    handleUsage(flags,
+                "Table 3: communication statistics for the polling "
+                "variants",
+                {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
 
@@ -95,5 +100,6 @@ main(int argc, char** argv)
         }
         t.print();
     }
+    maybeWriteTrace(flags, results);
     return 0;
 }

@@ -142,7 +142,7 @@ Cashmere::onReadFault(ProcCtx& ctx, PageNum pn)
 
     loadPage(ctx, pn);
     ctx.pt.setProtection(pn, ProtRead);
-    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs(ctx.node).mprotect);
 }
 
 void
@@ -157,7 +157,7 @@ Cashmere::onWriteFault(ProcCtx& ctx, PageNum pn)
         s.dirty.push_back(pn);
     }
     ctx.pt.setProtection(pn, ProtRw);
-    rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs(ctx.node).mprotect);
 }
 
 void
@@ -218,7 +218,8 @@ Cashmere::processWriteNotices(ProcCtx& ctx)
         if (ctx.pt.protection(pn) != ProtNone) {
             std::uint8_t* frame = ctx.frame(pn);
             ctx.pt.setProtection(pn, ProtNone);
-            rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+            rt_->charge(ctx, TimeCat::Protocol,
+                        rt_->costs(ctx.node).mprotect);
             if (frame != nullptr && frame != rt_->initFrame(pn))
                 rt_->freeFrame(frame);
             ctx.mapFrame(pn, nullptr);
@@ -281,7 +282,8 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
     // Downgrade to read-only so subsequent writes fault again.
     if (ctx.pt.canWrite(pn)) {
         ctx.pt.setProtection(pn, ProtRead);
-        rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+        rt_->charge(ctx, TimeCat::Protocol,
+                    rt_->costs(ctx.node).mprotect);
     }
 }
 

@@ -12,6 +12,7 @@
 
 #include "cache/cache_model.h"
 #include "common/costs.h"
+#include "fault/fault_plan.h"
 #include "net/mailbox.h"
 #include "net/topology.h"
 
@@ -123,6 +124,15 @@ struct DsmConfig
 
     /** Seed for applications' deterministic RNG. */
     std::uint64_t seed = 1;
+
+    /**
+     * Fault / perturbation plan (src/fault/). The default (null) plan
+     * creates no injector and leaves the run bit-identical to a build
+     * without the fault subsystem; an active plan degrades links,
+     * straggles nodes, or sweeps a cost field, deterministically from
+     * FaultPlan::seed.
+     */
+    FaultPlan fault{};
 
     /**
      * Enable the vector-clock happens-before race detector

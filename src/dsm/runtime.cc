@@ -42,6 +42,31 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
       req_mode_(reqModeOf(cfg.protocol)),
       page_count_(cfg.maxSharedBytes >> kPageShift)
 {
+    // Cost sweeps apply before anything (MemoryChannel, caches,
+    // protocol constants) reads the model; the null plan leaves
+    // costs_ untouched.
+    if (cfg_.fault.costActive()) {
+        if (!applyCostFactor(costs_, cfg_.fault.costField,
+                             cfg_.fault.costFactor)) {
+            mcdsm_fatal("unknown cost field '%s' in fault plan",
+                        cfg_.fault.costField.c_str());
+        }
+    }
+    if (cfg_.fault.active()) {
+        faults_ = std::make_unique<FaultInjector>(cfg_.fault, cfg_.topo);
+        if (faults_->perturbsNetwork())
+            mc_.attachFaults(faults_.get());
+        if (faults_->perturbsNodes()) {
+            straggler_mode_ = cfg_.fault.stragglerCompute != 1.0;
+            node_costs_.reserve(cfg_.topo.nodes);
+            node_compute_.reserve(cfg_.topo.nodes);
+            for (NodeId n = 0; n < cfg_.topo.nodes; ++n) {
+                node_costs_.push_back(faults_->nodeCosts(costs_, n));
+                node_compute_.push_back(faults_->computeFactor(n));
+            }
+        }
+    }
+
     mail_ = std::make_unique<MailboxSystem>(sched_, mc_, costs_, cfg_.topo);
     init_.resize(page_count_);
     trace_ = TraceRing(cfg_.traceCapacity);
@@ -185,7 +210,7 @@ DsmRuntime::handleReadFault(ProcCtx& ctx, PageNum pn)
 {
     if (cfg_.protocol != ProtocolKind::None) {
         ctx.stats.readFaults += 1;
-        charge(ctx, TimeCat::Protocol, costs_.pageFault);
+        charge(ctx, TimeCat::Protocol, costs(ctx.node).pageFault);
     }
     trace_.record(sched_.now(), ctx.id, TraceKind::ReadFault, pn);
     protocol_->onReadFault(ctx, pn);
@@ -198,7 +223,7 @@ DsmRuntime::handleWriteFault(ProcCtx& ctx, PageNum pn)
 {
     if (cfg_.protocol != ProtocolKind::None) {
         ctx.stats.writeFaults += 1;
-        charge(ctx, TimeCat::Protocol, costs_.pageFault);
+        charge(ctx, TimeCat::Protocol, costs(ctx.node).pageFault);
     }
     trace_.record(sched_.now(), ctx.id, TraceKind::WriteFault, pn);
     protocol_->onWriteFault(ctx, pn);
@@ -296,6 +321,7 @@ DsmRuntime::sendMessage(ProcCtx& ctx, ProcId dst, Message msg)
 void
 DsmRuntime::serviceArrived(ProcCtx& ctx, bool in_wait)
 {
+    const CostModel& nc = costs(ctx.node);
     for (;;) {
         const Time now = sched_.now();
         auto msg = mail_->tryReceiveIf(
@@ -306,18 +332,18 @@ DsmRuntime::serviceArrived(ProcCtx& ctx, bool in_wait)
                     return true;
                 if (in_wait && polls_while_waiting_)
                     return true;
-                return m.arrival + costs_.remoteSignalLatency <= now;
+                return m.arrival + nc.remoteSignalLatency <= now;
             });
         if (!msg)
             return;
 
         Time overhead =
-            costs_.handlerDispatch + mail_->receiveCpuCost(*msg);
+            nc.handlerDispatch + mail_->receiveCpuCost(*msg);
         const bool via_signal =
             req_mode_ == ReqMode::Interrupt &&
             !(in_wait && polls_while_waiting_);
         if (via_signal)
-            overhead += costs_.localSignal;
+            overhead += nc.localSignal;
         charge(ctx, TimeCat::Protocol, overhead);
         ctx.stats.requestsServiced += 1;
         trace_.record(sched_.now(), ctx.id, TraceKind::RequestService,
@@ -332,7 +358,7 @@ DsmRuntime::nextActionable(ProcCtx& ctx, bool in_wait) const
     const bool delay_requests =
         req_mode_ == ReqMode::Interrupt &&
         !(in_wait && polls_while_waiting_);
-    const Time sig = costs_.remoteSignalLatency;
+    const Time sig = costs(ctx.node).remoteSignalLatency;
     const Time now = sched_.now();
     // Only strictly-future events arm a self-wake: anything already
     // actionable was just examined by the caller and found
@@ -498,6 +524,10 @@ void
 DsmRuntime::collectStats()
 {
     stats_.procs.clear();
+    stats_.nodes.assign(static_cast<std::size_t>(cfg_.topo.nodes),
+                        NodeStats{});
+    for (NodeId n = 0; n < cfg_.topo.nodes; ++n)
+        stats_.nodes[n].node = n;
     Time elapsed = 0;
     for (ProcId p = 0; p < nprocs(); ++p) {
         ProcCtx& ctx = *procs_[p];
@@ -508,6 +538,13 @@ DsmRuntime::collectStats()
         s.l1Misses = ctx.cache.l1Misses();
         s.l2Misses = ctx.cache.l2Misses();
         s.vmProtOps = ctx.pt.protectOps();
+        NodeStats& ns = stats_.nodes[ctx.node];
+        ns.procs += 1;
+        ns.endTime = std::max(ns.endTime, s.endTime);
+        ns.messagesSent += s.messagesSent;
+        ns.bytesSent += s.bytesSent;
+        ns.pageFaults += s.readFaults + s.writeFaults;
+        ns.requestsServiced += s.requestsServiced;
         stats_.procs.push_back(s);
         elapsed = std::max(elapsed, s.endTime);
     }

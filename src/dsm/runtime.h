@@ -23,6 +23,7 @@
 #include "dsm/protocol.h"
 #include "dsm/stats.h"
 #include "dsm/trace.h"
+#include "fault/fault_injector.h"
 #include "net/mailbox.h"
 #include "net/memory_channel.h"
 #include "sim/scheduler.h"
@@ -266,6 +267,19 @@ class DsmRuntime
     // ---- services for protocol implementations -------------------------
     const DsmConfig& cfg() const { return cfg_; }
     const CostModel& costs() const { return costs_; }
+
+    /**
+     * Cost model as seen from node @p n: the global model unless the
+     * fault plan straggles the node, in which case VM and signal costs
+     * are inflated (see FaultInjector::nodeCosts). Charges for
+     * node-local work (mprotect, page faults, signal delivery) should
+     * go through this accessor.
+     */
+    const CostModel&
+    costs(NodeId n) const
+    {
+        return node_costs_.empty() ? costs_ : node_costs_[n];
+    }
     const Topology& topo() const { return cfg_.topo; }
     Scheduler& sched() { return sched_; }
     MemoryChannel& mc() { return mc_; }
@@ -354,6 +368,21 @@ class DsmRuntime
     /** Race detector (nullptr unless cfg.raceDetect). */
     const RaceChecker* raceChecker() const { return checker_.get(); }
 
+    /** Fault injector (nullptr unless cfg.fault.active()). */
+    const FaultInjector* faults() const { return faults_.get(); }
+
+    /**
+     * Brown-out windows injected up to @p horizon (empty without an
+     * active brown-out plan). Trace exporters overlay these on the
+     * protocol timeline.
+     */
+    std::vector<FaultWindow>
+    faultWindows(Time horizon) const
+    {
+        return faults_ ? faults_->faultWindows(horizon)
+                       : std::vector<FaultWindow>{};
+    }
+
   private:
     void handleReadFault(ProcCtx& ctx, PageNum pn);
     void handleWriteFault(ProcCtx& ctx, PageNum pn);
@@ -407,6 +436,10 @@ class DsmRuntime
     void
     chargeUser(ProcCtx& ctx, Time ns)
     {
+        if (straggler_mode_) [[unlikely]] {
+            ns = static_cast<Time>(static_cast<double>(ns) *
+                                   node_compute_[ctx.node]);
+        }
         ctx.stats.timeIn[static_cast<int>(TimeCat::User)] += ns;
         ctx.accounted += ns;
         sched_.advance(ns);
@@ -417,7 +450,8 @@ class DsmRuntime
     maybeInterrupt(ProcCtx& ctx)
     {
         const Time a = mail_->earliestArrival(ctx.id);
-        if (a >= 0 && a + costs_.remoteSignalLatency <= sched_.now())
+        if (a >= 0 &&
+            a + costs(ctx.node).remoteSignalLatency <= sched_.now())
             serviceArrived(ctx, false);
     }
 
@@ -441,6 +475,13 @@ class DsmRuntime
     bool write_hook_ = false;
     bool read_hook_ = false;
     std::unique_ptr<RaceChecker> checker_;
+
+    std::unique_ptr<FaultInjector> faults_;
+    /** Per-node cost models (empty unless the plan straggles nodes). */
+    std::vector<CostModel> node_costs_;
+    /** Per-node compute multipliers (parallel to node_costs_). */
+    std::vector<double> node_compute_;
+    bool straggler_mode_ = false;
 
     std::size_t page_count_;
     std::size_t alloc_bytes_ = 0;

@@ -66,9 +66,30 @@ struct ProcStats
     Time endTime = 0;
 };
 
+/**
+ * Per-node rollup of the processor statistics. Straggler fault
+ * scenarios (src/fault/) report through this which node bound the
+ * run; healthy runs use it to check load balance across the ladder.
+ */
+struct NodeStats
+{
+    NodeId node = 0;
+    int procs = 0; ///< compute processors on this node
+    /** Latest worker end time on the node. */
+    Time endTime = 0;
+    std::uint64_t messagesSent = 0;
+    std::uint64_t bytesSent = 0;
+    /** Read + write page faults taken on the node. */
+    std::uint64_t pageFaults = 0;
+    std::uint64_t requestsServiced = 0;
+};
+
 struct RunStats
 {
     std::vector<ProcStats> procs;
+
+    /** Per-node rollup (one entry per topology node). */
+    std::vector<NodeStats> nodes;
 
     /** Wall (virtual) time of the parallel section: max end time. */
     Time elapsed = 0;
@@ -105,6 +126,21 @@ struct RunStats
         for (const auto& p : procs)
             sum += p.timeIn[static_cast<int>(c)];
         return sum;
+    }
+
+    /** Node whose last worker finished last (binds the run). */
+    NodeId
+    slowestNode() const
+    {
+        NodeId worst = 0;
+        Time worst_end = -1;
+        for (const auto& n : nodes) {
+            if (n.endTime > worst_end) {
+                worst_end = n.endTime;
+                worst = n.node;
+            }
+        }
+        return worst;
     }
 };
 

@@ -1,0 +1,156 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+/** SplitMix64 finalizer: the stateless mix behind window offsets. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Pick @p want distinct indices out of @p n using @p rng (partial
+ * Fisher-Yates); returns a membership mask. want <= 0 selects all.
+ */
+std::vector<char>
+pickIndices(int n, int want, Rng& rng)
+{
+    std::vector<char> member(n, 0);
+    if (want <= 0 || want >= n) {
+        std::fill(member.begin(), member.end(), 1);
+        return member;
+    }
+    std::vector<int> idx(n);
+    for (int i = 0; i < n; ++i)
+        idx[i] = i;
+    for (int i = 0; i < want; ++i) {
+        const int j = i + static_cast<int>(rng.nextBounded(
+                              static_cast<std::uint64_t>(n - i)));
+        std::swap(idx[i], idx[j]);
+        member[idx[i]] = 1;
+    }
+    return member;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const Topology& topo)
+    : plan_(plan), nodes_(topo.nodes)
+{
+    mcdsm_assert(plan_.linkBwFactor > 0 && plan_.brownoutFactor > 0,
+                 "bandwidth factors must be positive");
+    mcdsm_assert(plan_.hubLoadFraction >= 0 && plan_.hubLoadFraction < 1,
+                 "hub load fraction must be in [0, 1)");
+    mcdsm_assert(plan_.brownoutDuty <= plan_.brownoutPeriod,
+                 "brown-out duty exceeds its period");
+
+    hub_factor_ = 1.0 - plan_.hubLoadFraction;
+
+    // Derivation order is fixed so selections are a function of the
+    // seed alone: link-pick stream, node-pick stream, then one jitter
+    // stream per tx link.
+    Rng root(plan_.seed);
+    Rng link_pick = root.split();
+    Rng node_pick = root.split();
+
+    const bool link_faults = plan_.linkBwFactor != 1.0 ||
+                             (plan_.brownoutPeriod > 0 &&
+                              plan_.brownoutDuty > 0 &&
+                              plan_.brownoutFactor != 1.0);
+    degraded_ = link_faults
+                    ? pickIndices(nodes_, plan_.degradedLinks, link_pick)
+                    : std::vector<char>(nodes_, 0);
+
+    const int want_nodes =
+        plan_.stragglerNodes < 0 ? nodes_ : plan_.stragglerNodes;
+    straggler_ = plan_.stragglerActive()
+                     ? pickIndices(nodes_, want_nodes, node_pick)
+                     : std::vector<char>(nodes_, 0);
+
+    jitter_rng_.reserve(nodes_);
+    for (int n = 0; n < nodes_; ++n)
+        jitter_rng_.push_back(root.split());
+}
+
+Time
+FaultInjector::brownoutOffset(NodeId link, std::uint64_t idx) const
+{
+    const Time span = plan_.brownoutPeriod - plan_.brownoutDuty;
+    if (span <= 0)
+        return 0;
+    const std::uint64_t h =
+        mix64(plan_.seed ^ (static_cast<std::uint64_t>(link) + 1) *
+                               0x9e3779b97f4a7c15ULL ^
+              (idx + 1) * 0xd6e8feb86659fd93ULL);
+    return static_cast<Time>(h % (static_cast<std::uint64_t>(span) + 1));
+}
+
+bool
+FaultInjector::inBrownout(NodeId link, Time t) const
+{
+    if (plan_.brownoutPeriod <= 0 || plan_.brownoutDuty <= 0 || t < 0)
+        return false;
+    const std::uint64_t idx =
+        static_cast<std::uint64_t>(t) /
+        static_cast<std::uint64_t>(plan_.brownoutPeriod);
+    const Time begin =
+        static_cast<Time>(idx) * plan_.brownoutPeriod +
+        brownoutOffset(link, idx);
+    return t >= begin && t < begin + plan_.brownoutDuty;
+}
+
+std::vector<FaultWindow>
+FaultInjector::faultWindows(Time horizon) const
+{
+    std::vector<FaultWindow> out;
+    if (plan_.brownoutPeriod <= 0 || plan_.brownoutDuty <= 0 ||
+        plan_.brownoutFactor == 1.0)
+        return out;
+    for (NodeId link = 0; link < nodes_; ++link) {
+        if (!degraded_[link])
+            continue;
+        for (std::uint64_t idx = 0;; ++idx) {
+            const Time begin =
+                static_cast<Time>(idx) * plan_.brownoutPeriod +
+                brownoutOffset(link, idx);
+            if (begin >= horizon)
+                break;
+            out.push_back({link, begin, begin + plan_.brownoutDuty});
+        }
+    }
+    return out;
+}
+
+CostModel
+FaultInjector::nodeCosts(const CostModel& base, NodeId n) const
+{
+    CostModel c = base;
+    if (!straggler_[n])
+        return c;
+    auto scale = [](Time t, double f) {
+        return static_cast<Time>(static_cast<double>(t) * f);
+    };
+    if (plan_.stragglerVm != 1.0) {
+        c.mprotect = scale(c.mprotect, plan_.stragglerVm);
+        c.pageFault = scale(c.pageFault, plan_.stragglerVm);
+    }
+    if (plan_.stragglerSignal != 1.0) {
+        c.localSignal = scale(c.localSignal, plan_.stragglerSignal);
+        c.remoteSignalSend =
+            scale(c.remoteSignalSend, plan_.stragglerSignal);
+        c.remoteSignalLatency =
+            scale(c.remoteSignalLatency, plan_.stragglerSignal);
+    }
+    return c;
+}
+
+} // namespace mcdsm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic fault injector.
+ *
+ * Turns a FaultPlan into concrete injections against the three hook
+ * layers:
+ *
+ *  - MemoryChannel: per-link bandwidth factors (steady degradation and
+ *    transient brown-out windows over virtual time), background hub
+ *    load, and bounded per-transfer delivery jitter;
+ *  - DsmRuntime / Proc: per-node cycle-time multipliers and per-node
+ *    CostModel copies with inflated VM and signal costs (stragglers);
+ *  - CostModel: multiplicative sweeps over one named field
+ *    (applyCostFactor, applied by the runtime before anything reads
+ *    the model).
+ *
+ * Determinism: one injector belongs to one DsmRuntime, which runs on
+ * one host thread, so every stateful draw happens in the deterministic
+ * order the simulation itself imposes. Link/node *selection* and
+ * per-link jitter streams are derived from the plan seed with
+ * Rng::split; brown-out window offsets are a pure (stateless) hash of
+ * (seed, link, window index), so they are identical no matter in what
+ * order transfers sample them. A given (FaultPlan, seed) is therefore
+ * bit-reproducible under any --jobs=N.
+ */
+
+#ifndef MCDSM_FAULT_FAULT_INJECTOR_H
+#define MCDSM_FAULT_FAULT_INJECTOR_H
+
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+#include "fault/fault_plan.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+
+namespace mcdsm {
+
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan& plan, const Topology& topo);
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /** True if any MemoryChannel hook can fire. */
+    bool perturbsNetwork() const { return plan_.networkActive(); }
+    /** True if any per-node (straggler) hook can fire. */
+    bool perturbsNodes() const { return plan_.stragglerActive(); }
+
+    // ---- MemoryChannel hooks -------------------------------------------
+    /**
+     * Bandwidth multiplier for @p link at virtual time @p t: steady
+     * degradation x brown-out factor when @p t falls inside one of the
+     * link's brown-out windows. Always in (0, 1].
+     */
+    double
+    linkFactor(NodeId link, Time t) const
+    {
+        if (!degraded_[link])
+            return 1.0;
+        double f = plan_.linkBwFactor;
+        if (plan_.brownoutPeriod > 0 && inBrownout(link, t))
+            f *= plan_.brownoutFactor;
+        return f;
+    }
+
+    /** Aggregate (hub) bandwidth multiplier from background load. */
+    double hubFactor() const { return hub_factor_; }
+
+    /**
+     * Delivery jitter (ns) for the next transfer on @p link's transmit
+     * path. Stateful: consumes one draw from the link's split stream.
+     */
+    Time
+    latencyJitter(NodeId link)
+    {
+        if (plan_.latencyJitterMax <= 0)
+            return 0;
+        return static_cast<Time>(jitter_rng_[link].nextBounded(
+            static_cast<std::uint64_t>(plan_.latencyJitterMax) + 1));
+    }
+
+    /** Is @p link subject to degradation / brown-outs? */
+    bool linkDegraded(NodeId link) const { return degraded_[link] != 0; }
+
+    /** Is @p t inside one of @p link's brown-out windows? */
+    bool inBrownout(NodeId link, Time t) const;
+
+    /**
+     * Every brown-out window starting before @p horizon, across all
+     * degraded links, in (link, begin) order. Used to annotate
+     * exported traces with the injected fault windows.
+     */
+    std::vector<FaultWindow> faultWindows(Time horizon) const;
+
+    // ---- node (straggler) hooks ------------------------------------------
+    bool straggles(NodeId n) const { return straggler_[n] != 0; }
+
+    /** Cycle-time multiplier for compute charged on node @p n. */
+    double
+    computeFactor(NodeId n) const
+    {
+        return straggler_[n] ? plan_.stragglerCompute : 1.0;
+    }
+
+    /**
+     * Per-node cost model: @p base with VM and signal costs inflated
+     * when node @p n straggles.
+     */
+    CostModel nodeCosts(const CostModel& base, NodeId n) const;
+
+  private:
+    /** Start offset of window @p idx on @p link within its period. */
+    Time brownoutOffset(NodeId link, std::uint64_t idx) const;
+
+    FaultPlan plan_;
+    int nodes_;
+    double hub_factor_ = 1.0;
+    std::vector<char> degraded_;   ///< per link
+    std::vector<char> straggler_;  ///< per node
+    std::vector<Rng> jitter_rng_;  ///< per tx link
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_FAULT_FAULT_INJECTOR_H

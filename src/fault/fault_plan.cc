@@ -1,0 +1,189 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+struct TimeField
+{
+    const char* name;
+    Time CostModel::* field;
+};
+
+struct DoubleField
+{
+    const char* name;
+    double CostModel::* field;
+};
+
+constexpr TimeField kTimeFields[] = {
+    {"cycle", &CostModel::cycle},
+    {"l1HitTime", &CostModel::l1HitTime},
+    {"l2HitTime", &CostModel::l2HitTime},
+    {"memTime", &CostModel::memTime},
+    {"mprotect", &CostModel::mprotect},
+    {"pageFault", &CostModel::pageFault},
+    {"localSignal", &CostModel::localSignal},
+    {"remoteSignalSend", &CostModel::remoteSignalSend},
+    {"remoteSignalLatency", &CostModel::remoteSignalLatency},
+    {"mcLatency", &CostModel::mcLatency},
+    {"mcPerWriteCpu", &CostModel::mcPerWriteCpu},
+    {"smpMessageLatency", &CostModel::smpMessageLatency},
+    {"mcLockUncontended", &CostModel::mcLockUncontended},
+    {"dirModify", &CostModel::dirModify},
+    {"dirModifyLocked", &CostModel::dirModifyLocked},
+    {"dirScan", &CostModel::dirScan},
+    {"twinCost", &CostModel::twinCost},
+    {"diffCreateMin", &CostModel::diffCreateMin},
+    {"diffCreateMax", &CostModel::diffCreateMax},
+    {"diffApplyBase", &CostModel::diffApplyBase},
+    {"tmkPerInterval", &CostModel::tmkPerInterval},
+    {"tmkPerNotice", &CostModel::tmkPerNotice},
+    {"handlerDispatch", &CostModel::handlerDispatch},
+    {"udpPerMessage", &CostModel::udpPerMessage},
+    {"mcPerMessage", &CostModel::mcPerMessage},
+    {"pollCheck", &CostModel::pollCheck},
+};
+
+constexpr DoubleField kDoubleFields[] = {
+    {"nsPerOp", &CostModel::nsPerOp},
+    {"mcLinkBw", &CostModel::mcLinkBw},
+    {"mcAggBw", &CostModel::mcAggBw},
+    {"busBw", &CostModel::busBw},
+    {"diffApplyPerByte", &CostModel::diffApplyPerByte},
+};
+
+} // namespace
+
+bool
+applyCostFactor(CostModel& costs, const std::string& field, double factor)
+{
+    for (const auto& f : kTimeFields) {
+        if (field == f.name) {
+            if (factor != 1.0) {
+                costs.*f.field = static_cast<Time>(
+                    static_cast<double>(costs.*f.field) * factor);
+            }
+            return true;
+        }
+    }
+    for (const auto& f : kDoubleFields) {
+        if (field == f.name) {
+            if (factor != 1.0)
+                costs.*f.field *= factor;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<std::string>&
+costFieldNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto& f : kTimeFields)
+            v.emplace_back(f.name);
+        for (const auto& f : kDoubleFields)
+            v.emplace_back(f.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string>&
+scenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "null",     "link_degrade",    "one_slow_link",
+        "hub_load", "jitter",          "brownout",
+        "straggler", "slow_interrupts",
+    };
+    return names;
+}
+
+FaultPlan
+makeScenario(const std::string& name, double magnitude,
+             std::uint64_t seed)
+{
+    mcdsm_assert(magnitude >= 1.0, "scenario magnitude must be >= 1");
+    FaultPlan p;
+    p.scenario = name;
+    p.seed = seed;
+    p.magnitude = magnitude;
+
+    if (name.rfind("cost:", 0) == 0) {
+        CostModel probe;
+        if (!applyCostFactor(probe, name.substr(5), 1.0)) {
+            mcdsm_fatal("unknown cost field '%s' (see costFieldNames())",
+                        name.substr(5).c_str());
+        }
+    } else {
+        bool known = false;
+        for (const auto& n : scenarioNames())
+            known = known || n == name;
+        if (!known)
+            mcdsm_fatal("unknown fault scenario '%s'", name.c_str());
+    }
+
+    // Magnitude 1 is the healthy machine for every scenario: an inert
+    // plan, so magnitude sweeps can include the baseline point.
+    if (name == "null" || magnitude == 1.0)
+        return p;
+
+    if (name == "link_degrade") {
+        p.linkBwFactor = 1.0 / magnitude;
+    } else if (name == "one_slow_link") {
+        p.linkBwFactor = 1.0 / magnitude;
+        p.degradedLinks = 1;
+    } else if (name == "hub_load") {
+        p.hubLoadFraction = 1.0 - 1.0 / magnitude;
+    } else if (name == "jitter") {
+        p.latencyJitterMax =
+            static_cast<Time>(magnitude * kMicrosecond);
+    } else if (name == "brownout") {
+        p.degradedLinks = 1;
+        p.brownoutFactor = 0.25;
+        p.brownoutPeriod = 5 * kMillisecond;
+        p.brownoutDuty = std::min<Time>(
+            p.brownoutPeriod,
+            static_cast<Time>(magnitude * 500 * kMicrosecond));
+    } else if (name == "straggler") {
+        p.stragglerNodes = 1;
+        p.stragglerCompute = magnitude;
+        p.stragglerVm = magnitude;
+        p.stragglerSignal = magnitude;
+    } else if (name == "slow_interrupts") {
+        p.stragglerNodes = -1;
+        p.stragglerSignal = magnitude;
+    } else {
+        p.costField = name.substr(5);
+        p.costFactor = magnitude;
+    }
+    return p;
+}
+
+FaultPlan
+faultPlanFromSpec(const std::string& spec, std::uint64_t seed)
+{
+    std::string name = spec;
+    double magnitude = 2.0;
+    const std::size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        const std::string tail = spec.substr(colon + 1);
+        char* end = nullptr;
+        const double v = std::strtod(tail.c_str(), &end);
+        if (end != tail.c_str() && *end == '\0') {
+            magnitude = v;
+            name = spec.substr(0, colon);
+        }
+    }
+    return makeScenario(name, magnitude, seed);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Declarative fault / perturbation plans.
+ *
+ * A FaultPlan describes *what* to perturb about the simulated machine:
+ * straggler nodes, degraded or jittery Memory Channel links, transient
+ * link brown-outs, background hub traffic, or a multiplicative sweep
+ * over one cost-model field. It is pure data — the FaultInjector
+ * (fault_injector.h) turns a plan plus a seed into concrete,
+ * deterministic injections.
+ *
+ * The default-constructed plan is the null plan: active() is false, no
+ * injector is created, and a run is bit-identical to one that never
+ * heard of the fault subsystem. Named scenarios are produced by
+ * makeScenario(name, magnitude, seed); magnitude 1 is "the healthy
+ * machine" and larger magnitudes mean harsher perturbation, so the
+ * sensitivity bench can sweep magnitude until a paper conclusion
+ * flips.
+ */
+
+#ifndef MCDSM_FAULT_FAULT_PLAN_H
+#define MCDSM_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+/** One transient link brown-out interval (virtual time). */
+struct FaultWindow
+{
+    NodeId link = 0;
+    Time begin = 0;
+    Time end = 0;
+};
+
+struct FaultPlan
+{
+    /** Scenario label (reporting only; "null" = no faults). */
+    std::string scenario = "null";
+
+    /** Root seed for every derived Rng::split stream. */
+    std::uint64_t seed = 1;
+
+    /** Scenario magnitude this plan was built at (reporting only). */
+    double magnitude = 1.0;
+
+    // ---- stragglers (Scheduler / Proc layer) -------------------------
+    /** Straggling nodes: 0 = none, -1 = every node, else a count
+     *  chosen deterministically from the seed. */
+    int stragglerNodes = 0;
+    /** Cycle-time multiplier on straggler nodes (compute + memory). */
+    double stragglerCompute = 1.0;
+    /** mprotect / page-fault cost multiplier on straggler nodes. */
+    double stragglerVm = 1.0;
+    /** Signal / interrupt latency multiplier on straggler nodes. */
+    double stragglerSignal = 1.0;
+
+    // ---- Memory Channel links ----------------------------------------
+    /** Steady-state per-link bandwidth multiplier (< 1 degrades). */
+    double linkBwFactor = 1.0;
+    /** Links affected by linkBwFactor / brown-outs: 0 = all, else a
+     *  count chosen deterministically from the seed. */
+    int degradedLinks = 0;
+    /** Per-transfer delivery jitter bound (ns), drawn per tx link. */
+    Time latencyJitterMax = 0;
+    /** Fraction of aggregate hub bandwidth consumed by background
+     *  traffic (0 = none, 0.5 = half the hub is gone). */
+    double hubLoadFraction = 0.0;
+
+    // ---- transient brown-outs -----------------------------------------
+    /** Bandwidth multiplier inside a brown-out window (< 1). */
+    double brownoutFactor = 1.0;
+    /** Window period (virtual ns); 0 disables brown-outs. */
+    Time brownoutPeriod = 0;
+    /** Busy span per period (virtual ns, <= brownoutPeriod). */
+    Time brownoutDuty = 0;
+
+    // ---- cost-model sweep ----------------------------------------------
+    /** CostModel field to scale (see costFieldNames()); empty = none. */
+    std::string costField;
+    double costFactor = 1.0;
+
+    bool
+    stragglerActive() const
+    {
+        return stragglerNodes != 0 &&
+               (stragglerCompute != 1.0 || stragglerVm != 1.0 ||
+                stragglerSignal != 1.0);
+    }
+
+    bool
+    networkActive() const
+    {
+        return linkBwFactor != 1.0 || latencyJitterMax > 0 ||
+               hubLoadFraction != 0.0 ||
+               (brownoutPeriod > 0 && brownoutDuty > 0 &&
+                brownoutFactor != 1.0);
+    }
+
+    bool
+    costActive() const
+    {
+        return !costField.empty() && costFactor != 1.0;
+    }
+
+    /** False for the null plan: no injector, bit-identical baseline. */
+    bool
+    active() const
+    {
+        return stragglerActive() || networkActive() || costActive();
+    }
+};
+
+/**
+ * Multiply one CostModel field by @p factor. Field names match the
+ * struct members ("mcLatency", "mcLinkBw", "mprotect", ...).
+ * @return false if @p field names no known cost.
+ */
+bool applyCostFactor(CostModel& costs, const std::string& field,
+                     double factor);
+
+/** Sweepable CostModel field names (for --help and validation). */
+const std::vector<std::string>& costFieldNames();
+
+/**
+ * Build a named scenario at @p magnitude (>= 1; 1 = healthy machine).
+ *
+ *  - "null"            no perturbation
+ *  - "link_degrade"    every link at 1/magnitude of its bandwidth
+ *  - "one_slow_link"   a single seed-chosen link at 1/magnitude
+ *  - "hub_load"        background traffic eats (1 - 1/magnitude) of
+ *                      the hub's aggregate bandwidth
+ *  - "jitter"          per-transfer delivery jitter up to
+ *                      magnitude microseconds
+ *  - "brownout"        one seed-chosen link loses 75% of its bandwidth
+ *                      for magnitude x 500us out of every 5ms
+ *  - "straggler"       one seed-chosen node runs magnitude x slower
+ *                      (compute, VM ops, signal delivery)
+ *  - "slow_interrupts" every node's interrupt/signal latency
+ *                      x magnitude
+ *  - "cost:<field>"    multiply CostModel::<field> by magnitude
+ */
+FaultPlan makeScenario(const std::string& name, double magnitude,
+                       std::uint64_t seed);
+
+/** Scenario names accepted by makeScenario (excluding "cost:*"). */
+const std::vector<std::string>& scenarioNames();
+
+/**
+ * Parse a --scenario=SPEC value: "name" or "name:magnitude"
+ * (e.g. "straggler:4", "cost:mcLatency:8"). The last ':'-separated
+ * token is the magnitude if it parses as a number; default 2.
+ */
+FaultPlan faultPlanFromSpec(const std::string& spec, std::uint64_t seed);
+
+} // namespace mcdsm
+
+#endif // MCDSM_FAULT_FAULT_PLAN_H

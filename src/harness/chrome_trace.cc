@@ -1,0 +1,122 @@
+#include "harness/chrome_trace.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+/// Virtual-time nanoseconds -> trace-format microseconds.
+double
+us(Time t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/// Pseudo-thread id for fault windows of link n (real procs are tids
+/// 0..nprocs-1, well below this).
+constexpr int kFaultTidBase = 10000;
+
+void
+metaEvent(std::string& out, int pid, int tid, const char* what,
+          const std::string& name)
+{
+    out += strprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                     "\"name\":\"%s\","
+                     "\"args\":{\"name\":\"%s\"}},\n",
+                     pid, tid, what, name.c_str());
+}
+
+void
+emitRun(std::string& out, const ExpResult& r, int pid)
+{
+    metaEvent(out, pid, 0, "process_name",
+              strprintf("%s/%s/p%d", r.app.c_str(),
+                        protocolName(r.protocol), r.nprocs));
+
+    // Barrier episodes become duration slices; everything else is an
+    // instant. A Leave whose Enter was overwritten in the ring is
+    // downgraded to an instant so the B/E nesting stays balanced.
+    std::unordered_map<int, int> barrier_depth;
+    for (const TraceEvent& e : r.trace) {
+        const int tid = e.proc;
+        switch (e.kind) {
+          case TraceKind::BarrierEnter:
+            out += strprintf("{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,"
+                             "\"ts\":%.3f,\"name\":\"barrier %llu\"},\n",
+                             pid, tid, us(e.time),
+                             (unsigned long long)e.arg);
+            barrier_depth[tid] += 1;
+            break;
+          case TraceKind::BarrierLeave:
+            if (barrier_depth[tid] > 0) {
+                barrier_depth[tid] -= 1;
+                out += strprintf("{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,"
+                                 "\"ts\":%.3f},\n",
+                                 pid, tid, us(e.time));
+                break;
+            }
+            [[fallthrough]];
+          default:
+            out += strprintf(
+                "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                "\"ts\":%.3f,\"name\":\"%s\","
+                "\"args\":{\"arg\":%llu,\"peer\":%d}},\n",
+                pid, tid, us(e.time), traceKindName(e.kind),
+                (unsigned long long)e.arg, e.peer);
+        }
+    }
+    // Close slices left open at the end of the ring.
+    for (const auto& [tid, depth] : barrier_depth) {
+        for (int i = 0; i < depth; ++i)
+            out += strprintf("{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,"
+                             "\"ts\":%.3f},\n",
+                             pid, tid, us(r.elapsed));
+    }
+
+    for (const FaultWindow& w : r.faultWindows) {
+        const int tid = kFaultTidBase + w.link;
+        metaEvent(out, pid, tid, "thread_name",
+                  strprintf("faults link %d", w.link));
+        out += strprintf(
+            "{\"ph\":\"i\",\"s\":\"p\",\"pid\":%d,\"tid\":%d,"
+            "\"ts\":%.3f,\"name\":\"brownout link %d\","
+            "\"args\":{\"end_us\":%.3f}},\n",
+            pid, tid, us(w.begin), w.link, us(w.end));
+    }
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<ExpResult>& runs)
+{
+    std::string out = "[\n";
+    int pid = 0;
+    for (const ExpResult& r : runs)
+        emitRun(out, r, pid++);
+    // The format tolerates a trailing comma, but not every consumer
+    // does; drop it.
+    if (out.size() >= 2 && out[out.size() - 2] == ',')
+        out.erase(out.size() - 2, 1);
+    out += "]\n";
+    return out;
+}
+
+std::size_t
+writeChromeTrace(const std::string& path,
+                 const std::vector<ExpResult>& runs)
+{
+    const std::string json = chromeTraceJson(runs);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        mcdsm_fatal("cannot write trace file '%s'", path.c_str());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return runs.size();
+}
+
+} // namespace mcdsm

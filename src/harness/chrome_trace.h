@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome-trace (Perfetto "trace event") export of protocol traces.
+ *
+ * Renders the TraceRing of one or more runs as the JSON array format
+ * understood by chrome://tracing, Perfetto UI and speedscope: one
+ * process per run, one thread per simulated processor, barrier
+ * episodes as duration (B/E) pairs, every other protocol event as an
+ * instant event, and fault brown-out windows (src/fault/) as instant
+ * events on a per-link pseudo-thread. Virtual-time nanoseconds map to
+ * the format's microsecond timestamps.
+ *
+ * Bench binaries hook this up behind `--trace-out=FILE`.
+ */
+
+#ifndef MCDSM_HARNESS_CHROME_TRACE_H
+#define MCDSM_HARNESS_CHROME_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace mcdsm {
+
+/**
+ * Render runs as a Chrome-trace JSON string. Runs with an empty
+ * trace contribute only their metadata (and any fault windows), so a
+ * mixed batch stays valid.
+ */
+std::string chromeTraceJson(const std::vector<ExpResult>& runs);
+
+/**
+ * Write chromeTraceJson() to @p path. Dies (mcdsm_fatal) if the file
+ * cannot be written; returns the number of runs exported.
+ */
+std::size_t writeChromeTrace(const std::string& path,
+                             const std::vector<ExpResult>& runs);
+
+} // namespace mcdsm
+
+#endif // MCDSM_HARNESS_CHROME_TRACE_H

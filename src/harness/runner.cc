@@ -64,6 +64,9 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     cfg.raceDetect = opts.raceDetect;
     cfg.schedSeed = opts.schedSeed;
     cfg.schedMaxJitter = opts.schedMaxJitter;
+    cfg.fault = opts.fault;
+    if (opts.traceCapacity > 0)
+        cfg.traceCapacity = opts.traceCapacity;
     // Size the segment to the application, rounded up with headroom.
     std::size_t need = app->sharedBytes() + (1 << 20);
     std::size_t cap = 1 << 20;
@@ -86,6 +89,9 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
         r.races = rc->raceCount();
         r.raceSummary = rc->summary();
     }
+    if (sys->runtime().trace().enabled())
+        r.trace = sys->runtime().trace().events();
+    r.faultWindows = sys->runtime().faultWindows(r.elapsed);
     return r;
 }
 

@@ -10,9 +10,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/app.h"
 #include "dsm/system.h"
+#include "dsm/trace.h"
+#include "fault/fault_plan.h"
 
 namespace mcdsm {
 
@@ -28,6 +31,11 @@ struct ExpResult
     /** Race-detector output (empty unless RunOpts::raceDetect). */
     std::uint64_t races = 0;
     std::string raceSummary;
+
+    /** Protocol events (empty unless RunOpts::traceCapacity > 0). */
+    std::vector<TraceEvent> trace;
+    /** Link brown-out windows active during the run (src/fault/). */
+    std::vector<FaultWindow> faultWindows;
 
     double
     seconds() const
@@ -50,6 +58,11 @@ struct RunOpts
     std::uint64_t schedSeed = 0;
     /** Jitter bound for perturbed schedules (ns). */
     Time schedMaxJitter = 200;
+
+    /** Fault / perturbation plan (default: null plan, no injector). */
+    FaultPlan fault{};
+    /** Trace-ring capacity; > 0 fills ExpResult::trace. */
+    std::size_t traceCapacity = 0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "fault/fault_injector.h"
 
 namespace mcdsm {
 
@@ -22,11 +23,6 @@ MemoryChannel::occupy(NodeId src, NodeId dst, std::size_t bytes,
     total_bytes_ += bytes;
     transfers_ += 1;
 
-    const Time link_time =
-        static_cast<Time>(static_cast<double>(bytes) / costs_.mcLinkBw);
-    const Time hub_time =
-        static_cast<Time>(static_cast<double>(bytes) / costs_.mcAggBw);
-
     // Cut-through approximation: the transfer starts when all three
     // resources are free, occupies the links for bytes/linkBw and the
     // hub for bytes/aggBw, and lands latency after it finishes.
@@ -34,10 +30,39 @@ MemoryChannel::occupy(NodeId src, NodeId dst, std::size_t bytes,
     if (src != dst)
         start = std::max(start, rx_free_[dst]);
 
+    // Fault injection samples link state at the transfer's start time;
+    // with no injector attached the arithmetic below is exactly the
+    // healthy model's.
+    double link_bw = costs_.mcLinkBw;
+    double agg_bw = costs_.mcAggBw;
+    Time jitter = 0;
+    if (faults_ != nullptr) [[unlikely]] {
+        link_bw *= faults_->linkFactor(src, start);
+        agg_bw *= faults_->hubFactor();
+        jitter = faults_->latencyJitter(src);
+    }
+
+    const Time link_time =
+        static_cast<Time>(static_cast<double>(bytes) / link_bw);
+    const Time hub_time =
+        static_cast<Time>(static_cast<double>(bytes) / agg_bw);
+
     const Time tx_done = start + link_time;
     tx_free_[src] = tx_done;
     hub_free_ = start + hub_time;
     Time done = std::max(tx_done, hub_free_);
+    if (faults_ != nullptr && src != dst) [[unlikely]] {
+        // Receive leg: a degraded destination link drains no faster
+        // than its own bandwidth allows.
+        const Time rx_time = static_cast<Time>(
+            static_cast<double>(bytes) /
+            (costs_.mcLinkBw * faults_->linkFactor(dst, start)));
+        done = std::max(done, start + rx_time);
+    }
+    // Jitter lands before the receive link is released, so delivery
+    // stays monotone per link: the next transfer to this destination
+    // starts no earlier than rx_free_[dst].
+    done += jitter;
     if (src != dst) {
         rx_free_[dst] = done;
     } else {
@@ -63,23 +88,44 @@ MemoryChannel::broadcast(NodeId src, std::size_t bytes, Time send_time)
     total_bytes_ += bytes * static_cast<std::uint64_t>(nodes() - 1);
     transfers_ += 1;
 
-    const Time link_time =
-        static_cast<Time>(static_cast<double>(bytes) / costs_.mcLinkBw);
-    const Time hub_time =
-        static_cast<Time>(static_cast<double>(bytes) / costs_.mcAggBw);
-
     Time start = std::max({send_time, tx_free_[src], hub_free_});
+
+    double link_bw = costs_.mcLinkBw;
+    double agg_bw = costs_.mcAggBw;
+    Time jitter = 0;
+    if (faults_ != nullptr) [[unlikely]] {
+        link_bw *= faults_->linkFactor(src, start);
+        agg_bw *= faults_->hubFactor();
+        jitter = faults_->latencyJitter(src);
+    }
+
+    const Time link_time =
+        static_cast<Time>(static_cast<double>(bytes) / link_bw);
+    const Time hub_time =
+        static_cast<Time>(static_cast<double>(bytes) / agg_bw);
+
     const Time tx_done = start + link_time;
     tx_free_[src] = tx_done;
     hub_free_ = start + hub_time;
 
-    Time done = std::max(tx_done, hub_free_);
+    const Time done = std::max(tx_done, hub_free_) + jitter;
+    // The broadcast completes only when the slowest receive link has
+    // drained it; healthy links all land at `done`.
+    Time done_all = done;
     for (NodeId n = 0; n < nodes(); ++n) {
         if (n == src)
             continue;
-        rx_free_[n] = std::max(rx_free_[n], done);
+        Time land = done;
+        if (faults_ != nullptr) [[unlikely]] {
+            const Time rx_time = static_cast<Time>(
+                static_cast<double>(bytes) /
+                (costs_.mcLinkBw * faults_->linkFactor(n, start)));
+            land = std::max(done, start + rx_time + jitter);
+        }
+        rx_free_[n] = std::max(rx_free_[n], land);
+        done_all = std::max(done_all, land);
     }
-    return done + costs_.mcLatency;
+    return done_all + costs_.mcLatency;
 }
 
 } // namespace mcdsm

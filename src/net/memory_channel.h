@@ -26,10 +26,22 @@
 
 namespace mcdsm {
 
+class FaultInjector;
+
 class MemoryChannel
 {
   public:
     MemoryChannel(const CostModel& costs, int nodes);
+
+    /**
+     * Attach a fault injector (src/fault/): subsequent transfers see
+     * per-link bandwidth factors (steady degradation and brown-out
+     * windows), background hub load, and bounded delivery jitter.
+     * Unattached (the default), the model is bit-identical to the
+     * healthy machine. Byte accounting (totalBytes / streamBytes) is
+     * never affected by injection.
+     */
+    void attachFaults(FaultInjector* faults) { faults_ = faults; }
 
     /**
      * Account a bulk transfer (page copy, message) of @p bytes from
@@ -70,6 +82,7 @@ class MemoryChannel
     Time occupy(NodeId src, NodeId dst, std::size_t bytes, Time send_time);
 
     const CostModel& costs_;
+    FaultInjector* faults_ = nullptr;
     std::vector<Time> tx_free_;
     std::vector<Time> rx_free_;
     Time hub_free_ = 0;

@@ -119,7 +119,8 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     // Catch subsequent writes with a fresh fault/twin/notice.
     if (ctx.pt.canWrite(pn)) {
         ctx.pt.setProtection(pn, ProtRead);
-        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+        rt_->charge(ctx, TimeCat::Protocol,
+                    rt_->costs(ctx.node).mprotect);
     }
 }
 
@@ -144,7 +145,8 @@ TreadMarks::mergeNotice(ProcCtx& ctx, PageNum pn, ProcId writer,
         if (m.twin)
             flushTwin(ctx, pn);
         ctx.pt.setProtection(pn, ProtNone);
-        rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mprotect);
+        rt_->charge(ctx, TimeCat::Protocol,
+                    rt_->costs(ctx.node).mprotect);
         // The frame is kept: diffs will be merged into it on the next
         // fault.
     }
@@ -247,7 +249,6 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
 {
     PState& s = st(ctx);
     PageMeta& m = s.pages[pn];
-    const CostModel& c = rt_->costs();
 
     if (ctx.frame(pn) == nullptr) {
         std::uint8_t* frame = rt_->allocFrame();
@@ -305,7 +306,7 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
     }
 
     ctx.pt.setProtection(pn, ProtRead);
-    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs(ctx.node).mprotect);
 }
 
 void
@@ -332,7 +333,7 @@ TreadMarks::onWriteFault(ProcCtx& ctx, PageNum pn)
     }
 
     ctx.pt.setProtection(pn, ProtRw);
-    rt_->charge(ctx, TimeCat::Protocol, c.mprotect);
+    rt_->charge(ctx, TimeCat::Protocol, rt_->costs(ctx.node).mprotect);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem (src/fault/): plan and
+ * scenario construction, cost-field sweeps, MemoryChannel behavior
+ * under degradation/jitter, straggler runs, determinism of every
+ * injection, and the Chrome-trace export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/costs.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "harness/chrome_trace.h"
+#include "harness/runner.h"
+#include "net/memory_channel.h"
+#include "net/topology.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan / scenarios
+
+TEST(FaultPlan, DefaultPlanIsInactive)
+{
+    FaultPlan p;
+    EXPECT_FALSE(p.active());
+    EXPECT_FALSE(p.stragglerActive());
+    EXPECT_FALSE(p.networkActive());
+    EXPECT_FALSE(p.costActive());
+}
+
+TEST(FaultPlan, MagnitudeOneIsInertForEveryScenario)
+{
+    for (const auto& name : scenarioNames()) {
+        FaultPlan p = makeScenario(name, 1.0, 42);
+        EXPECT_FALSE(p.active()) << name;
+        EXPECT_EQ(p.scenario, name);
+    }
+}
+
+TEST(FaultPlan, ScenariosActivateTheRightKnobs)
+{
+    FaultPlan deg = makeScenario("link_degrade", 4.0, 1);
+    EXPECT_DOUBLE_EQ(deg.linkBwFactor, 0.25);
+    EXPECT_EQ(deg.degradedLinks, 0); // all links
+    EXPECT_TRUE(deg.networkActive());
+    EXPECT_FALSE(deg.stragglerActive());
+
+    FaultPlan one = makeScenario("one_slow_link", 2.0, 1);
+    EXPECT_EQ(one.degradedLinks, 1);
+
+    FaultPlan hub = makeScenario("hub_load", 4.0, 1);
+    EXPECT_DOUBLE_EQ(hub.hubLoadFraction, 0.75);
+
+    FaultPlan strag = makeScenario("straggler", 3.0, 1);
+    EXPECT_EQ(strag.stragglerNodes, 1);
+    EXPECT_DOUBLE_EQ(strag.stragglerCompute, 3.0);
+    EXPECT_TRUE(strag.stragglerActive());
+    EXPECT_FALSE(strag.networkActive());
+
+    FaultPlan sig = makeScenario("slow_interrupts", 8.0, 1);
+    EXPECT_EQ(sig.stragglerNodes, -1); // every node
+    EXPECT_DOUBLE_EQ(sig.stragglerSignal, 8.0);
+    EXPECT_DOUBLE_EQ(sig.stragglerCompute, 1.0);
+
+    FaultPlan cost = makeScenario("cost:mcLatency", 2.0, 1);
+    EXPECT_EQ(cost.costField, "mcLatency");
+    EXPECT_DOUBLE_EQ(cost.costFactor, 2.0);
+    EXPECT_TRUE(cost.costActive());
+}
+
+TEST(FaultPlan, SpecParsingHandlesMagnitudes)
+{
+    FaultPlan p = faultPlanFromSpec("straggler:4", 9);
+    EXPECT_EQ(p.scenario, "straggler");
+    EXPECT_DOUBLE_EQ(p.magnitude, 4.0);
+    EXPECT_EQ(p.seed, 9u);
+
+    // Bare name gets the default magnitude 2.
+    EXPECT_DOUBLE_EQ(faultPlanFromSpec("jitter", 1).magnitude, 2.0);
+
+    // cost:<field>:<mag> — the last colon-token is the magnitude.
+    FaultPlan c = faultPlanFromSpec("cost:twinCost:8", 1);
+    EXPECT_EQ(c.costField, "twinCost");
+    EXPECT_DOUBLE_EQ(c.costFactor, 8.0);
+
+    // "null" parses to an inactive plan.
+    EXPECT_FALSE(faultPlanFromSpec("null", 1).active());
+}
+
+TEST(FaultPlan, CostFactorSweepsAnyField)
+{
+    CostModel base;
+    for (const auto& field : costFieldNames()) {
+        CostModel c = base;
+        EXPECT_TRUE(applyCostFactor(c, field, 2.0)) << field;
+    }
+    CostModel c = base;
+    EXPECT_FALSE(applyCostFactor(c, "noSuchCost", 2.0));
+
+    ASSERT_TRUE(applyCostFactor(c, "mprotect", 2.0));
+    EXPECT_EQ(c.mprotect, 2 * base.mprotect);
+    ASSERT_TRUE(applyCostFactor(c, "mcLinkBw", 0.5));
+    EXPECT_DOUBLE_EQ(c.mcLinkBw, base.mcLinkBw * 0.5);
+
+    // Factor 1 must not even round-trip through double arithmetic.
+    CostModel ident = base;
+    ASSERT_TRUE(applyCostFactor(ident, "mprotect", 1.0));
+    EXPECT_EQ(ident.mprotect, base.mprotect);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+TEST(FaultInjector, SelectionsAndWindowsAreSeedDeterministic)
+{
+    FaultPlan p = makeScenario("brownout", 4.0, 77);
+    Topology topo(8, 8);
+    FaultInjector a(p, topo);
+    FaultInjector b(p, topo);
+
+    int degraded = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+        EXPECT_EQ(a.linkDegraded(n), b.linkDegraded(n));
+        degraded += a.linkDegraded(n) ? 1 : 0;
+    }
+    EXPECT_EQ(degraded, 1); // one_slow_link-style pick
+
+    const Time horizon = 50 * kMillisecond;
+    const auto wa = a.faultWindows(horizon);
+    const auto wb = b.faultWindows(horizon);
+    ASSERT_EQ(wa.size(), wb.size());
+    ASSERT_FALSE(wa.empty());
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+        EXPECT_EQ(wa[i].link, wb[i].link);
+        EXPECT_EQ(wa[i].begin, wb[i].begin);
+        EXPECT_EQ(wa[i].end, wb[i].end);
+        EXPECT_EQ(wa[i].end - wa[i].begin, p.brownoutDuty);
+        // inBrownout agrees with the enumerated windows.
+        EXPECT_TRUE(a.inBrownout(wa[i].link, wa[i].begin));
+        EXPECT_FALSE(a.inBrownout(wa[i].link, wa[i].end));
+    }
+}
+
+TEST(FaultInjector, JitterIsBoundedAndPerLinkStable)
+{
+    FaultPlan p = makeScenario("jitter", 3.0, 5);
+    Topology topo(4, 4);
+    FaultInjector a(p, topo);
+    FaultInjector b(p, topo);
+    for (int i = 0; i < 200; ++i) {
+        for (NodeId n = 0; n < 4; ++n) {
+            const Time ja = a.latencyJitter(n);
+            EXPECT_GE(ja, 0);
+            EXPECT_LE(ja, p.latencyJitterMax);
+            EXPECT_EQ(ja, b.latencyJitter(n)); // same draw order
+        }
+    }
+}
+
+TEST(FaultInjector, StragglerScalesVmAndSignalCosts)
+{
+    FaultPlan p = makeScenario("straggler", 4.0, 3);
+    Topology topo(4, 4);
+    FaultInjector inj(p, topo);
+    CostModel base;
+    int stragglers = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        const CostModel c = inj.nodeCosts(base, n);
+        if (inj.straggles(n)) {
+            ++stragglers;
+            EXPECT_EQ(c.mprotect, 4 * base.mprotect);
+            EXPECT_EQ(c.pageFault, 4 * base.pageFault);
+            EXPECT_EQ(c.remoteSignalLatency,
+                      4 * base.remoteSignalLatency);
+            EXPECT_DOUBLE_EQ(inj.computeFactor(n), 4.0);
+        } else {
+            EXPECT_EQ(c.mprotect, base.mprotect);
+            EXPECT_DOUBLE_EQ(inj.computeFactor(n), 1.0);
+        }
+        // Network untouched by a pure straggler plan.
+        EXPECT_DOUBLE_EQ(inj.linkFactor(n, 0), 1.0);
+    }
+    EXPECT_EQ(stragglers, 1);
+    EXPECT_DOUBLE_EQ(inj.hubFactor(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryChannel under injection
+
+class FaultedMcTest : public ::testing::Test
+{
+  protected:
+    CostModel costs;
+    Topology topo{4, 4};
+};
+
+TEST_F(FaultedMcTest, IdentityInjectorIsBitIdentical)
+{
+    // All knobs at their identity values: attaching the injector must
+    // not move a single timestamp.
+    FaultPlan p;
+    p.scenario = "identity";
+    MemoryChannel healthy(costs, 4);
+    MemoryChannel faulted(costs, 4);
+    FaultInjector inj(p, topo);
+    faulted.attachFaults(&inj);
+
+    for (int i = 0; i < 50; ++i) {
+        const NodeId src = i % 4;
+        const NodeId dst = (i + 1 + i / 4) % 4;
+        const std::size_t bytes = 64 + 100 * static_cast<std::size_t>(i);
+        EXPECT_EQ(healthy.transfer(src, dst, bytes, i * 1000),
+                  faulted.transfer(src, dst, bytes, i * 1000));
+    }
+    EXPECT_EQ(healthy.broadcast(0, 4096, 0), faulted.broadcast(0, 4096, 0));
+    EXPECT_EQ(healthy.totalBytes(), faulted.totalBytes());
+}
+
+TEST_F(FaultedMcTest, DegradedLinkSlowsLinkBoundTransfer)
+{
+    FaultPlan p = makeScenario("link_degrade", 2.0, 1); // every link
+    MemoryChannel healthy(costs, 4);
+    MemoryChannel faulted(costs, 4);
+    FaultInjector inj(p, topo);
+    faulted.attachFaults(&inj);
+
+    const std::size_t bytes = 1 << 20;
+    const Time t_h = healthy.transfer(0, 1, bytes, 0);
+    const Time t_f = faulted.transfer(0, 1, bytes, 0);
+    // Bandwidth halved: the link leg takes exactly twice as long (the
+    // transfer is link-bound: linkBw < aggBw).
+    const Time link_time = static_cast<Time>(bytes / costs.mcLinkBw);
+    EXPECT_EQ(t_h, link_time + costs.mcLatency);
+    EXPECT_NEAR(static_cast<double>(t_f),
+                static_cast<double>(2 * link_time + costs.mcLatency),
+                1.0);
+}
+
+TEST_F(FaultedMcTest, HubLoadStealsAggregateBandwidth)
+{
+    FaultPlan p = makeScenario("hub_load", 4.0, 1); // 75% stolen
+    MemoryChannel faulted(costs, 4);
+    FaultInjector inj(p, topo);
+    faulted.attachFaults(&inj);
+
+    const std::size_t bytes = 1 << 20;
+    const Time t = faulted.transfer(0, 1, bytes, 0);
+    // With the hub at a quarter bandwidth the transfer is hub-bound.
+    const Time hub_time =
+        static_cast<Time>(bytes / (costs.mcAggBw * 0.25));
+    EXPECT_EQ(t, hub_time + costs.mcLatency);
+}
+
+TEST_F(FaultedMcTest, DeliveryStaysMonotonePerDestinationUnderJitter)
+{
+    FaultPlan p = makeScenario("jitter", 10.0, 11);
+    MemoryChannel mc(costs, 4);
+    FaultInjector inj(p, topo);
+    mc.attachFaults(&inj);
+
+    Time prev = 0;
+    for (int i = 0; i < 300; ++i) {
+        const Time a = mc.transfer(i % 3, 3, 64 + i, i * 50);
+        EXPECT_GE(a, prev) << "transfer " << i;
+        prev = a;
+    }
+}
+
+TEST_F(FaultedMcTest, BroadcastWaitsForSlowestReceiveLink)
+{
+    // Degrade every link 8x; the broadcast cannot complete before a
+    // point-to-point transfer into any degraded receiver could drain.
+    FaultPlan p = makeScenario("link_degrade", 8.0, 1);
+    MemoryChannel mc(costs, 4);
+    FaultInjector inj(p, topo);
+    mc.attachFaults(&inj);
+
+    const std::size_t bytes = 1 << 18;
+    const Time done = mc.broadcast(0, bytes, 0);
+    const Time slow_rx =
+        static_cast<Time>(bytes / (costs.mcLinkBw / 8.0));
+    EXPECT_GE(done, slow_rx);
+
+    // And a healthy channel would have been strictly faster.
+    MemoryChannel healthy(costs, 4);
+    EXPECT_LT(healthy.broadcast(0, bytes, 0), done);
+}
+
+TEST_F(FaultedMcTest, ByteAccountingUnchangedByInjection)
+{
+    FaultPlan p = makeScenario("jitter", 20.0, 2);
+    MemoryChannel healthy(costs, 4);
+    MemoryChannel faulted(costs, 4);
+    FaultInjector inj(p, topo);
+    faulted.attachFaults(&inj);
+
+    for (int i = 0; i < 40; ++i) {
+        healthy.transfer(i % 4, (i + 1) % 4, 512, i * 10);
+        faulted.transfer(i % 4, (i + 1) % 4, 512, i * 10);
+        healthy.streamWrite(i % 4, (i + 2) % 4, 64, i * 10);
+        faulted.streamWrite(i % 4, (i + 2) % 4, 64, i * 10);
+    }
+    EXPECT_EQ(healthy.totalBytes(), faulted.totalBytes());
+    EXPECT_EQ(healthy.streamBytes(), faulted.streamBytes());
+    EXPECT_EQ(healthy.transferCount(), faulted.transferCount());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end runs
+
+RunOpts
+tinyOpts()
+{
+    RunOpts o;
+    o.scale = AppScale::Tiny;
+    return o;
+}
+
+TEST(FaultRun, NullScenarioMatchesDefaultRunForAllVariants)
+{
+    const ProtocolKind kinds[] = {
+        ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+        ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+        ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+    };
+    for (const char* app : {"sor", "water"}) {
+        for (ProtocolKind k : kinds) {
+            RunOpts plain = tinyOpts();
+            RunOpts nulled = tinyOpts();
+            nulled.fault = makeScenario("null", 1.0, 123);
+            const ExpResult a = runExperiment(app, k, 4, plain);
+            const ExpResult b = runExperiment(app, k, 4, nulled);
+            EXPECT_EQ(a.elapsed, b.elapsed)
+                << app << "/" << protocolName(k);
+            EXPECT_EQ(a.stats.mcBytes, b.stats.mcBytes);
+            EXPECT_EQ(a.stats.messages, b.stats.messages);
+            ASSERT_EQ(a.stats.procs.size(), b.stats.procs.size());
+            for (std::size_t p = 0; p < a.stats.procs.size(); ++p) {
+                EXPECT_EQ(a.stats.procs[p].endTime,
+                          b.stats.procs[p].endTime);
+            }
+        }
+    }
+}
+
+TEST(FaultRun, ActiveScenarioIsReproducibleAndSlower)
+{
+    RunOpts faulted = tinyOpts();
+    faulted.fault = makeScenario("link_degrade", 8.0, 5);
+    const ExpResult a =
+        runExperiment("sor", ProtocolKind::CsmPoll, 8, faulted);
+    const ExpResult b =
+        runExperiment("sor", ProtocolKind::CsmPoll, 8, faulted);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.stats.mcBytes, b.stats.mcBytes);
+
+    const ExpResult healthy =
+        runExperiment("sor", ProtocolKind::CsmPoll, 8, tinyOpts());
+    EXPECT_GT(a.elapsed, healthy.elapsed);
+    // Degradation slows the clock, never the answer.
+    EXPECT_EQ(a.appResult.checksum, healthy.appResult.checksum);
+}
+
+TEST(FaultRun, StragglerNodeBindsTheRun)
+{
+    RunOpts faulted = tinyOpts();
+    faulted.fault = makeScenario("straggler", 6.0, 21);
+    const ExpResult r =
+        runExperiment("sor", ProtocolKind::TmkMcPoll, 8, faulted);
+    const ExpResult healthy =
+        runExperiment("sor", ProtocolKind::TmkMcPoll, 8, tinyOpts());
+    EXPECT_GT(r.elapsed, healthy.elapsed);
+
+    // The node-level rollup must point at the straggling node.
+    FaultInjector inj(faulted.fault, Topology::standard(8));
+    ASSERT_EQ(r.stats.nodes.size(), 4u);
+    const NodeId slow = r.stats.slowestNode();
+    EXPECT_TRUE(inj.straggles(slow));
+    int procs = 0;
+    for (const auto& n : r.stats.nodes)
+        procs += n.procs;
+    EXPECT_EQ(procs, 8);
+}
+
+TEST(FaultRun, NodeRollupSumsProcStats)
+{
+    const ExpResult r =
+        runExperiment("water", ProtocolKind::CsmPoll, 8, tinyOpts());
+    ASSERT_EQ(r.stats.nodes.size(), 4u);
+    std::uint64_t node_msgs = 0, proc_msgs = 0;
+    Time max_end = 0;
+    for (const auto& n : r.stats.nodes) {
+        node_msgs += n.messagesSent;
+        max_end = std::max(max_end, n.endTime);
+    }
+    for (const auto& p : r.stats.procs)
+        proc_msgs += p.messagesSent;
+    EXPECT_EQ(node_msgs, proc_msgs);
+    EXPECT_EQ(max_end, r.elapsed);
+}
+
+TEST(FaultRun, ChromeTraceExportsEventsAndFaultWindows)
+{
+    RunOpts o = tinyOpts();
+    o.traceCapacity = 1 << 16;
+    o.fault = makeScenario("brownout", 4.0, 2);
+    // Brown-outs recur every 5 ms; tiny SOR runs long enough on a
+    // degraded machine to cross several windows.
+    ExpResult r = runExperiment("sor", ProtocolKind::CsmPoll, 4, o);
+    ASSERT_FALSE(r.trace.empty());
+    EXPECT_FALSE(r.faultWindows.empty());
+
+    const std::string json = chromeTraceJson({r});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("brownout link"), std::string::npos);
+    // Balanced JSON-ish sanity: one trailing ] and no dangling comma.
+    EXPECT_EQ(json.rfind(",\n]"), std::string::npos);
+}
+
+} // namespace
+} // namespace mcdsm

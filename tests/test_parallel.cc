@@ -168,6 +168,45 @@ TEST(RunExperiments, ParallelBitIdenticalToSequential)
         expectResultsEq(seq[i], par3[i]);
 }
 
+TEST(RunExperiments, FaultedRunsBitIdenticalAcrossJobs)
+{
+    // Every fault-injection path (link degradation, hub load, jitter,
+    // brown-outs, stragglers, cost sweeps) must be as bit-deterministic
+    // under the parallel engine as the healthy simulator: injector
+    // state is per-runtime and every draw comes from the plan seed.
+    RunOpts tiny;
+    tiny.scale = AppScale::Tiny;
+    auto faulted = [&](const char* spec) {
+        RunOpts o = tiny;
+        o.fault = faultPlanFromSpec(spec, 99);
+        return o;
+    };
+
+    const std::vector<ExpSpec> specs = {
+        {"sor", ProtocolKind::CsmPoll, 4, faulted("link_degrade:4")},
+        {"gauss", ProtocolKind::TmkMcPoll, 4, faulted("hub_load:4")},
+        {"sor", ProtocolKind::TmkMcInt, 4, faulted("jitter:10")},
+        {"lu", ProtocolKind::CsmPp, 4, faulted("brownout:4")},
+        {"sor", ProtocolKind::TmkUdpInt, 4, faulted("straggler:6")},
+        {"gauss", ProtocolKind::CsmInt, 2, faulted("slow_interrupts:4")},
+        {"lu", ProtocolKind::CsmPoll, 4, faulted("cost:mcLatency:8")},
+        {"sor", ProtocolKind::TmkMcPoll, 4, faulted("one_slow_link:8")},
+    };
+
+    const auto seq = runExperiments(specs, 1);
+    const auto par4 = runExperiments(specs, 4);
+    const auto par3 = runExperiments(specs, 3);
+    ASSERT_EQ(seq.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << specs[i].app << "/"
+                     << protocolName(specs[i].protocol) << " under "
+                     << specs[i].opts.fault.scenario);
+        expectResultsEq(seq[i], par4[i]);
+        expectResultsEq(seq[i], par3[i]);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Word-scan diff equivalence
 // ---------------------------------------------------------------------------
