@@ -73,8 +73,11 @@ BM_DiffCreate(benchmark::State& state)
         kPageSize * static_cast<std::size_t>(state.range(0)) / 100;
     for (std::size_t i = 0; i < dirty; ++i)
         page[(i * 37) % kPageSize] ^= 0xff;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(computeRuns(page.data(), twin.data()));
+    FlatRuns runs;
+    for (auto _ : state) {
+        computeRuns(page.data(), twin.data(), runs);
+        benchmark::DoNotOptimize(runs.dataBytes());
+    }
 }
 BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(5)->Arg(50)->Arg(100);
 
@@ -84,7 +87,8 @@ BM_DiffApply(benchmark::State& state)
     std::vector<std::uint8_t> page(kPageSize, 0), twin(kPageSize, 0);
     for (std::size_t i = 0; i < kPageSize; i += 16)
         page[i] = 1;
-    auto runs = computeRuns(page.data(), twin.data());
+    FlatRuns runs;
+    computeRuns(page.data(), twin.data(), runs);
     std::vector<std::uint8_t> target(kPageSize, 0);
     for (auto _ : state) {
         applyRuns(target.data(), runs);
@@ -171,6 +175,51 @@ simEvents(const RunStats& s)
     return n;
 }
 
+/** Simulated page faults (read + write) across processors. */
+std::uint64_t
+pageFaults(const RunStats& s)
+{
+    std::uint64_t n = 0;
+    for (const auto& p : s.procs)
+        n += p.readFaults + p.writeFaults;
+    return n;
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+/**
+ * Extract the totals allocs-per-fault figure from a grid JSON written
+ * by this binary (naive key scan — the schema is ours, flat, and the
+ * key appears exactly once).
+ */
+bool
+readGateBaseline(const std::string& path, double* out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    const char* key = "\"allocsPerFaultTotal\":";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos)
+        return false;
+    *out = std::strtod(text.c_str() + at + std::strlen(key), nullptr);
+    return true;
+}
+
 int
 runGrid(const bench::Flags& flags)
 {
@@ -181,7 +230,11 @@ runGrid(const bench::Flags& flags)
     opts.fault = bench::faultFrom(flags);
     if (flags.has("trace-out"))
         opts.traceCapacity = std::size_t{1} << 18;
+    if (flags.has("no-pool"))
+        opts.memPool = false;
     const int jobs = bench::jobsFrom(flags);
+    const int repeat =
+        std::max(1, std::stoi(flags.get("repeat", "1")));
 
     std::vector<ExpSpec> specs;
     for (const auto& app :
@@ -196,41 +249,70 @@ runGrid(const bench::Flags& flags)
         }
     }
 
-    // Run through the engine, timing each experiment on its worker.
+    // Run the whole grid --repeat times, timing each experiment on
+    // its worker; per-config host time is the min across repetitions
+    // (the standard noise-robust estimator), with the median kept for
+    // the JSON report. Simulated results are identical every round.
     std::vector<ExpResult> results(specs.size());
-    std::vector<double> host_secs(specs.size(), 0.0);
-    const auto wall0 = clock::now();
-    parallelFor(specs.size(), jobs, [&](std::size_t i) {
-        const auto t0 = clock::now();
-        const ExpSpec& s = specs[i];
-        results[i] = runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+    std::vector<std::vector<double>> rep_secs(specs.size());
+    double wall = 0.0;
+    for (int rep = 0; rep < repeat; ++rep) {
+        const auto wall0 = clock::now();
+        parallelFor(specs.size(), jobs, [&](std::size_t i) {
+            const auto t0 = clock::now();
+            const ExpSpec& s = specs[i];
+            results[i] =
+                runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+            rep_secs[i].push_back(
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count());
+        });
+        const double w =
+            std::chrono::duration<double>(clock::now() - wall0).count();
+        wall = rep == 0 ? w : std::min(wall, w);
+    }
+    std::vector<double> host_secs(specs.size()), med_secs(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         host_secs[i] =
-            std::chrono::duration<double>(clock::now() - t0).count();
-    });
-    const double wall =
-        std::chrono::duration<double>(clock::now() - wall0).count();
+            *std::min_element(rep_secs[i].begin(), rep_secs[i].end());
+        med_secs[i] = median(rep_secs[i]);
+    }
 
     double host_total = 0, sim_total = 0;
-    std::uint64_t events_total = 0;
-    std::printf("%-8s %-12s %6s %10s %10s %14s %14s\n", "app",
+    std::uint64_t events_total = 0, faults_total = 0;
+    std::uint64_t allocs_total = 0, pool_hits_total = 0;
+    std::printf("%-8s %-12s %6s %10s %10s %14s %14s %12s %12s\n", "app",
                 "protocol", "procs", "host(s)", "sim(s)", "events",
-                "events/host-s");
+                "events/host-s", "heap-allocs", "allocs/fault");
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const ExpResult& r = results[i];
         const std::uint64_t ev = simEvents(r.stats);
+        const std::uint64_t faults = pageFaults(r.stats);
+        const std::uint64_t allocs = r.stats.mem.heapAllocs();
         host_total += host_secs[i];
         sim_total += r.seconds();
         events_total += ev;
-        std::printf("%-8s %-12s %6d %10.3f %10.3f %14llu %14.0f\n",
-                    r.app.c_str(), protocolName(r.protocol), r.nprocs,
-                    host_secs[i], r.seconds(),
-                    static_cast<unsigned long long>(ev),
-                    host_secs[i] > 0 ? ev / host_secs[i] : 0.0);
+        faults_total += faults;
+        allocs_total += allocs;
+        pool_hits_total += r.stats.mem.poolHits();
+        std::printf(
+            "%-8s %-12s %6d %10.3f %10.3f %14llu %14.0f %12llu %12.2f\n",
+            r.app.c_str(), protocolName(r.protocol), r.nprocs,
+            host_secs[i], r.seconds(),
+            static_cast<unsigned long long>(ev),
+            host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+            static_cast<unsigned long long>(allocs),
+            faults > 0 ? static_cast<double>(allocs) / faults : 0.0);
     }
     std::printf("total: wall %.3f s, host-cpu %.3f s, sim %.3f s, "
-                "jobs %d, speedup-vs-serial %.2fx\n",
-                wall, host_total, sim_total, jobs,
-                wall > 0 ? host_total / wall : 0.0);
+                "jobs %d, repeat %d, speedup-vs-serial %.2fx, "
+                "pool %s, allocs/fault %.2f\n",
+                wall, host_total, sim_total, jobs, repeat,
+                wall > 0 ? host_total / wall : 0.0,
+                opts.memPool ? "on" : "off",
+                faults_total > 0
+                    ? static_cast<double>(allocs_total) / faults_total
+                    : 0.0);
 
     const std::string json = flags.get("json", "");
     if (!json.empty()) {
@@ -243,11 +325,16 @@ runGrid(const bench::Flags& flags)
         std::fprintf(f, "  \"scale\": \"%s\",\n",
                      flags.get("scale", "tiny").c_str());
         std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+        std::fprintf(f, "  \"repeat\": %d,\n", repeat);
+        std::fprintf(f, "  \"memPool\": %s,\n",
+                     opts.memPool ? "true" : "false");
         std::fprintf(f, "  \"wallSeconds\": %.6f,\n", wall);
         std::fprintf(f, "  \"configs\": [\n");
         for (std::size_t i = 0; i < specs.size(); ++i) {
             const ExpResult& r = results[i];
             const std::uint64_t ev = simEvents(r.stats);
+            const std::uint64_t faults = pageFaults(r.stats);
+            const MemStats& m = r.stats.mem;
             std::uint64_t cks_bits = 0;
             static_assert(sizeof(cks_bits) ==
                           sizeof(r.appResult.checksum));
@@ -257,13 +344,23 @@ runGrid(const bench::Flags& flags)
                 f,
                 "    {\"app\": \"%s\", \"protocol\": \"%s\", "
                 "\"nprocs\": %d, \"hostSeconds\": %.6f, "
+                "\"hostSecondsMedian\": %.6f, "
                 "\"simSeconds\": %.9f, \"simEvents\": %llu, "
                 "\"eventsPerHostSec\": %.1f, "
+                "\"pageFaults\": %llu, \"heapAllocs\": %llu, "
+                "\"heapBytes\": %llu, \"poolHits\": %llu, "
+                "\"allocsPerFault\": %.4f, "
                 "\"checksumBits\": \"0x%016llx\"}%s\n",
                 r.app.c_str(), protocolName(r.protocol), r.nprocs,
-                host_secs[i], r.seconds(),
+                host_secs[i], med_secs[i], r.seconds(),
                 static_cast<unsigned long long>(ev),
                 host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+                static_cast<unsigned long long>(faults),
+                static_cast<unsigned long long>(m.heapAllocs()),
+                static_cast<unsigned long long>(m.heapBytes()),
+                static_cast<unsigned long long>(m.poolHits()),
+                faults > 0 ? static_cast<double>(m.heapAllocs()) / faults
+                           : 0.0,
                 static_cast<unsigned long long>(cks_bits),
                 i + 1 < specs.size() ? "," : "");
         }
@@ -271,14 +368,53 @@ runGrid(const bench::Flags& flags)
         std::fprintf(f,
                      "  \"totals\": {\"hostSeconds\": %.6f, "
                      "\"simSeconds\": %.9f, \"simEvents\": %llu, "
-                     "\"eventsPerWallSec\": %.1f}\n}\n",
+                     "\"eventsPerWallSec\": %.1f, "
+                     "\"pageFaults\": %llu, \"heapAllocs\": %llu, "
+                     "\"poolHits\": %llu, "
+                     "\"allocsPerFaultTotal\": %.4f}\n}\n",
                      host_total, sim_total,
                      static_cast<unsigned long long>(events_total),
-                     wall > 0 ? events_total / wall : 0.0);
+                     wall > 0 ? events_total / wall : 0.0,
+                     static_cast<unsigned long long>(faults_total),
+                     static_cast<unsigned long long>(allocs_total),
+                     static_cast<unsigned long long>(pool_hits_total),
+                     faults_total > 0 ? static_cast<double>(allocs_total) /
+                                            faults_total
+                                      : 0.0);
         std::fclose(f);
         std::printf("wrote %s\n", json.c_str());
     }
     bench::maybeWriteTrace(flags, results);
+
+    // --alloc-gate=FILE: regression gate against a committed baseline
+    // grid report. Fails (exit 1) if steady-state allocations per
+    // simulated page fault regressed more than 10% past the baseline.
+    const std::string gate = flags.get("alloc-gate", "");
+    if (!gate.empty()) {
+        double base = 0.0;
+        if (!readGateBaseline(gate, &base)) {
+            std::fprintf(stderr,
+                         "alloc-gate: cannot read allocsPerFaultTotal "
+                         "from %s\n",
+                         gate.c_str());
+            return 2;
+        }
+        const double cur =
+            faults_total > 0
+                ? static_cast<double>(allocs_total) / faults_total
+                : 0.0;
+        const double limit = base * 1.10;
+        if (cur > limit) {
+            std::fprintf(stderr,
+                         "alloc-gate FAIL: allocs/fault %.4f exceeds "
+                         "baseline %.4f (+10%% limit %.4f) from %s\n",
+                         cur, base, limit, gate.c_str());
+            return 1;
+        }
+        std::printf("alloc-gate OK: allocs/fault %.4f vs baseline %.4f "
+                    "(limit %.4f)\n",
+                    cur, base, limit);
+    }
     return 0;
 }
 
@@ -301,6 +437,15 @@ main(int argc, char** argv)
             "arguments go to the google-benchmark suite",
             {{"grid", "run the whole-simulation throughput grid"},
              {"json", "write the grid report to FILE (implies --grid)"},
+             {"repeat",
+              "run the grid N times; report min (and median) host "
+              "seconds per config"},
+             {"no-pool",
+              "disable the pooled memory subsystem (src/mem/) for "
+              "this run; simulated results are unchanged"},
+             {"alloc-gate",
+              "compare allocs-per-fault against the baseline grid "
+              "JSON at FILE; exit 1 on >10% regression"},
              kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale, kFlagSeed,
              kFlagJobs, kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
         return mcdsm::runGrid(flags);

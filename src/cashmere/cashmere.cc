@@ -97,7 +97,8 @@ Cashmere::loadPage(ProcCtx& ctx, PageNum pn)
     req.type = CsmReqPageFetch;
     req.a = pn;
     req.bytes = 16;
-    rt_->sendMessage(ctx, rt_->requestEndpointForNode(home), req);
+    rt_->sendMessage(ctx, rt_->requestEndpointForNode(home),
+                     std::move(req));
 
     ctx.noteWait("csm_fetch", pn, home);
     Message rep = rt_->waitReply(
@@ -474,7 +475,8 @@ Cashmere::serviceRequest(ProcCtx& server, Message& msg)
         Message rep;
         rep.type = CsmRepPageFetch;
         rep.a = pn;
-        rep.payload.assign(canon, canon + kPageSize);
+        rep.payload.assign(rt_->bufPool(), MemSite::Message, canon,
+                           kPageSize);
         rep.bytes = kPageSize + 32;
         rt_->sendMessage(server, msg.src, std::move(rep));
         break;

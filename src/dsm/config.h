@@ -13,6 +13,7 @@
 #include "cache/cache_model.h"
 #include "common/costs.h"
 #include "fault/fault_plan.h"
+#include "mem/buffer_pool.h"
 #include "net/mailbox.h"
 #include "net/topology.h"
 
@@ -171,6 +172,18 @@ struct DsmConfig
      * Disabled by the ablation bench to quantify its value.
      */
     bool cashmereExclusiveMode = true;
+
+    /**
+     * Use the pooled memory subsystem (src/mem/) for frames and
+     * message payloads. Defaults to on; MCDSM_NO_POOL=1 in the
+     * environment flips the default to off. Purely a host-side
+     * choice: simulated results are bit-identical either way (the
+     * pooled-vs-heap matrix in tests/test_mem.cc enforces this), so
+     * the switch exists to fail loudly if they ever diverge and to
+     * give the AllocProfiler a general-purpose-heap control to
+     * compare against.
+     */
+    bool memPool = BufferPool::enabledFromEnv();
 
     /**
      * Processors per node available for computation. The csm_pp

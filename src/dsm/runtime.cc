@@ -37,7 +37,8 @@ timeCatName(TimeCat c)
 
 DsmRuntime::DsmRuntime(const DsmConfig& cfg,
                        std::unique_ptr<Protocol> protocol)
-    : cfg_(cfg), costs_(cfg.costs), mc_(costs_, cfg.topo.nodes),
+    : cfg_(cfg), costs_(cfg.costs), pool_(&prof_, cfg.memPool),
+      mc_(costs_, cfg.topo.nodes),
       protocol_(std::move(protocol)),
       req_mode_(reqModeOf(cfg.protocol)),
       page_count_(cfg.maxSharedBytes >> kPageShift)
@@ -68,7 +69,7 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
     }
 
     mail_ = std::make_unique<MailboxSystem>(sched_, mc_, costs_, cfg_.topo);
-    init_.resize(page_count_);
+    init_.assign(page_count_, nullptr);
     trace_ = TraceRing(cfg_.traceCapacity);
 
     int_mode_ = (req_mode_ == ReqMode::Interrupt);
@@ -140,10 +141,10 @@ DsmRuntime::initFrame(PageNum pn)
 {
     mcdsm_assert(pn < page_count_, "page out of range");
     if (!init_[pn]) {
-        init_[pn] = std::make_unique<std::uint8_t[]>(kPageSize);
-        std::memset(init_[pn].get(), 0, kPageSize);
+        init_[pn] = pool_.acquire(MemSite::Frame);
+        std::memset(init_[pn], 0, kPageSize);
     }
-    return init_[pn].get();
+    return init_[pn];
 }
 
 void
@@ -170,7 +171,7 @@ DsmRuntime::hostRead(GAddr a, void* dst, std::size_t bytes) const
         const std::size_t off = pageOffset(a);
         const std::size_t chunk = std::min(bytes, kPageSize - off);
         if (init_[pn])
-            std::memcpy(d, init_[pn].get() + off, chunk);
+            std::memcpy(d, init_[pn] + off, chunk);
         else
             std::memset(d, 0, chunk);
         a += chunk;
@@ -182,19 +183,13 @@ DsmRuntime::hostRead(GAddr a, void* dst, std::size_t bytes) const
 std::uint8_t*
 DsmRuntime::allocFrame()
 {
-    if (!free_frames_.empty()) {
-        std::uint8_t* f = free_frames_.back();
-        free_frames_.pop_back();
-        return f;
-    }
-    frame_pool_.push_back(std::make_unique<std::uint8_t[]>(kPageSize));
-    return frame_pool_.back().get();
+    return pool_.acquire(MemSite::Frame);
 }
 
 void
 DsmRuntime::freeFrame(std::uint8_t* frame)
 {
-    free_frames_.push_back(frame);
+    pool_.release(frame, MemSite::Frame);
 }
 
 ProcId
@@ -553,6 +548,7 @@ DsmRuntime::collectStats()
     stats_.mcStreamBytes = mc_.streamBytes();
     stats_.messages = mail_->totalMessages();
     stats_.racesDetected = checker_ ? checker_->raceCount() : 0;
+    stats_.mem = prof_.stats();
 }
 
 } // namespace mcdsm

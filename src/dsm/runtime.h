@@ -24,6 +24,8 @@
 #include "dsm/stats.h"
 #include "dsm/trace.h"
 #include "fault/fault_injector.h"
+#include "mem/alloc_profiler.h"
+#include "mem/buffer_pool.h"
 #include "net/mailbox.h"
 #include "net/memory_channel.h"
 #include "sim/scheduler.h"
@@ -350,7 +352,12 @@ class DsmRuntime
     /** Service arrived, eligible requests on this fiber. */
     void serviceArrived(ProcCtx& ctx, bool in_wait);
 
-    /** Allocate / release an 8 KB local page frame. */
+    /**
+     * Allocate / release an 8 KB local page frame (twins, page
+     * copies, home-node images) from the per-simulation pool. Frames
+     * still mapped at end of run need not be freed individually; the
+     * pool reclaims them with the runtime.
+     */
     std::uint8_t* allocFrame();
     void freeFrame(std::uint8_t* frame);
 
@@ -358,6 +365,11 @@ class DsmRuntime
     std::uint8_t* initFrame(PageNum pn);
     /** True if the page was ever touched by hostWrite/initFrame. */
     bool hasInitFrame(PageNum pn) const { return init_[pn] != nullptr; }
+
+    /** The per-simulation buffer pool (message payloads, frames). */
+    BufferPool& bufPool() { return pool_; }
+    /** Host-side allocation counters (never affect simulated state). */
+    AllocProfiler& memProf() { return prof_; }
 
     /** Number of workers that have not finished yet. */
     int activeWorkers() const { return active_workers_; }
@@ -464,6 +476,12 @@ class DsmRuntime
 
     DsmConfig cfg_;
     CostModel costs_;
+    // The profiler and pool must outlive everything holding pooled
+    // buffers: mail_ (PoolBuf payloads parked in queues) and the
+    // contexts (mapped frames, twins) are declared — and therefore
+    // destroyed — after them.
+    AllocProfiler prof_;
+    BufferPool pool_;
     Scheduler sched_;
     MemoryChannel mc_;
     std::unique_ptr<MailboxSystem> mail_;
@@ -487,9 +505,8 @@ class DsmRuntime
     std::size_t alloc_bytes_ = 0;
 
     std::vector<std::unique_ptr<ProcCtx>> procs_; ///< incl. pp contexts
-    std::vector<std::unique_ptr<std::uint8_t[]>> init_;
-    std::vector<std::unique_ptr<std::uint8_t[]>> frame_pool_;
-    std::vector<std::uint8_t*> free_frames_;
+    /** Init-image frames (pool blocks; reclaimed with the pool). */
+    std::vector<std::uint8_t*> init_;
 
     int active_workers_ = 0;
     bool ran_ = false;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "mem/alloc_profiler.h"
 
 namespace mcdsm {
 
@@ -106,6 +107,14 @@ struct RunStats
      * detailed reports via DsmRuntime::raceChecker()).
      */
     std::uint64_t racesDetected = 0;
+
+    /**
+     * Host-side allocation counters (src/mem/). Unlike every other
+     * field, these describe the *host* execution, legitimately vary
+     * with DsmConfig::memPool, and are excluded from bit-identity
+     * comparisons between runs.
+     */
+    MemStats mem;
 
     /** Sum a per-processor counter across processors. */
     template <typename F>

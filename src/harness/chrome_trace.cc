@@ -37,6 +37,29 @@ emitRun(std::string& out, const ExpResult& r, int pid)
               strprintf("%s/%s/p%d", r.app.c_str(),
                         protocolName(r.protocol), r.nprocs));
 
+    // Host-side allocation profile (src/mem/) as per-site counter
+    // samples, so the memory story rides along with the timeline.
+    const MemStats& mem = r.stats.mem;
+    auto counter = [&](const char* name, auto field) {
+        std::string args;
+        for (int s = 0; s < kMemSiteCount; ++s) {
+            if (!args.empty())
+                args += ",";
+            args += strprintf(
+                "\"%s\":%llu", memSiteName(static_cast<MemSite>(s)),
+                (unsigned long long)field(mem.site[s]));
+        }
+        out += strprintf("{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":0,"
+                         "\"name\":\"%s\",\"args\":{%s}},\n",
+                         pid, name, args.c_str());
+    };
+    counter("heap allocs",
+            [](const MemSiteStats& s) { return s.heapAllocs; });
+    counter("heap bytes",
+            [](const MemSiteStats& s) { return s.heapBytes; });
+    counter("pool hits",
+            [](const MemSiteStats& s) { return s.poolHits; });
+
     // Barrier episodes become duration slices; everything else is an
     // instant. A Leave whose Enter was overwritten in the ring is
     // downgraded to an instant so the B/E nesting stays balanced.

@@ -65,6 +65,7 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     cfg.schedSeed = opts.schedSeed;
     cfg.schedMaxJitter = opts.schedMaxJitter;
     cfg.fault = opts.fault;
+    cfg.memPool = opts.memPool;
     if (opts.traceCapacity > 0)
         cfg.traceCapacity = opts.traceCapacity;
     // Size the segment to the application, rounded up with headroom.

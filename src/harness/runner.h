@@ -63,6 +63,12 @@ struct RunOpts
     FaultPlan fault{};
     /** Trace-ring capacity; > 0 fills ExpResult::trace. */
     std::size_t traceCapacity = 0;
+
+    /**
+     * Pooled memory subsystem on/off (see DsmConfig::memPool).
+     * Host-side only: simulated results are identical either way.
+     */
+    bool memPool = BufferPool::enabledFromEnv();
 };
 
 /**

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Host-side allocation accounting for the simulator's memory
+ * subsystem (src/mem/).
+ *
+ * Every Arena chunk, BufferPool block and pooled payload acquisition
+ * is attributed to a MemSite and counted here. The counters are
+ * *host* observables: they never influence simulated time or protocol
+ * behaviour, and a pooled and an unpooled run of the same experiment
+ * produce bit-identical RunStats in every field except these.
+ *
+ * The quantity the perf-smoke CI gate watches is heap allocations per
+ * simulated page fault: the twin/diff/page-fetch hot paths each cost
+ * a bounded number of pool hits, so once the pools are warm the ratio
+ * is small and any regression means fresh heap traffic crept back
+ * into a per-fault path.
+ */
+
+#ifndef MCDSM_MEM_ALLOC_PROFILER_H
+#define MCDSM_MEM_ALLOC_PROFILER_H
+
+#include <cstdint>
+
+namespace mcdsm {
+
+/** Subsystem an allocation is attributed to. */
+enum class MemSite : int {
+    Frame = 0, ///< page frames: twins, local copies, init/home images
+    Message,   ///< mailbox message payloads and queue storage
+    Diff,      ///< flat diff buffers
+    Other,     ///< arena chunks and everything uncategorised
+};
+constexpr int kMemSiteCount = 4;
+
+const char* memSiteName(MemSite s);
+
+/** Counters for one MemSite. */
+struct MemSiteStats
+{
+    std::uint64_t heapAllocs = 0; ///< allocations that hit the heap
+    std::uint64_t heapBytes = 0;  ///< bytes of those allocations
+    std::uint64_t poolHits = 0;   ///< acquisitions served from a freelist
+    std::uint64_t poolReturns = 0;///< blocks handed back to a freelist
+};
+
+/**
+ * Per-run allocation statistics (snapshot of an AllocProfiler).
+ * Carried in RunStats; excluded from bit-identity comparisons.
+ */
+struct MemStats
+{
+    MemSiteStats site[kMemSiteCount];
+
+    std::uint64_t
+    heapAllocs() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& s : site)
+            n += s.heapAllocs;
+        return n;
+    }
+
+    std::uint64_t
+    heapBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& s : site)
+            n += s.heapBytes;
+        return n;
+    }
+
+    std::uint64_t
+    poolHits() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& s : site)
+            n += s.poolHits;
+        return n;
+    }
+};
+
+/**
+ * The live counter set. One instance per DsmRuntime (simulations are
+ * thread-confined, so plain integers suffice even under --jobs).
+ */
+class AllocProfiler
+{
+  public:
+    void
+    countHeap(MemSite s, std::uint64_t bytes)
+    {
+        auto& c = stats_.site[static_cast<int>(s)];
+        c.heapAllocs += 1;
+        c.heapBytes += bytes;
+    }
+
+    void
+    countPoolHit(MemSite s)
+    {
+        stats_.site[static_cast<int>(s)].poolHits += 1;
+    }
+
+    void
+    countPoolReturn(MemSite s)
+    {
+        stats_.site[static_cast<int>(s)].poolReturns += 1;
+    }
+
+    const MemStats& stats() const { return stats_; }
+
+  private:
+    MemStats stats_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_MEM_ALLOC_PROFILER_H

@@ -1,0 +1,68 @@
+#include "mem/arena.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+const char*
+memSiteName(MemSite s)
+{
+    switch (s) {
+    case MemSite::Frame:
+        return "frame";
+    case MemSite::Message:
+        return "message";
+    case MemSite::Diff:
+        return "diff";
+    case MemSite::Other:
+        return "other";
+    }
+    return "?";
+}
+
+Arena::Arena(AllocProfiler* prof, std::size_t chunkBytes)
+    : prof_(prof), chunkBytes_(chunkBytes)
+{
+    mcdsm_assert(chunkBytes_ > 0, "arena chunk size must be positive");
+}
+
+Arena::Chunk&
+Arena::grow(std::size_t atLeast)
+{
+    std::size_t cap = chunkBytes_;
+    if (atLeast > cap)
+        cap = atLeast;
+    Chunk c;
+    c.data = std::make_unique<std::uint8_t[]>(cap);
+    c.cap = cap;
+    allocated_ += cap;
+    if (prof_)
+        prof_->countHeap(MemSite::Other, cap);
+    chunks_.push_back(std::move(c));
+    return chunks_.back();
+}
+
+void*
+Arena::alloc(std::size_t n, std::size_t align)
+{
+    mcdsm_assert(align != 0 && (align & (align - 1)) == 0 &&
+                     align <= alignof(std::max_align_t),
+                 "arena alignment must be a power of two <= max_align_t");
+    if (n == 0)
+        n = 1;
+    if (!chunks_.empty()) {
+        Chunk& c = chunks_.back();
+        std::size_t off = (c.used + align - 1) & ~(align - 1);
+        if (off + n <= c.cap) {
+            c.used = off + n;
+            return c.data.get() + off;
+        }
+    }
+    // new[] returns max_align_t-aligned storage, so a fresh chunk
+    // satisfies any supported `align` at offset 0.
+    Chunk& c = grow(n);
+    c.used = n;
+    return c.data.get();
+}
+
+} // namespace mcdsm

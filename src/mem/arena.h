@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Chunked bump allocator. Allocations are never individually freed;
+ * the whole arena is released at once when the owning simulation is
+ * torn down. Backs the BufferPool slabs and any other per-simulation
+ * storage whose lifetime matches the run.
+ */
+
+#ifndef MCDSM_MEM_ARENA_H
+#define MCDSM_MEM_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/alloc_profiler.h"
+
+namespace mcdsm {
+
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = std::size_t(1) << 20;
+
+    explicit Arena(AllocProfiler* prof = nullptr,
+                   std::size_t chunkBytes = kDefaultChunkBytes);
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /**
+     * Return `n` bytes aligned to `align` (a power of two). Requests
+     * larger than the chunk size get a dedicated chunk.
+     */
+    void* alloc(std::size_t n, std::size_t align = alignof(std::max_align_t));
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+    std::size_t allocatedBytes() const { return allocated_; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::uint8_t[]> data;
+        std::size_t cap = 0;
+        std::size_t used = 0;
+    };
+
+    Chunk& grow(std::size_t atLeast);
+
+    AllocProfiler* prof_;
+    std::size_t chunkBytes_;
+    std::size_t allocated_ = 0;
+    std::vector<Chunk> chunks_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_MEM_ARENA_H

@@ -1,0 +1,117 @@
+#include "mem/buffer_pool.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+bool
+BufferPool::enabledFromEnv()
+{
+    const char* e = std::getenv("MCDSM_NO_POOL");
+    return !(e != nullptr && *e != '\0' && *e != '0');
+}
+
+BufferPool::BufferPool(AllocProfiler* prof, bool pooled)
+    : prof_(prof), pooled_(pooled),
+      arena_(prof, kSlabBlocks * kPageSize)
+{
+}
+
+BufferPool::~BufferPool()
+{
+    // Unpooled blocks parked in protocol state (twins, frames) are
+    // never individually released; reclaim them so both modes are
+    // leak-free. Pooled blocks die with the arena.
+    for (std::uint8_t* p : heap_live_)
+        delete[] p;
+}
+
+void
+BufferPool::refill()
+{
+    auto* slab = static_cast<std::uint8_t*>(
+        arena_.alloc(kSlabBlocks * kPageSize));
+    // LIFO freelist: push in reverse so the first acquire returns the
+    // slab's first block (keeps addresses cache-warm and predictable).
+    for (std::size_t i = kSlabBlocks; i-- > 0;)
+        free_.push_back(slab + i * kPageSize);
+    created_ += kSlabBlocks;
+}
+
+std::uint8_t*
+BufferPool::acquire(MemSite site)
+{
+    outstanding_ += 1;
+    if (!pooled_) {
+        auto* p = new std::uint8_t[kPageSize];
+        heap_live_.insert(p);
+        created_ += 1;
+        if (prof_)
+            prof_->countHeap(site, kPageSize);
+        return p;
+    }
+    if (free_.empty())
+        refill();
+    std::uint8_t* p = free_.back();
+    free_.pop_back();
+    if (prof_)
+        prof_->countPoolHit(site);
+    return p;
+}
+
+void
+BufferPool::release(std::uint8_t* p, MemSite site)
+{
+    mcdsm_assert(p != nullptr, "release of null block");
+    mcdsm_assert(outstanding_ > 0, "release without acquire");
+    outstanding_ -= 1;
+    if (prof_)
+        prof_->countPoolReturn(site);
+    if (!pooled_) {
+        heap_live_.erase(p);
+        delete[] p;
+        return;
+    }
+    if (poison_)
+        std::memset(p, kPoisonByte, kPageSize);
+    free_.push_back(p);
+}
+
+void
+PoolBuf::assign(BufferPool& pool, MemSite site, const std::uint8_t* src,
+                std::size_t n)
+{
+    reset();
+    if (n == 0)
+        return;
+    site_ = site;
+    if (n <= kPageSize) {
+        pool_ = &pool;
+        data_ = pool.acquire(site);
+    } else {
+        data_ = new std::uint8_t[n];
+        if (pool.profiler())
+            pool.profiler()->countHeap(site, n);
+    }
+    std::memcpy(data_, src, n);
+    size_ = n;
+}
+
+void
+PoolBuf::reset()
+{
+    if (data_ != nullptr) {
+        if (pool_ != nullptr)
+            pool_->release(data_, site_);
+        else
+            delete[] data_;
+    }
+    pool_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+}
+
+} // namespace mcdsm

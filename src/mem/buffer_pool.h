@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Page-sized buffer pool and the RAII handle protocol code holds
+ * pooled buffers through.
+ *
+ * Ownership rules (DESIGN.md §10):
+ *  - The pool (and the Arena backing it) belongs to one DsmRuntime
+ *    and is confined to the thread running that simulation; no
+ *    locking anywhere.
+ *  - Pooled blocks are carved from arena slabs and never returned to
+ *    the heap individually; release() pushes them on a freelist for
+ *    reuse. Whole-arena teardown reclaims everything, so raw block
+ *    pointers parked in protocol state (twins, mapped frames) need
+ *    not be individually freed at end of run.
+ *  - With pooling disabled (MCDSM_NO_POOL=1, or DsmConfig::memPool =
+ *    false) every acquire is a fresh heap allocation and release
+ *    frees it — the general-purpose-heap control the pooled-vs-heap
+ *    bit-equality matrix and the AllocProfiler comparison run
+ *    against. Blocks still outstanding at teardown are reclaimed so
+ *    leak checkers stay clean in either mode.
+ *  - Released blocks are poisoned (0xDB) in debug builds; every
+ *    consumer fully initialises a block before reading it, so poison
+ *    never reaches simulated state.
+ */
+
+#ifndef MCDSM_MEM_BUFFER_POOL_H
+#define MCDSM_MEM_BUFFER_POOL_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/alloc_profiler.h"
+#include "mem/arena.h"
+
+namespace mcdsm {
+
+class BufferPool
+{
+  public:
+    static constexpr std::uint8_t kPoisonByte = 0xDB;
+    /** Blocks carved per arena slab refill. */
+    static constexpr std::size_t kSlabBlocks = 16;
+
+    explicit BufferPool(AllocProfiler* prof = nullptr, bool pooled = true);
+    ~BufferPool();
+
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+
+    /** A kPageSize block, uninitialised (possibly poisoned). */
+    std::uint8_t* acquire(MemSite site);
+    /** Return a block obtained from acquire(). */
+    void release(std::uint8_t* p, MemSite site);
+
+    bool pooled() const { return pooled_; }
+    AllocProfiler* profiler() const { return prof_; }
+
+    /** False when MCDSM_NO_POOL is set to a non-zero value. */
+    static bool enabledFromEnv();
+
+    // Test / profiler observables.
+    std::size_t freeBlocks() const { return free_.size(); }
+    std::uint64_t blocksCreated() const { return created_; }
+    std::uint64_t outstanding() const { return outstanding_; }
+
+    void setPoison(bool on) { poison_ = on; }
+    bool poisonEnabled() const { return poison_; }
+
+  private:
+    void refill();
+
+    AllocProfiler* prof_;
+    bool pooled_;
+#ifdef NDEBUG
+    bool poison_ = false;
+#else
+    bool poison_ = true;
+#endif
+    Arena arena_;
+    std::vector<std::uint8_t*> free_;
+    /** Heap blocks currently outstanding (unpooled mode only). */
+    std::unordered_set<std::uint8_t*> heap_live_;
+    std::uint64_t created_ = 0;
+    std::uint64_t outstanding_ = 0;
+};
+
+/**
+ * Move-only owner of a pooled (or, past kPageSize, heap) byte buffer;
+ * replaces std::vector<uint8_t> for message payloads. Default
+ * constructed it is empty and unbound; assign() binds it to a pool.
+ */
+class PoolBuf
+{
+  public:
+    PoolBuf() = default;
+
+    PoolBuf(PoolBuf&& o) noexcept
+        : pool_(o.pool_), data_(o.data_), size_(o.size_), site_(o.site_)
+    {
+        o.pool_ = nullptr;
+        o.data_ = nullptr;
+        o.size_ = 0;
+    }
+
+    PoolBuf&
+    operator=(PoolBuf&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            pool_ = o.pool_;
+            data_ = o.data_;
+            size_ = o.size_;
+            site_ = o.site_;
+            o.pool_ = nullptr;
+            o.data_ = nullptr;
+            o.size_ = 0;
+        }
+        return *this;
+    }
+
+    PoolBuf(const PoolBuf&) = delete;
+    PoolBuf& operator=(const PoolBuf&) = delete;
+
+    ~PoolBuf() { reset(); }
+
+    /** Fill with a copy of [src, src+n); n == 0 just empties. */
+    void assign(BufferPool& pool, MemSite site, const std::uint8_t* src,
+                std::size_t n);
+
+    const std::uint8_t* data() const { return data_; }
+    std::uint8_t* data() { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Release the buffer (back to the pool, or to the heap). */
+    void reset();
+
+  private:
+    BufferPool* pool_ = nullptr; ///< null + data_: heap-owned (> page)
+    std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    MemSite site_ = MemSite::Message;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_MEM_BUFFER_POOL_H

@@ -1,5 +1,7 @@
 #include "net/mailbox.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace mcdsm {
@@ -70,7 +72,22 @@ MailboxSystem::send(ProcId src, ProcId dst, Message msg,
     sent_bytes_[src] += wire_bytes;
     total_messages_ += 1;
 
-    queues_[dst].emplace(Key{arrival, seq_++}, std::move(msg));
+    auto& q = queues_[dst];
+    Queued item{arrival, seq_++, std::move(msg)};
+    if (q.empty() || q.back().arrival <= arrival) {
+        // Common case: the new message arrives last (seq_ is
+        // monotone, so equal arrivals keep send order).
+        q.push_back(std::move(item));
+    } else {
+        auto it = std::upper_bound(
+            q.begin(), q.end(), item,
+            [](const Queued& a, const Queued& b) {
+                if (a.arrival != b.arrival)
+                    return a.arrival < b.arrival;
+                return a.seq < b.seq;
+            });
+        q.insert(it, std::move(item));
+    }
 
     if (tasks_[dst] >= 0)
         sched_.wakeIfBlocked(tasks_[dst], arrival);
@@ -81,13 +98,10 @@ std::optional<Message>
 MailboxSystem::tryReceive(ProcId dst, Time now)
 {
     auto& q = queues_[dst];
-    if (q.empty())
+    if (q.empty() || q.front().arrival > now)
         return std::nullopt;
-    auto it = q.begin();
-    if (it->first.first > now)
-        return std::nullopt;
-    Message msg = std::move(it->second);
-    q.erase(it);
+    Message msg = std::move(q.front().msg);
+    q.erase(q.begin());
     return msg;
 }
 

@@ -19,13 +19,13 @@
 #define MCDSM_NET_MAILBOX_H
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/costs.h"
 #include "common/types.h"
+#include "mem/buffer_pool.h"
 #include "net/memory_channel.h"
 #include "net/topology.h"
 #include "sim/scheduler.h"
@@ -40,6 +40,10 @@ enum class Transport { McBuffer, Udp };
  * scalar arguments; payload carries bulk data (pages, diffs, interval
  * records). `bytes` is the modelled wire size, which may exceed
  * payload.size() to account for headers.
+ *
+ * The payload is a pooled flat buffer (move-only), so a Message moves
+ * but does not copy — in steady state a send/receive round trip of a
+ * page-carrying message performs no heap allocation at all.
  */
 struct Message
 {
@@ -49,7 +53,7 @@ struct Message
     std::uint64_t b = 0;
     std::uint64_t c = 0;
     std::size_t bytes = 0;
-    std::vector<std::uint8_t> payload;
+    PoolBuf payload;
 
     /**
      * Structured payload (interval records, diff lists). The
@@ -111,10 +115,10 @@ class MailboxSystem
     {
         auto& q = queues_[dst];
         for (auto it = q.begin(); it != q.end(); ++it) {
-            if (it->first.first > now)
+            if (it->arrival > now)
                 break;
-            if (pred(it->second)) {
-                Message msg = std::move(it->second);
+            if (pred(it->msg)) {
+                Message msg = std::move(it->msg);
                 q.erase(it);
                 return msg;
             }
@@ -133,10 +137,10 @@ class MailboxSystem
     minActionable(ProcId dst, F actionable_time) const
     {
         Time best = -1;
-        for (const auto& [key, msg] : queues_[dst]) {
-            if (best >= 0 && key.first >= best)
+        for (const auto& e : queues_[dst]) {
+            if (best >= 0 && e.arrival >= best)
                 break;
-            const Time t = actionable_time(msg);
+            const Time t = actionable_time(e.msg);
             if (t >= 0 && (best < 0 || t < best))
                 best = t;
         }
@@ -148,7 +152,7 @@ class MailboxSystem
     earliestArrival(ProcId dst) const
     {
         const auto& q = queues_[dst];
-        return q.empty() ? -1 : q.begin()->first.first;
+        return q.empty() ? -1 : q.front().arrival;
     }
 
     bool empty(ProcId dst) const { return queues_[dst].empty(); }
@@ -164,14 +168,27 @@ class MailboxSystem
     std::uint64_t totalMessages() const { return total_messages_; }
 
   private:
-    using Key = std::pair<Time, std::uint64_t>;
+    /**
+     * One queued message. Per-endpoint queues are flat vectors kept
+     * sorted by (arrival, seq): messages mostly arrive in order, so
+     * insertion is a push_back, and the retained capacity makes the
+     * steady-state enqueue/dequeue cycle allocation-free (the
+     * node-per-message std::map this replaces allocated on every
+     * send).
+     */
+    struct Queued
+    {
+        Time arrival;
+        std::uint64_t seq; ///< global send order; ties broken FIFO
+        Message msg;
+    };
 
     Scheduler& sched_;
     MemoryChannel& mc_;
     const CostModel& costs_;
     Topology topo_;
 
-    std::vector<std::map<Key, Message>> queues_;
+    std::vector<std::vector<Queued>> queues_;
     std::vector<TaskId> tasks_;
     std::vector<std::uint64_t> sent_count_;
     std::vector<std::uint64_t> sent_bytes_;

@@ -1,15 +1,64 @@
 #include "sim/fiber.h"
 
+#include <atomic>
+
 #include "common/log.h"
 
 namespace mcdsm {
 
 namespace {
 thread_local Fiber* current_fiber = nullptr;
+
+// Per-thread stack cache. A simulation runs wholly on one thread
+// (harness/pool.h confines each experiment to a worker), so stacks
+// recycled here are reused by the next simulation on the same thread
+// with no synchronisation. Counters are global so benches can report
+// reuse across the whole pool.
+constexpr std::size_t kMaxCachedStacks = 64;
+thread_local std::vector<std::vector<char>> stack_cache;
+
+std::atomic<std::uint64_t> g_stacks_allocated{0};
+std::atomic<std::uint64_t> g_stacks_reused{0};
+
+std::vector<char>
+takeStack(std::size_t bytes)
+{
+    for (std::size_t i = stack_cache.size(); i-- > 0;) {
+        if (stack_cache[i].size() == bytes) {
+            std::vector<char> s = std::move(stack_cache[i]);
+            stack_cache.erase(stack_cache.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            g_stacks_reused.fetch_add(1, std::memory_order_relaxed);
+            return s;
+        }
+    }
+    g_stacks_allocated.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<char>(bytes);
+}
+
+void
+recycleStack(std::vector<char>&& s)
+{
+    if (stack_cache.size() < kMaxCachedStacks)
+        stack_cache.push_back(std::move(s));
+}
+
 } // namespace
 
+std::uint64_t
+Fiber::stacksAllocated()
+{
+    return g_stacks_allocated.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Fiber::stacksReused()
+{
+    return g_stacks_reused.load(std::memory_order_relaxed);
+}
+
 Fiber::Fiber(Entry entry, std::size_t stack_bytes)
-    : stack_(stack_bytes), entry_(std::move(entry))
+    : stack_(takeStack(stack_bytes)), entry_(std::move(entry))
 {
 }
 
@@ -17,6 +66,8 @@ Fiber::~Fiber()
 {
     // Destroying an unfinished fiber simply abandons its stack; the
     // scheduler only does this when tearing down a deadlocked run.
+    // Either way the stack goes back to this thread's cache.
+    recycleStack(std::move(stack_));
 }
 
 Fiber*

@@ -13,6 +13,7 @@
 #include <ucontext.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -50,6 +51,16 @@ class Fiber
 
     /** The fiber currently executing, or nullptr in scheduler context. */
     static Fiber* current();
+
+    /**
+     * Host-side stack-cache counters (aggregated across threads).
+     * Stacks are recycled through a per-thread cache — simulations
+     * are thread-confined, so after the first simulation on a worker
+     * thread every spawn reuses a warm stack instead of paying a
+     * fresh multi-hundred-KB allocation + first-touch faults.
+     */
+    static std::uint64_t stacksAllocated();
+    static std::uint64_t stacksReused();
 
   private:
     static void trampoline();

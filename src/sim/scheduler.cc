@@ -18,7 +18,7 @@ Scheduler::spawn(std::string name, std::function<void(TaskId)> fn,
     task->state = State::Runnable;
     task->fiber = std::make_unique<Fiber>([this, fn, id] { fn(id); });
     tasks_.push_back(std::move(task));
-    ready_.insert({start, nextSeq(), id});
+    ready_.push({start, nextSeq(), id});
     return id;
 }
 
@@ -29,9 +29,7 @@ Scheduler::run()
     running_ = true;
 
     while (!ready_.empty()) {
-        auto it = ready_.begin();
-        TaskId id = it->id;
-        ready_.erase(it);
+        TaskId id = ready_.popMin().id;
 
         Task& t = *tasks_[id];
         mcdsm_assert(t.state == State::Runnable, "ready task not runnable");
@@ -59,7 +57,7 @@ Scheduler::switchOut(State next_state)
     Task& t = *tasks_[current_];
     t.state = next_state;
     if (next_state == State::Runnable)
-        ready_.insert({t.now, nextSeq(), current_});
+        ready_.push({t.now, nextSeq(), current_});
     Fiber::yield();
 }
 
@@ -101,8 +99,15 @@ void
 Scheduler::makeRunnable(TaskId id)
 {
     Task& t = *tasks_[id];
+    // A finished task must never re-enter the ready queue: resuming
+    // its fiber would run past the end of its entry function. wake()
+    // filters Finished tasks; this catches any other path.
+    mcdsm_assert(t.state != State::Finished && t.state != State::Running,
+                 "makeRunnable on %s task '%s'",
+                 t.state == State::Finished ? "finished" : "running",
+                 t.name.c_str());
     t.state = State::Runnable;
-    ready_.insert({t.now, nextSeq(), id});
+    ready_.push({t.now, nextSeq(), id});
 }
 
 void

@@ -32,9 +32,9 @@
 #ifndef MCDSM_SIM_SCHEDULER_H
 #define MCDSM_SIM_SCHEDULER_H
 
+#include <algorithm>
 #include <functional>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -189,6 +189,65 @@ class Scheduler
         }
     };
 
+    /**
+     * 4-ary min-heap of ReadyKeys backed by one flat vector. The run
+     * loop only ever pops the minimum, and (seq, id) makes the key
+     * order total, so the pop sequence is identical to iterating the
+     * std::set this replaces — with no per-node allocation and a
+     * cache-friendly layout (a 4-ary heap keeps siblings in one or
+     * two cache lines, halving the depth of the binary version).
+     */
+    class ReadyHeap
+    {
+      public:
+        bool empty() const { return v_.empty(); }
+        std::size_t size() const { return v_.size(); }
+
+        void
+        push(const ReadyKey& k)
+        {
+            v_.push_back(k);
+            std::size_t i = v_.size() - 1;
+            while (i > 0) {
+                const std::size_t parent = (i - 1) / kArity;
+                if (!(v_[i] < v_[parent]))
+                    break;
+                std::swap(v_[i], v_[parent]);
+                i = parent;
+            }
+        }
+
+        ReadyKey
+        popMin()
+        {
+            ReadyKey min = v_.front();
+            v_.front() = v_.back();
+            v_.pop_back();
+            std::size_t i = 0;
+            const std::size_t n = v_.size();
+            for (;;) {
+                const std::size_t first = i * kArity + 1;
+                if (first >= n)
+                    break;
+                std::size_t best = first;
+                const std::size_t last = std::min(first + kArity, n);
+                for (std::size_t c = first + 1; c < last; ++c) {
+                    if (v_[c] < v_[best])
+                        best = c;
+                }
+                if (!(v_[best] < v_[i]))
+                    break;
+                std::swap(v_[i], v_[best]);
+                i = best;
+            }
+            return min;
+        }
+
+      private:
+        static constexpr std::size_t kArity = 4;
+        std::vector<ReadyKey> v_;
+    };
+
     /** Tie-break rank: FIFO normally, pseudo-random when perturbed. */
     std::uint64_t
     nextSeq()
@@ -208,7 +267,7 @@ class Scheduler
 
     std::vector<std::unique_ptr<Task>> tasks_;
     /// Runnable tasks ordered by (clock, insertion order).
-    std::set<ReadyKey> ready_;
+    ReadyHeap ready_;
     std::uint64_t ready_seq_ = 0;
     TaskId current_ = -1;
     Time max_finish_ = 0;

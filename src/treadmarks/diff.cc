@@ -37,27 +37,18 @@ vtSum(const VTime& v)
 }
 
 std::size_t
-Diff::dataBytes() const
-{
-    std::size_t n = 0;
-    for (const auto& r : runs)
-        n += r.bytes.size();
-    return n;
-}
-
-std::size_t
 Diff::wireBytes() const
 {
     std::size_t n = 16;
     std::size_t prev_end = 0;
     bool first = true;
-    for (const auto& r : runs) {
+    for (const auto r : runs) {
         const std::size_t gap = r.offset - prev_end;
         if (!first && gap < 8)
-            n += gap + r.bytes.size(); // merged: gap rides as data
+            n += gap + r.len; // merged: gap rides as data
         else
-            n += 8 + r.bytes.size(); // fresh run header
-        prev_end = r.offset + r.bytes.size();
+            n += 8 + r.len; // fresh run header
+        prev_end = r.offset + r.len;
         first = false;
     }
     return n;
@@ -92,12 +83,13 @@ loadWord(const std::uint8_t* p)
  * the reference byte scan (tests/test_parallel.cc checks this on
  * random page/twin pairs).
  */
-std::vector<Diff::Run>
-computeRuns(const std::uint8_t* page, const std::uint8_t* twin)
+void
+computeRuns(const std::uint8_t* page, const std::uint8_t* twin,
+            FlatRuns& out)
 {
     static_assert(kPageSize % sizeof(std::uint64_t) == 0,
                   "word scan assumes whole words per page");
-    std::vector<Diff::Run> runs;
+    out.clear();
     std::size_t i = 0;
     while (i < kPageSize) {
         // Skip clean words (i is word-aligned here except when a run
@@ -128,22 +120,21 @@ computeRuns(const std::uint8_t* page, const std::uint8_t* twin)
                 break;
             ++j;
         }
-        Diff::Run run;
-        mcdsm_assert(i <= UINT16_MAX,
-                     "run offset overflows Diff::Run::offset");
-        run.offset = static_cast<std::uint16_t>(i);
-        run.bytes.assign(page + i, page + j);
-        runs.push_back(std::move(run));
+        out.append(static_cast<std::uint16_t>(i), page + i, j - i);
         i = j;
     }
-    return runs;
 }
 
 void
-applyRuns(std::uint8_t* page, const std::vector<Diff::Run>& runs)
+applyRuns(std::uint8_t* page, const FlatRuns& runs)
 {
-    for (const auto& r : runs)
-        std::memcpy(page + r.offset, r.bytes.data(), r.bytes.size());
+    for (const auto r : runs) {
+        mcdsm_assert(static_cast<std::size_t>(r.offset) + r.len <=
+                         kPageSize,
+                     "diff run [%u, %u+%u) overruns the page",
+                     r.offset, r.offset, r.len);
+        std::memcpy(page + r.offset, r.data, r.len);
+    }
 }
 
 } // namespace mcdsm

@@ -102,9 +102,11 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     d->seq = ++s.diffSeq;
     d->coversUpTo = s.vt[ctx.id] == 0 ? 0 : s.vt[ctx.id] - 1;
     d->orderKey = m.closeKey;
-    d->runs = computeRuns(ctx.frame(pn), m.twin);
+    computeRuns(ctx.frame(pn), m.twin, d->runs);
 
     const std::size_t bytes = d->dataBytes();
+    // The flat run buffer is the one heap allocation a diff costs.
+    rt_->memProf().countHeap(MemSite::Diff, d->runs.encodedBytes());
     ctx.stats.diffsCreated += 1;
     ctx.stats.diffBytes += bytes;
     rt_->charge(ctx, TimeCat::Protocol, rt_->costs().diffCreate(bytes));

@@ -8,6 +8,7 @@
 #define MCDSM_TREADMARKS_TYPES_H
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,108 @@ struct IntervalRec
 using IntervalRecPtr = std::shared_ptr<const IntervalRec>;
 
 /**
+ * The runs of a diff in one contiguous byte buffer: a sequence of
+ * [u16 offset][u16 len][len data bytes] records. This is the actual
+ * wire layout TreadMarks ships (modulo the header-merge accounting in
+ * Diff::wireBytes), and it costs one allocation per diff instead of
+ * one vector per run.
+ */
+class FlatRuns
+{
+  public:
+    static constexpr std::size_t kHeaderBytes = 4;
+
+    /** Decoded header of one run; `data` points into the buffer. */
+    struct View
+    {
+        std::uint16_t offset;
+        std::uint16_t len;
+        const std::uint8_t* data;
+    };
+
+    class const_iterator
+    {
+      public:
+        explicit const_iterator(const std::uint8_t* p) : p_(p) {}
+
+        View
+        operator*() const
+        {
+            View v;
+            std::memcpy(&v.offset, p_, 2);
+            std::memcpy(&v.len, p_ + 2, 2);
+            v.data = p_ + kHeaderBytes;
+            return v;
+        }
+
+        const_iterator&
+        operator++()
+        {
+            std::uint16_t len;
+            std::memcpy(&len, p_ + 2, 2);
+            p_ += kHeaderBytes + len;
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator& o) const
+        {
+            return p_ != o.p_;
+        }
+
+      private:
+        const std::uint8_t* p_;
+    };
+
+    std::size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    /** Total modified bytes across all runs. */
+    std::size_t dataBytes() const { return data_bytes_; }
+    /** Size of the encoded buffer (headers + data). */
+    std::size_t encodedBytes() const { return buf_.size(); }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        count_ = 0;
+        data_bytes_ = 0;
+    }
+
+    /** Append one run; @p len in [1, kPageSize]. */
+    void
+    append(std::uint16_t offset, const std::uint8_t* data,
+           std::size_t len)
+    {
+        const std::uint16_t len16 = static_cast<std::uint16_t>(len);
+        const std::size_t at = buf_.size();
+        buf_.resize(at + kHeaderBytes + len);
+        std::memcpy(buf_.data() + at, &offset, 2);
+        std::memcpy(buf_.data() + at + 2, &len16, 2);
+        std::memcpy(buf_.data() + at + kHeaderBytes, data, len);
+        count_ += 1;
+        data_bytes_ += len;
+    }
+
+    const_iterator begin() const { return const_iterator(buf_.data()); }
+    const_iterator
+    end() const
+    {
+        return const_iterator(buf_.data() + buf_.size());
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::uint32_t count_ = 0;
+    std::size_t data_bytes_ = 0;
+};
+
+// A page offset and a run length must fit the u16 header fields;
+// widen them before growing kPageSize past 64 KB.
+static_assert(kPageSize <= UINT16_MAX,
+              "FlatRuns headers cannot address the whole page");
+
+/**
  * A diff: the run-length-encoded difference between a page and its
  * twin. Diffs are created lazily by the writer when first requested
  * (or when the writer must invalidate its own dirty copy), cover
@@ -66,19 +169,10 @@ struct Diff
     std::uint32_t coversUpTo = 0;  ///< all intervals <= this are covered
     std::uint64_t orderKey = 0;    ///< vtSum at creation (causal order)
 
-    struct Run
-    {
-        std::uint16_t offset;
-        std::vector<std::uint8_t> bytes;
-    };
-    // A page offset must fit Run::offset; widen the field before
-    // growing kPageSize past 64 KB.
-    static_assert(kPageSize - 1 <= UINT16_MAX,
-                  "Diff::Run::offset cannot address the whole page");
-    std::vector<Run> runs;
+    FlatRuns runs;
 
     /** Total modified bytes. */
-    std::size_t dataBytes() const;
+    std::size_t dataBytes() const { return runs.dataBytes(); }
     /**
      * Modelled wire size. Adjacent runs separated by fewer than 8
      * equal bytes share one 8 B wire header, with the gap shipped as
@@ -93,12 +187,19 @@ struct Diff
 
 using DiffPtr = std::shared_ptr<const Diff>;
 
-/** Compute the diff between @p page and @p twin (both kPageSize). */
-std::vector<Diff::Run> computeRuns(const std::uint8_t* page,
-                                   const std::uint8_t* twin);
+/**
+ * Compute the diff between @p page and @p twin (both kPageSize) into
+ * @p out (cleared first).
+ */
+void computeRuns(const std::uint8_t* page, const std::uint8_t* twin,
+                 FlatRuns& out);
 
-/** Apply a diff's runs to @p page. */
-void applyRuns(std::uint8_t* page, const std::vector<Diff::Run>& runs);
+/**
+ * Apply a diff's runs to @p page. Each run is bounds-checked
+ * (offset + len <= kPageSize) under mcdsm_assert, so a corrupt wire
+ * diff fails loudly instead of smashing the neighbouring page.
+ */
+void applyRuns(std::uint8_t* page, const FlatRuns& runs);
 
 } // namespace mcdsm
 

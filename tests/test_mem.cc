@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the zero-churn memory subsystem (src/mem/) and the
+ * scheduler/fiber reuse machinery it rides with:
+ *
+ *   1. Arena: bump allocation, alignment, chunk growth, profiler
+ *      attribution of chunk allocations.
+ *   2. BufferPool: LIFO block reuse, slab refill accounting, release
+ *      poisoning, unpooled (general-purpose-heap) mode, PoolBuf
+ *      ownership and move semantics, MCDSM_NO_POOL parsing.
+ *   3. The pooled-vs-heap bit-equality matrix: every protocol variant
+ *      on two applications produces identical simulated results with
+ *      the pool on and off, including under a parallel (--jobs 4)
+ *      engine — the contract that makes DsmConfig::memPool a pure
+ *      host-side choice.
+ *   4. Scheduler: wake()/wakeIfBlocked() on a Finished task is a
+ *      harmless no-op (regression: protocol timers firing after a
+ *      worker exits), and the ready-heap resumes tasks in exact
+ *      (time, spawn-order) order.
+ *   5. Fiber stacks are recycled across simulations on a thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "harness/pool.h"
+#include "harness/runner.h"
+#include "mem/arena.h"
+#include "mem/buffer_pool.h"
+#include "sim/fiber.h"
+#include "sim/scheduler.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, BumpAllocatesAndAligns)
+{
+    AllocProfiler prof;
+    Arena arena(&prof, 1024);
+    void* a = arena.alloc(3, 1);
+    void* b = arena.alloc(8, 8);
+    void* c = arena.alloc(1, alignof(std::max_align_t));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) %
+                  alignof(std::max_align_t),
+              0u);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+    // All three came from one chunk: one heap allocation, site Other.
+    EXPECT_EQ(prof.stats().heapAllocs(), 1u);
+    EXPECT_GE(prof.stats()
+                  .site[static_cast<int>(MemSite::Other)]
+                  .heapBytes,
+              1024u);
+}
+
+TEST(Arena, GrowsByChunksAndOversizedRequests)
+{
+    Arena arena(nullptr, 256);
+    for (int i = 0; i < 8; ++i)
+        arena.alloc(100);
+    EXPECT_GE(arena.chunkCount(), 3u);
+    // A request larger than the chunk size gets its own chunk.
+    void* big = arena.alloc(5000);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0x5c, 5000); // must really own 5000 bytes
+    EXPECT_GE(arena.allocatedBytes(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, ReusesBlocksLifo)
+{
+    AllocProfiler prof;
+    BufferPool pool(&prof, /*pooled=*/true);
+    std::uint8_t* a = pool.acquire(MemSite::Frame);
+    ASSERT_NE(a, nullptr);
+    // First acquire carves a whole slab; the rest sit on the freelist.
+    EXPECT_EQ(pool.blocksCreated(), BufferPool::kSlabBlocks);
+    EXPECT_EQ(pool.freeBlocks(), BufferPool::kSlabBlocks - 1);
+    EXPECT_EQ(pool.outstanding(), 1u);
+
+    pool.release(a, MemSite::Frame);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    // LIFO: the block just released comes back first.
+    std::uint8_t* b = pool.acquire(MemSite::Frame);
+    EXPECT_EQ(b, a);
+    pool.release(b, MemSite::Frame);
+
+    // Steady state costs zero heap allocations: only the slab's arena
+    // chunk was ever heap-allocated.
+    const std::uint64_t heap_before = prof.stats().heapAllocs();
+    for (int i = 0; i < 100; ++i) {
+        std::uint8_t* p = pool.acquire(MemSite::Frame);
+        pool.release(p, MemSite::Frame);
+    }
+    EXPECT_EQ(prof.stats().heapAllocs(), heap_before);
+    EXPECT_GE(prof.stats().poolHits(), 100u);
+}
+
+TEST(BufferPool, PoisonsReleasedBlocks)
+{
+    BufferPool pool(nullptr, /*pooled=*/true);
+    pool.setPoison(true);
+    std::uint8_t* p = pool.acquire(MemSite::Frame);
+    std::memset(p, 0xAA, kPageSize);
+    pool.release(p, MemSite::Frame);
+    // The block is arena-owned, so inspecting it after release is
+    // safe; it must carry the poison pattern end to end.
+    for (std::size_t i = 0; i < kPageSize; ++i)
+        ASSERT_EQ(p[i], BufferPool::kPoisonByte) << "byte " << i;
+}
+
+TEST(BufferPool, UnpooledModeUsesTheHeap)
+{
+    AllocProfiler prof;
+    BufferPool pool(&prof, /*pooled=*/false);
+    EXPECT_FALSE(pool.pooled());
+    std::uint8_t* a = pool.acquire(MemSite::Message);
+    std::uint8_t* b = pool.acquire(MemSite::Message);
+    EXPECT_EQ(pool.freeBlocks(), 0u);
+    EXPECT_EQ(prof.stats().heapAllocs(), 2u);
+    EXPECT_EQ(prof.stats().poolHits(), 0u);
+    pool.release(a, MemSite::Message);
+    EXPECT_EQ(pool.outstanding(), 1u);
+    // b is deliberately left outstanding: the destructor reclaims it
+    // (leak checkers must stay clean even for parked blocks).
+    (void)b;
+}
+
+TEST(BufferPool, EnvKillSwitchParsing)
+{
+    const char* saved = std::getenv("MCDSM_NO_POOL");
+    const std::string saved_val = saved ? saved : "";
+
+    unsetenv("MCDSM_NO_POOL");
+    EXPECT_TRUE(BufferPool::enabledFromEnv());
+    setenv("MCDSM_NO_POOL", "", 1);
+    EXPECT_TRUE(BufferPool::enabledFromEnv());
+    setenv("MCDSM_NO_POOL", "0", 1);
+    EXPECT_TRUE(BufferPool::enabledFromEnv());
+    setenv("MCDSM_NO_POOL", "1", 1);
+    EXPECT_FALSE(BufferPool::enabledFromEnv());
+
+    if (saved)
+        setenv("MCDSM_NO_POOL", saved_val.c_str(), 1);
+    else
+        unsetenv("MCDSM_NO_POOL");
+}
+
+TEST(PoolBuf, PooledAssignMoveAndReset)
+{
+    AllocProfiler prof;
+    BufferPool pool(&prof, /*pooled=*/true);
+    std::vector<std::uint8_t> src(kPageSize);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7);
+
+    PoolBuf buf;
+    EXPECT_TRUE(buf.empty());
+    buf.assign(pool, MemSite::Message, src.data(), src.size());
+    ASSERT_EQ(buf.size(), kPageSize);
+    EXPECT_EQ(std::memcmp(buf.data(), src.data(), kPageSize), 0);
+    EXPECT_EQ(pool.outstanding(), 1u);
+
+    // Move transfers ownership; the source releases nothing.
+    PoolBuf moved = std::move(buf);
+    EXPECT_TRUE(buf.empty());
+    ASSERT_EQ(moved.size(), kPageSize);
+    EXPECT_EQ(std::memcmp(moved.data(), src.data(), kPageSize), 0);
+    EXPECT_EQ(pool.outstanding(), 1u);
+
+    moved.reset();
+    EXPECT_TRUE(moved.empty());
+    EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolBuf, OversizedPayloadFallsBackToHeap)
+{
+    AllocProfiler prof;
+    BufferPool pool(&prof, /*pooled=*/true);
+    std::vector<std::uint8_t> big(kPageSize * 3, 0x42);
+    {
+        PoolBuf buf;
+        buf.assign(pool, MemSite::Message, big.data(), big.size());
+        ASSERT_EQ(buf.size(), big.size());
+        EXPECT_EQ(std::memcmp(buf.data(), big.data(), big.size()), 0);
+        // Not a pool block: nothing outstanding, one heap allocation.
+        EXPECT_EQ(pool.outstanding(), 0u);
+        EXPECT_EQ(prof.stats().heapAllocs(), 1u);
+    } // destructor must delete[] the heap buffer (ASan-checked in CI)
+}
+
+/**
+ * Pool thread-safety contract: the pool itself is thread-confined,
+ * but independent pools on independent threads must not interfere
+ * (e.g. via shared globals). Mirrors the --jobs execution model.
+ */
+TEST(BufferPool, IndependentPoolsAcrossThreads)
+{
+    std::vector<std::uint64_t> hits(8, 0);
+    parallelFor(hits.size(), 4, [&](std::size_t t) {
+        AllocProfiler prof;
+        BufferPool pool(&prof, true);
+        for (int i = 0; i < 200; ++i) {
+            std::uint8_t* p = pool.acquire(MemSite::Frame);
+            p[0] = static_cast<std::uint8_t>(t);
+            ASSERT_EQ(p[0], static_cast<std::uint8_t>(t));
+            pool.release(p, MemSite::Frame);
+        }
+        hits[t] = prof.stats().poolHits();
+    });
+    for (std::size_t t = 0; t < hits.size(); ++t)
+        EXPECT_GE(hits[t], 199u) << "thread task " << t;
+}
+
+// ---------------------------------------------------------------------------
+// Pooled-vs-heap bit-equality matrix
+// ---------------------------------------------------------------------------
+
+void
+expectSimIdentical(const ExpResult& a, const ExpResult& b)
+{
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(std::memcmp(&a.appResult.checksum, &b.appResult.checksum,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&a.appResult.aux, &b.appResult.aux,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(a.stats.elapsed, b.stats.elapsed);
+    EXPECT_EQ(a.stats.mcBytes, b.stats.mcBytes);
+    EXPECT_EQ(a.stats.mcStreamBytes, b.stats.mcStreamBytes);
+    EXPECT_EQ(a.stats.messages, b.stats.messages);
+    ASSERT_EQ(a.stats.procs.size(), b.stats.procs.size());
+    for (std::size_t p = 0; p < a.stats.procs.size(); ++p) {
+        const ProcStats& x = a.stats.procs[p];
+        const ProcStats& y = b.stats.procs[p];
+        EXPECT_EQ(x.readFaults, y.readFaults) << "proc " << p;
+        EXPECT_EQ(x.writeFaults, y.writeFaults) << "proc " << p;
+        EXPECT_EQ(x.pageTransfers, y.pageTransfers) << "proc " << p;
+        EXPECT_EQ(x.twins, y.twins) << "proc " << p;
+        EXPECT_EQ(x.diffsCreated, y.diffsCreated) << "proc " << p;
+        EXPECT_EQ(x.diffsApplied, y.diffsApplied) << "proc " << p;
+        EXPECT_EQ(x.diffBytes, y.diffBytes) << "proc " << p;
+        EXPECT_EQ(x.messagesSent, y.messagesSent) << "proc " << p;
+        EXPECT_EQ(x.bytesSent, y.bytesSent) << "proc " << p;
+        EXPECT_EQ(x.endTime, y.endTime) << "proc " << p;
+        for (int c = 0; c < kTimeCatCount; ++c)
+            EXPECT_EQ(x.timeIn[c], y.timeIn[c])
+                << "proc " << p << " cat " << c;
+    }
+}
+
+TEST(PoolMatrix, EveryVariantBitIdenticalWithAndWithoutPool)
+{
+    const ProtocolKind kVariants[] = {
+        ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+        ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+        ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+    };
+    const char* kApps[] = {"sor", "water"};
+
+    struct Cell
+    {
+        const char* app;
+        ProtocolKind protocol;
+    };
+    std::vector<Cell> cells;
+    for (const char* app : kApps)
+        for (ProtocolKind k : kVariants)
+            cells.push_back({app, k});
+
+    // Run the pooled and unpooled halves of the matrix through the
+    // parallel engine (4 workers), exercising pool construction and
+    // teardown concurrently on the pool's real execution model.
+    std::vector<ExpResult> pooled(cells.size()), heap(cells.size());
+    parallelFor(cells.size() * 2, 4, [&](std::size_t i) {
+        const Cell& c = cells[i % cells.size()];
+        RunOpts opts;
+        opts.scale = AppScale::Tiny;
+        opts.seed = 1;
+        opts.memPool = i < cells.size();
+        ExpResult r = runExperiment(c.app, c.protocol, 4, opts);
+        (opts.memPool ? pooled : heap)[i % cells.size()] = std::move(r);
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << cells[i].app << "/"
+                     << protocolName(cells[i].protocol));
+        expectSimIdentical(pooled[i], heap[i]);
+        // The two runs must differ where expected: the pooled run
+        // serves page-sized buffers from freelists, the heap run
+        // cannot.
+        EXPECT_GT(pooled[i].stats.mem.poolHits(), 0u);
+        EXPECT_EQ(heap[i].stats.mem.poolHits(), 0u);
+        EXPECT_GT(heap[i].stats.mem.heapAllocs(),
+                  pooled[i].stats.mem.heapAllocs());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler regressions
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerWake, WakeAfterFinishIsANoOp)
+{
+    Scheduler s;
+    TaskId short_lived = s.spawn("short", [&](TaskId) {
+        s.advance(10);
+    });
+    s.spawn("long", [&](TaskId) {
+        s.advance(1000);
+        s.yield(); // "short" has certainly finished by now
+        // Regression: a timer or mailbox hint firing at a task that
+        // already exited must not resurrect or corrupt it.
+        s.wake(short_lived, s.now() + 5);
+        s.wakeIfBlocked(short_lived, s.now() + 5);
+        s.advance(10);
+    });
+    EXPECT_TRUE(s.run());
+    EXPECT_EQ(s.maxFinishTime(), 1010);
+}
+
+TEST(SchedulerHeap, ResumesInClockThenSpawnOrder)
+{
+    // Spawn with shuffled start times; the ready heap must resume in
+    // ascending (time, spawn-seq) order exactly like the std::set the
+    // heap replaced.
+    const Time starts[] = {40, 10, 30, 10, 20, 0, 40, 10};
+    Scheduler s;
+    std::vector<int> order;
+    for (std::size_t i = 0; i < std::size(starts); ++i) {
+        s.spawn("t", [&, i](TaskId) { order.push_back((int)i); },
+                starts[i]);
+    }
+    EXPECT_TRUE(s.run());
+    // Expected: sort spawn indices by (start, index).
+    std::vector<int> want(std::size(starts));
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = (int)i;
+    std::stable_sort(want.begin(), want.end(),
+                     [&](int a, int b) { return starts[a] < starts[b]; });
+    EXPECT_EQ(order, want);
+}
+
+TEST(FiberStacks, RecycledAcrossSchedulers)
+{
+    auto ping_pong = [] {
+        Scheduler s;
+        for (int t = 0; t < 4; ++t) {
+            s.spawn("t", [&](TaskId) {
+                for (int i = 0; i < 3; ++i) {
+                    s.advance(1);
+                    s.yield();
+                }
+            });
+        }
+        EXPECT_TRUE(s.run());
+    };
+    ping_pong(); // populate this thread's stack cache
+    const std::uint64_t reused_before = Fiber::stacksReused();
+    ping_pong();
+    EXPECT_GE(Fiber::stacksReused(), reused_before + 4);
+}
+
+} // namespace
+} // namespace mcdsm

@@ -211,11 +211,18 @@ TEST(RunExperiments, FaultedRunsBitIdenticalAcrossJobs)
 // Word-scan diff equivalence
 // ---------------------------------------------------------------------------
 
+/** Expanded run representation for the oracle scan below. */
+struct RefRun
+{
+    std::uint16_t offset = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
 /** The pre-optimization byte-at-a-time scan, kept as the oracle. */
-std::vector<Diff::Run>
+std::vector<RefRun>
 referenceRuns(const std::uint8_t* page, const std::uint8_t* twin)
 {
-    std::vector<Diff::Run> runs;
+    std::vector<RefRun> runs;
     std::size_t i = 0;
     while (i < kPageSize) {
         if (page[i] == twin[i]) {
@@ -225,7 +232,7 @@ referenceRuns(const std::uint8_t* page, const std::uint8_t* twin)
         std::size_t j = i + 1;
         while (j < kPageSize && page[j] != twin[j])
             ++j;
-        Diff::Run run;
+        RefRun run;
         run.offset = static_cast<std::uint16_t>(i);
         run.bytes.assign(page + i, page + j);
         runs.push_back(std::move(run));
@@ -235,13 +242,16 @@ referenceRuns(const std::uint8_t* page, const std::uint8_t* twin)
 }
 
 void
-expectSameRuns(const std::vector<Diff::Run>& got,
-               const std::vector<Diff::Run>& want)
+expectSameRuns(const FlatRuns& got, const std::vector<RefRun>& want)
 {
-    ASSERT_EQ(got.size(), want.size());
-    for (std::size_t r = 0; r < got.size(); ++r) {
-        EXPECT_EQ(got[r].offset, want[r].offset) << "run " << r;
-        EXPECT_EQ(got[r].bytes, want[r].bytes) << "run " << r;
+    ASSERT_EQ(got.count(), want.size());
+    std::size_t r = 0;
+    for (const FlatRuns::View v : got) {
+        EXPECT_EQ(v.offset, want[r].offset) << "run " << r;
+        ASSERT_EQ(v.len, want[r].bytes.size()) << "run " << r;
+        EXPECT_EQ(std::memcmp(v.data, want[r].bytes.data(), v.len), 0)
+            << "run " << r;
+        ++r;
     }
 }
 
@@ -266,7 +276,8 @@ TEST(WordScanDiff, MatchesByteScanOnRandomPages)
                 page[at + k] = static_cast<std::uint8_t>(
                     twin[at + k] ^ (1 + rng.nextBounded(255)));
         }
-        const auto got = computeRuns(page.data(), twin.data());
+        FlatRuns got;
+        computeRuns(page.data(), twin.data(), got);
         const auto want = referenceRuns(page.data(), twin.data());
         SCOPED_TRACE(testing::Message() << "iter " << iter);
         expectSameRuns(got, want);
@@ -295,22 +306,26 @@ TEST(WordScanDiff, WordBoundaryStraddles)
     for (std::size_t i = 50; i < 75; ++i)
         flip(i); // unaligned span across three words
     flip(kPageSize - 1); // last byte of the page
-    expectSameRuns(computeRuns(page.data(), twin.data()),
-                   referenceRuns(page.data(), twin.data()));
+    FlatRuns straddle;
+    computeRuns(page.data(), twin.data(), straddle);
+    expectSameRuns(straddle, referenceRuns(page.data(), twin.data()));
 
     // Fully dirty page: one run of kPageSize bytes.
     std::fill(page.begin(), page.end(), 0x5a);
-    const auto full = computeRuns(page.data(), twin.data());
-    ASSERT_EQ(full.size(), 1u);
-    EXPECT_EQ(full[0].offset, 0);
-    EXPECT_EQ(full[0].bytes.size(), kPageSize);
+    FlatRuns full;
+    computeRuns(page.data(), twin.data(), full);
+    ASSERT_EQ(full.count(), 1u);
+    const FlatRuns::View whole = *full.begin();
+    EXPECT_EQ(whole.offset, 0);
+    EXPECT_EQ(whole.len, kPageSize);
 
     // Alternating bytes: worst case, every other byte its own run.
     for (std::size_t i = 0; i < kPageSize; ++i)
         page[i] = (i % 2 == 0) ? 1 : 0;
     std::fill(twin.begin(), twin.end(), 0);
-    expectSameRuns(computeRuns(page.data(), twin.data()),
-                   referenceRuns(page.data(), twin.data()));
+    FlatRuns alternating;
+    computeRuns(page.data(), twin.data(), alternating);
+    expectSameRuns(alternating, referenceRuns(page.data(), twin.data()));
 }
 
 // ---------------------------------------------------------------------------
@@ -319,31 +334,26 @@ TEST(WordScanDiff, WordBoundaryStraddles)
 
 TEST(DiffWireBytes, MergesNearbyRunHeaders)
 {
-    auto mkrun = [](std::uint16_t off, std::size_t len) {
-        Diff::Run r;
-        r.offset = off;
-        r.bytes.assign(len, 0xab);
-        return r;
-    };
+    const std::vector<std::uint8_t> fill(kPageSize, 0xab);
 
     Diff d;
-    d.runs.push_back(mkrun(0, 32));
+    d.runs.append(0, fill.data(), 32);
     EXPECT_EQ(d.wireBytes(), 16u + 8 + 32);
 
     // Gap of 4 (< 8): second header merges, the 4 gap bytes ship as
     // data — 4 bytes instead of a fresh 8-byte header.
-    d.runs.push_back(mkrun(36, 10));
+    d.runs.append(36, fill.data(), 10);
     EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10);
 
     // Gap of 8 (>= 8): fresh header is cheaper, no merge.
-    d.runs.push_back(mkrun(54, 6));
+    d.runs.append(54, fill.data(), 6);
     EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10 + 8 + 6);
 
     // The merge only affects accounting: dataBytes stays exact.
     EXPECT_EQ(d.dataBytes(), 32u + 10 + 6);
 
     // Never larger than the unmerged 8-bytes-per-run encoding.
-    EXPECT_LE(d.wireBytes(), 16 + d.dataBytes() + 8 * d.runs.size());
+    EXPECT_LE(d.wireBytes(), 16 + d.dataBytes() + 8 * d.runs.count());
 }
 
 } // namespace

@@ -123,7 +123,8 @@ TEST(DiffEngine, RoundTripRandomWrites)
             page[at] = static_cast<std::uint8_t>(rng.next());
         }
 
-        auto runs = computeRuns(page.data(), twin.data());
+        FlatRuns runs;
+        computeRuns(page.data(), twin.data(), runs);
         std::vector<std::uint8_t> rebuilt = twin;
         applyRuns(rebuilt.data(), runs);
         EXPECT_EQ(std::memcmp(rebuilt.data(), page.data(), kPageSize), 0);
@@ -133,7 +134,8 @@ TEST(DiffEngine, RoundTripRandomWrites)
 TEST(DiffEngine, CleanPageYieldsEmptyDiff)
 {
     std::vector<std::uint8_t> twin(kPageSize, 7);
-    auto runs = computeRuns(twin.data(), twin.data());
+    FlatRuns runs;
+    computeRuns(twin.data(), twin.data(), runs);
     EXPECT_TRUE(runs.empty());
 }
 
@@ -142,10 +144,12 @@ TEST(DiffEngine, RunsCoalesceAdjacentBytes)
     std::vector<std::uint8_t> twin(kPageSize, 0), page(kPageSize, 0);
     for (int i = 100; i < 132; ++i)
         page[i] = 9;
-    auto runs = computeRuns(page.data(), twin.data());
-    ASSERT_EQ(runs.size(), 1u);
-    EXPECT_EQ(runs[0].offset, 100);
-    EXPECT_EQ(runs[0].bytes.size(), 32u);
+    FlatRuns runs;
+    computeRuns(page.data(), twin.data(), runs);
+    ASSERT_EQ(runs.count(), 1u);
+    const FlatRuns::View only = *runs.begin();
+    EXPECT_EQ(only.offset, 100);
+    EXPECT_EQ(only.len, 32u);
 
     Diff d;
     d.runs = std::move(runs);
@@ -162,8 +166,9 @@ TEST(DiffEngine, DisjointDiffsComposeInAnyOrder)
         page_a[i] = 0xaa;
     for (int i = 1; i < 512; i += 2)
         page_b[i] = 0xbb;
-    auto ra = computeRuns(page_a.data(), twin.data());
-    auto rb = computeRuns(page_b.data(), twin.data());
+    FlatRuns ra, rb;
+    computeRuns(page_a.data(), twin.data(), ra);
+    computeRuns(page_b.data(), twin.data(), rb);
 
     auto ab = twin, ba = twin;
     applyRuns(ab.data(), ra);
