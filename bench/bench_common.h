@@ -17,18 +17,19 @@
 
 #include "fault/fault_plan.h"
 #include "harness/chrome_trace.h"
+#include "harness/flags.h"
 #include "harness/pool.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 
 namespace mcdsm::bench {
 
-/** A flag a binary accepts, for --help and unknown-flag rejection. */
-struct FlagInfo
-{
-    const char* name;
-    const char* help;
-};
+// The flag parser lives in src/harness/flags.h so tests can exercise
+// it; re-exported here for the bench binaries.
+using ::mcdsm::FlagArg;
+using ::mcdsm::FlagInfo;
+using ::mcdsm::Flags;
+using ::mcdsm::handleUsage;
 
 // Stock descriptions for the flags shared across binaries; each main
 // lists exactly the subset it honors.
@@ -54,83 +55,6 @@ inline constexpr FlagInfo kFlagFaultSeed{
     "fault-seed", "fault-injection seed (default 1)"};
 inline constexpr FlagInfo kFlagTraceOut{
     "trace-out", "write a Chrome-trace JSON of every run to FILE"};
-
-/** Very small --key=value flag parser. */
-class Flags
-{
-  public:
-    Flags(int argc, char** argv)
-    {
-        if (argc > 0)
-            prog_ = argv[0];
-        for (int i = 1; i < argc; ++i)
-            args_.emplace_back(argv[i]);
-    }
-
-    std::string
-    get(const std::string& key, const std::string& def) const
-    {
-        const std::string prefix = "--" + key + "=";
-        for (const auto& a : args_) {
-            if (a.rfind(prefix, 0) == 0)
-                return a.substr(prefix.size());
-        }
-        return def;
-    }
-
-    bool
-    has(const std::string& key) const
-    {
-        const std::string flag = "--" + key;
-        for (const auto& a : args_) {
-            if (a == flag || a.rfind(flag + "=", 0) == 0)
-                return true;
-        }
-        return false;
-    }
-
-    const std::string& prog() const { return prog_; }
-    const std::vector<std::string>& raw() const { return args_; }
-
-  private:
-    std::string prog_ = "bench";
-    std::vector<std::string> args_;
-};
-
-/**
- * Uniform --help / unknown-flag handling: every bench binary calls
- * this right after constructing Flags, passing the flags it honors.
- * --help prints them and exits 0; an argument that is not one of them
- * (or not --key[=value] shaped at all) exits 2.
- */
-inline void
-handleUsage(const Flags& flags, const char* summary,
-            std::initializer_list<FlagInfo> known)
-{
-    if (flags.has("help")) {
-        std::printf("%s: %s\n\nFlags:\n", flags.prog().c_str(), summary);
-        for (const FlagInfo& f : known)
-            std::printf("  --%-14s %s\n", f.name, f.help);
-        std::printf("  --%-14s %s\n", "help", "show this message");
-        std::exit(0);
-    }
-    for (const std::string& a : flags.raw()) {
-        std::string name;
-        if (a.rfind("--", 0) == 0)
-            name = a.substr(2, a.find('=') - 2);
-        const bool ok =
-            !name.empty() &&
-            std::any_of(known.begin(), known.end(),
-                        [&](const FlagInfo& f) { return name == f.name; });
-        if (!ok) {
-            std::fprintf(stderr,
-                         "%s: unknown argument '%s' (--help lists "
-                         "accepted flags)\n",
-                         flags.prog().c_str(), a.c_str());
-            std::exit(2);
-        }
-    }
-}
 
 /** Parse --scenario / --fault-seed into a FaultPlan. */
 inline FaultPlan

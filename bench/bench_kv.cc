@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Serving-workload bench: the sharded KV store (src/apps/kv.*) swept
+ * over protocol variant x shard count x Zipf skew, reporting per-phase
+ * tail-latency percentiles (p50/p90/p99/p999) and per-shard hot-key
+ * contention. The whole sweep runs as one batch through the parallel
+ * experiment engine, so --jobs=N changes wall time only — latencies,
+ * percentiles and checksums are bit-identical for any value.
+ *
+ * --check-det is the CI determinism gate: it reruns a small grid with
+ * --jobs=1 and --jobs=4 and requires bit-identical results, including
+ * the service histograms, for all six protocol variants.
+ */
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstring>
+#include <iterator>
+
+#include "common/log.h"
+
+namespace mcdsm::bench {
+namespace {
+
+constexpr ProtocolKind kVariants[] = {
+    ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+    ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+    ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+};
+
+/** One cell of the sweep: a protocol plus a KV workload shape. */
+struct KvCell
+{
+    ProtocolKind protocol = ProtocolKind::CsmPoll;
+    int shards = 16;
+    double theta = 0.9;
+};
+
+KvConfig
+cellConfig(const KvConfig& base, const KvCell& cell)
+{
+    KvConfig cfg = base;
+    cfg.shards = cell.shards;
+    cfg.zipfTheta = cell.theta;
+    return cfg;
+}
+
+double
+usOf(Time t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** Bit-exact comparison of two runs of the same spec (see --check-det). */
+bool
+sameResult(const ExpResult& a, const ExpResult& b, std::string* why)
+{
+    if (a.elapsed != b.elapsed) {
+        *why = "elapsed differs";
+        return false;
+    }
+    if (std::memcmp(&a.appResult.checksum, &b.appResult.checksum,
+                    sizeof(a.appResult.checksum)) != 0 ||
+        std::memcmp(&a.appResult.aux, &b.appResult.aux,
+                    sizeof(a.appResult.aux)) != 0) {
+        *why = "app checksum/aux differs";
+        return false;
+    }
+    if (a.stats.messages != b.stats.messages ||
+        a.stats.mcBytes != b.stats.mcBytes) {
+        *why = "communication totals differ";
+        return false;
+    }
+    if (a.stats.service != b.stats.service) {
+        *why = "service stats (histograms/shards) differ";
+        return false;
+    }
+    for (std::size_t p = 0; p < a.stats.procs.size(); ++p) {
+        if (a.stats.procs[p].endTime != b.stats.procs[p].endTime) {
+            *why = strprintf("proc %zu end time differs", p);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+checkDeterminism(const Flags& flags)
+{
+    RunOpts opts = optsFrom(flags);
+    opts.scale = scaleFromName(flags.get("scale", "tiny"));
+    const int np = std::stoi(flags.get("procs", "8"));
+    const KvConfig base = KvConfig::preset(opts.scale);
+
+    std::vector<ExpSpec> specs;
+    std::vector<KvCell> cells;
+    for (ProtocolKind k : kVariants) {
+        if (!configSupported(k, np))
+            continue;
+        for (const KvCell cell : {KvCell{k, 4, 0.9}, KvCell{k, 8, 0.0}}) {
+            RunOpts o = opts;
+            o.kv = cellConfig(base, cell);
+            specs.push_back({"kv", k, np, o});
+            cells.push_back(cell);
+        }
+    }
+
+    const auto seq = runExperiments(specs, 1);
+    const auto par = runExperiments(specs, 4);
+
+    int bad = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::string why;
+        if (!sameResult(seq[i], par[i], &why)) {
+            std::fprintf(stderr,
+                         "FAIL: kv/%s shards=%d theta=%.2f differs "
+                         "between --jobs=1 and --jobs=4: %s\n",
+                         protocolName(specs[i].protocol),
+                         cells[i].shards, cells[i].theta, why.c_str());
+            ++bad;
+        }
+        if (seq[i].appResult.aux != 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: kv/%s shards=%d theta=%.2f reports %g "
+                         "GET verification failures\n",
+                         protocolName(specs[i].protocol),
+                         cells[i].shards, cells[i].theta,
+                         seq[i].appResult.aux);
+            ++bad;
+        }
+    }
+    std::printf("kv determinism gate: %zu configs, %d failures\n",
+                specs.size(), bad);
+    return bad == 0 ? 0 : 1;
+}
+
+void
+writeJson(std::FILE* f, const Flags& flags, int np, int jobs,
+          const std::vector<KvCell>& cells,
+          const std::vector<ExpResult>& results)
+{
+    std::fprintf(f, "{\n  \"bench\": \"bench_kv\",\n");
+    std::fprintf(f, "  \"scale\": \"%s\",\n",
+                 flags.get("scale", "small").c_str());
+    std::fprintf(f, "  \"procs\": %d,\n  \"jobs\": %d,\n", np, jobs);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ExpResult& r = results[i];
+        std::uint64_t cks_bits = 0;
+        static_assert(sizeof(cks_bits) == sizeof(r.appResult.checksum));
+        std::memcpy(&cks_bits, &r.appResult.checksum, sizeof(cks_bits));
+        std::fprintf(f,
+                     "    {\"protocol\": \"%s\", \"shards\": %d, "
+                     "\"zipfTheta\": %g, \"nprocs\": %d, "
+                     "\"simSeconds\": %.9f, "
+                     "\"checksumBits\": \"0x%016llx\", "
+                     "\"getVerifyFailures\": %g,\n",
+                     protocolName(r.protocol), cells[i].shards,
+                     cells[i].theta, r.nprocs, r.seconds(),
+                     static_cast<unsigned long long>(cks_bits),
+                     r.appResult.aux);
+        std::fprintf(f, "     \"phases\": [\n");
+        const auto& phases = r.stats.service.phases;
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+            const PhaseServiceStats& ph = phases[p];
+            const LatencyHistogram& h = ph.latency;
+            std::uint64_t contended = 0, puts = 0;
+            for (const ShardStats& s : ph.shards) {
+                contended += s.contendedAcquires;
+                puts += s.writes;
+            }
+            std::fprintf(
+                f,
+                "      {\"name\": \"%s\", \"requests\": %llu, "
+                "\"puts\": %llu, "
+                "\"p50Us\": %.3f, \"p90Us\": %.3f, \"p99Us\": %.3f, "
+                "\"p999Us\": %.3f, \"maxUs\": %.3f, \"meanUs\": %.3f, "
+                "\"contendedAcquires\": %llu,\n",
+                ph.name.c_str(),
+                static_cast<unsigned long long>(ph.requests()),
+                static_cast<unsigned long long>(puts),
+                usOf(h.p50()), usOf(h.p90()), usOf(h.p99()),
+                usOf(h.p999()), usOf(static_cast<Time>(h.max())),
+                h.mean() / 1000.0,
+                static_cast<unsigned long long>(contended));
+            std::fprintf(f, "       \"shards\": [");
+            for (std::size_t s = 0; s < ph.shards.size(); ++s) {
+                const ShardStats& sh = ph.shards[s];
+                std::fprintf(
+                    f,
+                    "%s\n        {\"shard\": %zu, \"requests\": %llu, "
+                    "\"reads\": %llu, \"writes\": %llu, "
+                    "\"contended\": %llu, \"lockWaitUs\": %.3f, "
+                    "\"hotKey\": %u, \"hotKeyRequests\": %llu}",
+                    s == 0 ? "" : ",", s,
+                    static_cast<unsigned long long>(sh.requests),
+                    static_cast<unsigned long long>(sh.reads),
+                    static_cast<unsigned long long>(sh.writes),
+                    static_cast<unsigned long long>(
+                        sh.contendedAcquires),
+                    usOf(sh.lockWait), sh.hotKey,
+                    static_cast<unsigned long long>(
+                        sh.hotKeyRequests));
+            }
+            std::fprintf(f, "]}%s\n",
+                         p + 1 < phases.size() ? "," : "");
+        }
+        std::fprintf(f, "     ]}%s\n",
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+}
+
+} // namespace
+} // namespace mcdsm::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    handleUsage(
+        flags,
+        "sharded KV serving workload: Zipfian open-loop traffic over "
+        "protocol x shard count x skew, reporting per-phase latency "
+        "percentiles and per-shard hot-key contention",
+        {{"shards", "comma-separated shard counts (default 16)"},
+         {"skews", "comma-separated Zipf thetas (default 0.9)"},
+         {"streams", "logical client streams (default: scale preset)"},
+         {"ops", "requests per stream per phase (default: preset)"},
+         {"grid",
+          "preset sweep: shards 4,16 x skews 0,0.9,1.2 over all "
+          "variants", FlagArg::None},
+         {"json",
+          "write a machine-readable report to FILE (stdout if no "
+          "value)", FlagArg::Optional},
+         {"check-det",
+          "determinism gate: rerun a tiny grid with --jobs=1 and "
+          "--jobs=4 and require bit-identical results, then exit",
+          FlagArg::None},
+         kFlagProtocols, {"procs", "processor count (one value)"},
+         kFlagScale, kFlagSeed, kFlagJobs, kFlagScenario,
+         kFlagFaultSeed, kFlagTraceOut});
+
+    if (flags.has("check-det"))
+        return checkDeterminism(flags);
+
+    RunOpts opts = optsFrom(flags);
+    const int np = std::stoi(flags.get("procs", "8"));
+    const int jobs = jobsFrom(flags);
+    KvConfig base = KvConfig::preset(opts.scale);
+    if (flags.has("streams"))
+        base.clientStreams = std::stoi(flags.get("streams", "32"));
+    if (flags.has("ops"))
+        base.opsPerStream = std::stoi(flags.get("ops", "200"));
+
+    std::vector<int> shard_counts;
+    std::vector<double> thetas;
+    if (flags.has("grid")) {
+        shard_counts = {4, 16};
+        thetas = {0.0, 0.9, 1.2};
+    } else {
+        for (const auto& s : splitList(flags.get("shards", "16")))
+            shard_counts.push_back(std::stoi(s));
+        for (const auto& t : splitList(flags.get("skews", "0.9")))
+            thetas.push_back(std::strtod(t.c_str(), nullptr));
+    }
+
+    std::vector<ExpSpec> specs;
+    std::vector<KvCell> cells;
+    for (ProtocolKind k : protocolList(flags)) {
+        if (!configSupported(k, np)) {
+            std::printf("skipping %s at %d procs (unsupported)\n",
+                        protocolName(k), np);
+            continue;
+        }
+        for (int shards : shard_counts) {
+            for (double theta : thetas) {
+                const KvCell cell{k, shards, theta};
+                RunOpts o = opts;
+                o.kv = cellConfig(base, cell);
+                specs.push_back({"kv", k, np, o});
+                cells.push_back(cell);
+            }
+        }
+    }
+    const auto results = runExperiments(specs, jobs);
+
+    std::printf("KV serving: %d procs, %d streams x %d ops/phase, "
+                "scale=%s, jobs=%d\n\n",
+                np, base.clientStreams, base.opsPerStream,
+                flags.get("scale", "small").c_str(), jobs);
+    TextTable t({"protocol", "shards", "theta", "phase", "requests",
+                 "puts", "p50(us)", "p90(us)", "p99(us)", "p999(us)",
+                 "max(us)", "contended", "hot shard"});
+    int bad_aux = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ExpResult& r = results[i];
+        if (r.appResult.aux != 0.0) {
+            std::fprintf(stderr,
+                         "WARNING: %s shards=%d theta=%.2f: %g GET "
+                         "verification failures\n",
+                         protocolName(r.protocol), cells[i].shards,
+                         cells[i].theta, r.appResult.aux);
+            ++bad_aux;
+        }
+        for (const PhaseServiceStats& ph : r.stats.service.phases) {
+            const LatencyHistogram& h = ph.latency;
+            std::uint64_t contended = 0, puts = 0;
+            std::size_t hot = 0;
+            for (std::size_t s = 0; s < ph.shards.size(); ++s) {
+                contended += ph.shards[s].contendedAcquires;
+                puts += ph.shards[s].writes;
+                if (ph.shards[s].requests > ph.shards[hot].requests)
+                    hot = s;
+            }
+            const double hot_share =
+                ph.requests() > 0
+                    ? 100.0 *
+                          static_cast<double>(ph.shards[hot].requests) /
+                          static_cast<double>(ph.requests())
+                    : 0.0;
+            t.addRow({protocolName(r.protocol),
+                      std::to_string(cells[i].shards),
+                      TextTable::num(cells[i].theta, 2), ph.name,
+                      TextTable::count(ph.requests()),
+                      TextTable::count(puts),
+                      TextTable::num(usOf(h.p50()), 1),
+                      TextTable::num(usOf(h.p90()), 1),
+                      TextTable::num(usOf(h.p99()), 1),
+                      TextTable::num(usOf(h.p999()), 1),
+                      TextTable::num(usOf(static_cast<Time>(h.max())), 1),
+                      TextTable::count(contended),
+                      strprintf("s%zu (%.0f%%)", hot, hot_share)});
+        }
+    }
+    t.print();
+
+    if (flags.has("json")) {
+        const std::string path = flags.get("json", "");
+        std::FILE* f =
+            path.empty() ? stdout : std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            mcdsm_fatal("cannot write '%s'", path.c_str());
+        writeJson(f, flags, np, jobs, cells, results);
+        if (f != stdout) {
+            std::fclose(f);
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+    maybeWriteTrace(flags, results);
+    return bad_aux == 0 ? 0 : 1;
+}

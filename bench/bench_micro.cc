@@ -435,14 +435,17 @@ main(int argc, char** argv)
             "simulator micro/throughput benchmarks; --grid runs whole "
             "simulations through the parallel engine, otherwise "
             "arguments go to the google-benchmark suite",
-            {{"grid", "run the whole-simulation throughput grid"},
-             {"json", "write the grid report to FILE (implies --grid)"},
+            {{"grid", "run the whole-simulation throughput grid",
+              FlagArg::None},
+             {"json", "write the grid report to FILE (implies --grid)",
+              FlagArg::Optional},
              {"repeat",
               "run the grid N times; report min (and median) host "
               "seconds per config"},
              {"no-pool",
               "disable the pooled memory subsystem (src/mem/) for "
-              "this run; simulated results are unchanged"},
+              "this run; simulated results are unchanged",
+              FlagArg::None},
              {"alloc-gate",
               "compare allocs-per-fault against the baseline grid "
               "JSON at FILE; exit 1 on >10% regression"},

@@ -147,10 +147,11 @@ main(int argc, char** argv)
         {{"scenarios",
           "comma-separated fault scenarios to sweep (src/fault/)"},
          {"magnitudes", "comma-separated scenario magnitudes"},
-         {"json", "write a machine-readable report to FILE"},
+         {"json", "write a machine-readable report to FILE",
+          FlagArg::Optional},
          {"check-null",
           "verify null-plan bit-equality and --jobs invariance, then "
-          "exit"},
+          "exit", FlagArg::None},
          kFlagApps, {"procs", "processor count (one value)"}, kFlagScale,
          kFlagSeed, kFlagJobs, kFlagFaultSeed, kFlagTraceOut});
 

@@ -4,6 +4,7 @@
 #include "apps/em3d.h"
 #include "apps/gauss.h"
 #include "apps/ilink.h"
+#include "apps/kv.h"
 #include "apps/lu.h"
 #include "apps/sor.h"
 #include "apps/tsp.h"
@@ -84,6 +85,11 @@ makeApp(const std::string& name, AppScale scale, std::uint64_t seed)
         if (large)
             return std::make_unique<BarnesApp>(16384, 3, seed);
         return std::make_unique<BarnesApp>(8192, 3, seed);
+    }
+    if (name == "kv") {
+        // Serving workload (not from the paper): sharded KV store
+        // with Zipfian open-loop traffic; see apps/kv.h.
+        return std::make_unique<KvApp>(KvConfig::preset(scale), seed);
     }
     mcdsm_fatal("unknown application '%s'", name.c_str());
 }

@@ -1,0 +1,311 @@
+#include "apps/kv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "sim/rng.h"
+#include "sim/zipf.h"
+
+namespace mcdsm {
+
+namespace {
+
+/// SplitMix64 finalizer: the payload-word hash for self-verification.
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Knuth multiplicative hash, used as a rank -> key bijection modulo
+/// the key space so the Zipf-hot ranks spread across shards instead of
+/// all landing in shard 0.
+constexpr std::uint64_t kRankSpread = 2654435761ULL;
+
+/// Exponential inter-arrival gap (ns), at least one tick so the
+/// open-loop schedule strictly advances.
+Time
+expGap(Rng& rng, Time mean)
+{
+    const double u = rng.nextDouble(); // in [0, 1)
+    const double g = -static_cast<double>(mean) * std::log1p(-u);
+    return std::max<Time>(1, static_cast<Time>(g));
+}
+
+} // namespace
+
+KvConfig
+KvConfig::preset(AppScale scale)
+{
+    KvConfig cfg;
+    switch (scale) {
+      case AppScale::Tiny:
+        cfg.shards = 4;
+        cfg.keysPerShard = 64;
+        cfg.valueWords = 4;
+        cfg.clientStreams = 8;
+        cfg.opsPerStream = 30;
+        cfg.meanInterArrival = 100 * kMicrosecond;
+        break;
+      case AppScale::Small:
+        cfg.shards = 16;
+        cfg.keysPerShard = 512;
+        cfg.valueWords = 8;
+        cfg.clientStreams = 32;
+        cfg.opsPerStream = 200;
+        cfg.meanInterArrival = 80 * kMicrosecond;
+        break;
+      case AppScale::Large:
+        cfg.shards = 64;
+        cfg.keysPerShard = 2048;
+        cfg.valueWords = 8;
+        cfg.clientStreams = 64;
+        cfg.opsPerStream = 800;
+        cfg.meanInterArrival = 60 * kMicrosecond;
+        break;
+    }
+    return cfg;
+}
+
+KvApp::KvApp(const KvConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed)
+{
+    mcdsm_assert(cfg_.shards > 0, "kv: need at least one shard");
+    mcdsm_assert(cfg_.keysPerShard > 0, "kv: need at least one key");
+    mcdsm_assert(cfg_.valueWords >= 2 &&
+                     cfg_.valueWords <= kMaxValueWords,
+                 "kv: valueWords must be in [2, %d]", kMaxValueWords);
+    mcdsm_assert(cfg_.clientStreams > 0, "kv: need a client stream");
+    mcdsm_assert(cfg_.opsPerStream > 0, "kv: need ops per stream");
+    mcdsm_assert(!cfg_.phases.empty(), "kv: need a traffic phase");
+    for (const KvPhaseSpec& ph : cfg_.phases)
+        mcdsm_assert(ph.readPercent >= 0 && ph.readPercent <= 100,
+                     "kv: readPercent out of range in phase '%s'",
+                     ph.name.c_str());
+}
+
+std::uint64_t
+KvApp::expectedWord(std::uint32_t gkey, int j, std::int64_t c)
+{
+    return mix64(static_cast<std::uint64_t>(gkey) * kMaxValueWords +
+                 static_cast<std::uint64_t>(j)) ^
+           static_cast<std::uint64_t>(c);
+}
+
+std::string
+KvApp::problemDesc() const
+{
+    return strprintf("%dx%u keys, %d streams, theta=%.2f", cfg_.shards,
+                     cfg_.keysPerShard, cfg_.clientStreams,
+                     cfg_.zipfTheta);
+}
+
+std::size_t
+KvApp::sharedBytes() const
+{
+    const std::size_t per_shard =
+        (static_cast<std::size_t>(cfg_.keysPerShard) * cfg_.valueWords *
+             sizeof(std::int64_t) +
+         kPageSize - 1) &
+        ~(kPageSize - 1);
+    return static_cast<std::size_t>(cfg_.shards) * per_shard + kPageSize;
+}
+
+void
+KvApp::configure(DsmSystem& sys)
+{
+    const int np = sys.cfg().topo.nprocs;
+    mcdsm_assert(cfg_.shards <= sys.cfg().numLocks,
+                 "kv: %d shards need %d locks (have %d)", cfg_.shards,
+                 cfg_.shards, sys.cfg().numLocks);
+    mcdsm_assert(static_cast<int>(cfg_.phases.size()) + 3 <=
+                     sys.cfg().numBarriers,
+                 "kv: too many phases for %d barriers",
+                 sys.cfg().numBarriers);
+
+    const std::size_t words =
+        static_cast<std::size_t>(cfg_.keysPerShard) * cfg_.valueWords;
+    shardData_.clear();
+    shardData_.reserve(cfg_.shards);
+    for (int s = 0; s < cfg_.shards; ++s) {
+        // One page-aligned region per shard: cross-shard traffic never
+        // false-shares a page.
+        auto arr = SharedArray<std::int64_t>::allocate(sys, words);
+        for (std::uint32_t k = 0; k < cfg_.keysPerShard; ++k) {
+            const std::uint32_t gkey = s * cfg_.keysPerShard + k;
+            const std::size_t o =
+                static_cast<std::size_t>(k) * cfg_.valueWords;
+            arr.init(sys, o, 0); // version count starts at 0
+            for (int j = 1; j < cfg_.valueWords; ++j)
+                arr.init(sys, o + j,
+                         static_cast<std::int64_t>(
+                             expectedWord(gkey, j, 0)));
+        }
+        shardData_.push_back(arr);
+    }
+    errs_ = SharedArray<std::int64_t>::allocate(sys, np);
+    for (int i = 0; i < np; ++i)
+        errs_.init(sys, i, 0);
+
+    std::vector<std::string> names;
+    names.reserve(cfg_.phases.size());
+    for (const KvPhaseSpec& ph : cfg_.phases)
+        names.push_back(ph.name);
+    sys.declareServicePhases(names, cfg_.shards, cfg_.keysPerShard);
+}
+
+void
+KvApp::worker(Proc& p)
+{
+    const int np = p.nprocs();
+    const int id = p.id();
+    const int nphases = static_cast<int>(cfg_.phases.size());
+    const std::uint32_t total = cfg_.totalKeys();
+    const int W = cfg_.valueWords;
+
+    // Streams are dealt round-robin; every processor derives the full
+    // split sequence so stream s gets the same generator no matter
+    // which processor serves it.
+    Rng root(seed_ ^ 0x6b765f73746f7265ULL); // "kv_store"
+    struct Stream
+    {
+        int sid = 0;
+        Rng rng{0};
+        // Per-phase generators, rebuilt at each phase entry.
+        Rng arrival{0};
+        Rng op{0};
+        std::unique_ptr<ZipfGenerator> zipf;
+        Time next = 0;
+        int done = 0;
+    };
+    std::vector<Stream> mine;
+    for (int s = 0; s < cfg_.clientStreams; ++s) {
+        Rng r = root.split();
+        if (s % np == id) {
+            Stream st;
+            st.sid = s;
+            st.rng = r;
+            mine.push_back(std::move(st));
+        }
+    }
+
+    std::int64_t buf[kMaxValueWords];
+    std::int64_t violations = 0;
+
+    for (int ph = 0; ph < nphases; ++ph) {
+        const KvPhaseSpec& spec = cfg_.phases[ph];
+        p.barrier(ph);
+
+        // Working-set churn: rotate the hot ranks every block of ops.
+        const int churn_every =
+            std::max(1, cfg_.opsPerStream / 8);
+
+        const Time start = p.now();
+        for (Stream& st : mine) {
+            st.arrival = st.rng.split();
+            Rng zipf_rng = st.rng.split();
+            st.op = st.rng.split();
+            st.zipf = std::make_unique<ZipfGenerator>(
+                total, cfg_.zipfTheta, zipf_rng);
+            st.next = start + expGap(st.arrival, cfg_.meanInterArrival);
+            st.done = 0;
+        }
+
+        int remaining =
+            static_cast<int>(mine.size()) * cfg_.opsPerStream;
+        while (remaining > 0) {
+            p.pollPoint();
+            // Serve the owned stream whose next request arrives first
+            // (ties broken by stream id, so the order is well defined).
+            Stream* st = nullptr;
+            for (Stream& c : mine) {
+                if (c.done < cfg_.opsPerStream &&
+                    (st == nullptr || c.next < st->next))
+                    st = &c;
+            }
+            if (p.now() < st->next)
+                p.compute(st->next - p.now());
+
+            const std::uint64_t rank = st->zipf->next();
+            std::uint32_t gkey = static_cast<std::uint32_t>(
+                (rank * kRankSpread) % total);
+            if (spec.churn)
+                gkey = static_cast<std::uint32_t>(
+                    (gkey + static_cast<std::uint32_t>(
+                                st->done / churn_every) *
+                                97u) %
+                    total);
+            const int shard = gkey / cfg_.keysPerShard;
+            const std::uint32_t key = gkey % cfg_.keysPerShard;
+            const std::size_t off =
+                static_cast<std::size_t>(key) * W;
+            const bool is_put =
+                static_cast<int>(st->op.nextBounded(100)) >=
+                spec.readPercent;
+
+            const Time t0 = p.now();
+            p.acquire(shard);
+            const Time lock_wait = p.now() - t0;
+
+            if (is_put) {
+                const std::int64_t c =
+                    shardData_[shard].get(p, off) + 1;
+                buf[0] = c;
+                for (int j = 1; j < W; ++j)
+                    buf[j] = static_cast<std::int64_t>(
+                        expectedWord(gkey, j, c));
+                shardData_[shard].setRange(p, off, buf, W);
+            } else {
+                shardData_[shard].getRange(p, off, buf, W);
+                const std::int64_t c = buf[0];
+                for (int j = 1; j < W; ++j) {
+                    if (static_cast<std::uint64_t>(buf[j]) !=
+                        expectedWord(gkey, j, c))
+                        ++violations;
+                }
+            }
+            p.computeOps(150 + 12 * W);
+            p.release(shard);
+
+            p.recordRequest(ph, shard, key, is_put,
+                            p.now() - st->next, lock_wait,
+                            lock_wait > cfg_.contendedWait);
+            st->next += expGap(st->arrival, cfg_.meanInterArrival);
+            st->done += 1;
+            remaining -= 1;
+        }
+    }
+
+    p.barrier(nphases);
+    errs_.set(p, id, violations);
+    p.barrier(nphases + 1);
+
+    if (id == 0) {
+        // Protocol-invariant checksum: PUT counts are fixed by the
+        // client streams, so sum(version * weight(key)) must match
+        // across protocols, processor counts and schedules.
+        double sum = 0;
+        for (int s = 0; s < cfg_.shards; ++s) {
+            for (std::uint32_t k = 0; k < cfg_.keysPerShard; ++k) {
+                p.pollPoint();
+                const std::uint32_t gkey = s * cfg_.keysPerShard + k;
+                const std::int64_t c = shardData_[s].get(
+                    p, static_cast<std::size_t>(k) * W);
+                const double weight =
+                    static_cast<double>(mix64(gkey) % 4096 + 1);
+                sum += static_cast<double>(c) * weight;
+            }
+        }
+        double errsum = 0;
+        for (int i = 0; i < np; ++i)
+            errsum += static_cast<double>(errs_.get(p, i));
+        result_.checksum = sum;
+        result_.aux = errsum; // GET verification failures; must be 0
+    }
+    p.barrier(nphases + 2);
+}
+
+} // namespace mcdsm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * KvApp — a sharded key-value / parameter-server workload over the
+ * DSM primitives: the repo's ninth application class and its first
+ * serving-shaped (rather than SPLASH-shaped) benchmark.
+ *
+ * N shards each own a page-aligned SharedArray region and a protocol
+ * lock. Traffic comes from a fixed population of logical client
+ * streams — each a private, seeded sequence of Zipf-skewed requests
+ * with exponential open-loop arrivals — dealt round-robin to the
+ * processors, which serve their streams in arrival order through
+ * read-heavy, write-heavy and mixed-churn phases. Request latency
+ * (completion minus scheduled arrival, so queueing delay counts) and
+ * per-shard hot-key contention flow into RunStats::service via
+ * Proc::recordRequest.
+ *
+ * PUTs are commutative (a per-key version counter plus words derived
+ * from it), so the final store state — and therefore the verification
+ * checksum — depends only on *how many* PUTs hit each key, which the
+ * client streams fix up front: the checksum is bit-identical across
+ * protocol variants, processor counts, schedules and job counts,
+ * while GETs verify coherence on every read (any lost update or torn
+ * value shows up in AppResult::aux, which must be 0).
+ */
+
+#ifndef MCDSM_APPS_KV_H
+#define MCDSM_APPS_KV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace mcdsm {
+
+/** One traffic phase of the serving workload. */
+struct KvPhaseSpec
+{
+    std::string name;
+    /** Percentage of requests that are GETs (rest are PUTs). */
+    int readPercent = 95;
+    /** Rotate the hot key set through the phase (working-set churn). */
+    bool churn = false;
+};
+
+/** Workload shape; KvConfig::preset gives the standard scales. */
+struct KvConfig
+{
+    int shards = 8;
+    std::uint32_t keysPerShard = 256;
+    /** 8-byte words per value (>= 2: one version word + payload). */
+    int valueWords = 8;
+    /**
+     * Logical client streams. The request population is a function of
+     * (streams, opsPerStream, seed) alone — streams are dealt to
+     * processors round-robin, so the stream contents (and hence the
+     * checksum) do not change with the processor count.
+     */
+    int clientStreams = 32;
+    /** Requests per client stream per phase. */
+    int opsPerStream = 200;
+    /** Zipf skew over the key space (0 = uniform). */
+    double zipfTheta = 0.9;
+    /** Mean open-loop inter-arrival time per client processor. */
+    Time meanInterArrival = 100 * kMicrosecond;
+    /** Shard-lock waits above this count as contended acquires. */
+    Time contendedWait = 100 * kMicrosecond;
+    std::vector<KvPhaseSpec> phases = {
+        {"read_heavy", 95, false},
+        {"write_heavy", 10, false},
+        {"mixed_churn", 50, true},
+    };
+
+    std::uint32_t
+    totalKeys() const
+    {
+        return static_cast<std::uint32_t>(shards) * keysPerShard;
+    }
+
+    static KvConfig preset(AppScale scale);
+};
+
+class KvApp : public App
+{
+  public:
+    static constexpr int kMaxValueWords = 64;
+
+    KvApp(const KvConfig& cfg, std::uint64_t seed);
+
+    const char* name() const override { return "kv"; }
+    std::string problemDesc() const override;
+    std::size_t sharedBytes() const override;
+    void configure(DsmSystem& sys) override;
+    void worker(Proc& p) override;
+
+    const KvConfig& config() const { return cfg_; }
+
+  private:
+    /** Expected payload word @p j of a key whose version count is c. */
+    static std::uint64_t expectedWord(std::uint32_t gkey, int j,
+                                      std::int64_t c);
+
+    KvConfig cfg_;
+    std::uint64_t seed_;
+
+    /** One page-aligned value region per shard (keys x valueWords). */
+    std::vector<SharedArray<std::int64_t>> shardData_;
+    /** Per-processor GET-verification failure counts. */
+    SharedArray<std::int64_t> errs_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_APPS_KV_H

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * HDR-style log-bucketed latency histogram.
+ *
+ * Serving workloads (src/apps/kv.*) report request-latency tails;
+ * storing every sample would dominate RunStats, so samples land in
+ * logarithmic buckets with a fixed number of linear sub-buckets per
+ * octave. Values below kSubBuckets are recorded exactly; above that
+ * the relative quantization error is bounded by 1/kSubBuckets
+ * (= 1/32, ~3.1%). Everything is integer arithmetic on fixed
+ * geometry, so histograms — like all simulated statistics — are
+ * bit-identical across hosts and job counts.
+ */
+
+#ifndef MCDSM_COMMON_HISTOGRAM_H
+#define MCDSM_COMMON_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mcdsm {
+
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per octave (power of two). */
+    static constexpr std::uint64_t kSubBuckets = 32;
+    static constexpr int kSubBucketBits = 5; // log2(kSubBuckets)
+    /** Bucket count covering the full uint64 range. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets * (64 - kSubBucketBits + 1);
+
+    /** Bucket index of @p v. Exact for v < kSubBuckets. */
+    static constexpr std::size_t
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::size_t>(v);
+        const int msb = 63 - std::countl_zero(v);
+        const int shift = msb - kSubBucketBits;
+        // v >> shift is in [kSubBuckets, 2*kSubBuckets).
+        return static_cast<std::size_t>(shift + 1) * kSubBuckets +
+               static_cast<std::size_t>((v >> shift) - kSubBuckets);
+    }
+
+    /** Smallest value mapping to bucket @p i. */
+    static constexpr std::uint64_t
+    bucketLow(std::size_t i)
+    {
+        if (i < 2 * kSubBuckets)
+            return static_cast<std::uint64_t>(i);
+        const std::size_t block = i / kSubBuckets; // >= 2
+        const std::uint64_t sub = kSubBuckets + i % kSubBuckets;
+        return sub << (block - 1);
+    }
+
+    /** Largest value mapping to bucket @p i. */
+    static constexpr std::uint64_t
+    bucketHigh(std::size_t i)
+    {
+        if (i < 2 * kSubBuckets)
+            return static_cast<std::uint64_t>(i);
+        const std::size_t block = i / kSubBuckets;
+        return bucketLow(i) + (std::uint64_t{1} << (block - 1)) - 1;
+    }
+
+    void
+    record(std::uint64_t v, std::uint64_t n = 1)
+    {
+        if (n == 0)
+            return;
+        counts_[bucketIndex(v)] += n;
+        total_ += n;
+        sum_ += v * n;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    merge(const LatencyHistogram& o)
+    {
+        if (o.total_ == 0)
+            return;
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            counts_[i] += o.counts_[i];
+        total_ += o.total_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t min() const { return total_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1]: the highest value equivalent
+     * (within bucket resolution) to the sample of rank ceil(q*count),
+     * clamped to the recorded extremes so percentile(0) == min() and
+     * percentile(1) == max() exactly.
+     */
+    std::uint64_t
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return 0;
+        std::uint64_t rank =
+            static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        if (static_cast<double>(rank) < q * static_cast<double>(total_))
+            ++rank; // ceil
+        rank = std::clamp<std::uint64_t>(rank, 1, total_);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += counts_[i];
+            if (seen >= rank)
+                return std::clamp(bucketHigh(i), min_, max_);
+        }
+        return max_;
+    }
+
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p90() const { return percentile(0.90); }
+    std::uint64_t p99() const { return percentile(0.99); }
+    std::uint64_t p999() const { return percentile(0.999); }
+
+    bool
+    operator==(const LatencyHistogram& o) const
+    {
+        return total_ == o.total_ && sum_ == o.sum_ && min_ == o.min_ &&
+               max_ == o.max_ && counts_ == o.counts_;
+    }
+
+    bool operator!=(const LatencyHistogram& o) const { return !(*this == o); }
+
+    /** Count in bucket @p i (tests poke at the geometry). */
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_COMMON_HISTOGRAM_H

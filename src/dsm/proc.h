@@ -125,6 +125,21 @@ class Proc
     /** Charge @p ops simple operations (≈1 cycle each at 233 MHz). */
     void computeOps(std::int64_t ops) { rt_.computeOps(ctx_, ops); }
 
+    /**
+     * Report one completed serving request (see
+     * DsmSystem::declareServicePhases): latency = completion minus
+     * open-loop arrival time, @p lock_wait the time spent in the
+     * shard-lock acquire, @p contended whether the app attributes
+     * that wait to queueing behind another holder.
+     */
+    void
+    recordRequest(int phase, int shard, std::uint32_t key, bool write,
+                  Time latency, Time lock_wait, bool contended)
+    {
+        rt_.recordRequest(ctx_, phase, shard, key, write, latency,
+                          lock_wait, contended);
+    }
+
     /** Access to the runtime (examples / tests may want statistics). */
     DsmRuntime& runtime() { return rt_; }
     ProcCtx& ctx() { return ctx_; }

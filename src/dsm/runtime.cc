@@ -516,6 +516,58 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
 }
 
 void
+DsmRuntime::declareServicePhases(const std::vector<std::string>& names,
+                                 int shards,
+                                 std::uint32_t keys_per_shard)
+{
+    mcdsm_assert(!ran_, "declare service phases before run()");
+    mcdsm_assert(shards > 0, "serving workload needs >= 1 shard");
+    service_.clear();
+    service_.reserve(names.size());
+    for (const auto& name : names) {
+        ServicePhaseAccum ph;
+        ph.stats.name = name;
+        ph.stats.shards.assign(static_cast<std::size_t>(shards),
+                               ShardStats{});
+        ph.keyCounts.assign(
+            static_cast<std::size_t>(shards),
+            std::vector<std::uint32_t>(keys_per_shard, 0));
+        service_.push_back(std::move(ph));
+    }
+}
+
+void
+DsmRuntime::recordRequest(ProcCtx& ctx, int phase, int shard,
+                          std::uint32_t key, bool write, Time latency,
+                          Time lock_wait, bool contended)
+{
+    mcdsm_assert(phase >= 0 &&
+                     phase < static_cast<int>(service_.size()),
+                 "recordRequest: phase %d not declared", phase);
+    ServicePhaseAccum& ph = service_[phase];
+    mcdsm_assert(shard >= 0 &&
+                     shard < static_cast<int>(ph.stats.shards.size()),
+                 "recordRequest: bad shard %d", shard);
+    mcdsm_assert(key < ph.keyCounts[shard].size(),
+                 "recordRequest: bad key %u", key);
+    ph.stats.latency.record(
+        latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
+    ShardStats& ss = ph.stats.shards[shard];
+    ss.requests += 1;
+    if (write)
+        ss.writes += 1;
+    else
+        ss.reads += 1;
+    if (contended)
+        ss.contendedAcquires += 1;
+    ss.lockWait += lock_wait;
+    ph.keyCounts[shard][key] += 1;
+    trace_.record(sched_.now(), ctx.id, TraceKind::KvRequest,
+                  latency > 0 ? static_cast<std::uint64_t>(latency) : 0,
+                  shard);
+}
+
+void
 DsmRuntime::collectStats()
 {
     stats_.procs.clear();
@@ -549,6 +601,28 @@ DsmRuntime::collectStats()
     stats_.messages = mail_->totalMessages();
     stats_.racesDetected = checker_ ? checker_->raceCount() : 0;
     stats_.mem = prof_.stats();
+
+    // Serving statistics: reduce the per-key hit tables to each
+    // shard's hottest key, then hand the phases to RunStats.
+    stats_.service.phases.clear();
+    for (ServicePhaseAccum& ph : service_) {
+        for (std::size_t s = 0; s < ph.stats.shards.size(); ++s) {
+            const auto& keys = ph.keyCounts[s];
+            std::uint32_t hot = 0;
+            std::uint32_t hot_n = 0;
+            for (std::uint32_t k = 0;
+                 k < static_cast<std::uint32_t>(keys.size()); ++k) {
+                if (keys[k] > hot_n) {
+                    hot_n = keys[k];
+                    hot = k;
+                }
+            }
+            ph.stats.shards[s].hotKey = hot;
+            ph.stats.shards[s].hotKeyRequests = hot_n;
+        }
+        stats_.service.phases.push_back(std::move(ph.stats));
+    }
+    service_.clear();
 }
 
 } // namespace mcdsm

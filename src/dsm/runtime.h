@@ -371,6 +371,26 @@ class DsmRuntime
     /** Host-side allocation counters (never affect simulated state). */
     AllocProfiler& memProf() { return prof_; }
 
+    // ---- request-serving statistics (serving apps) ---------------------
+    /**
+     * Declare the traffic phases of a serving workload (host side,
+     * before run()). Pre-sizes the per-phase histograms, per-shard
+     * counters and per-key hit tables that Proc::recordRequest fills.
+     */
+    void declareServicePhases(const std::vector<std::string>& names,
+                              int shards, std::uint32_t keys_per_shard);
+
+    /**
+     * Record one completed request. @p latency is completion time
+     * minus the open-loop arrival time; @p lock_wait the time spent
+     * acquiring the shard lock (@p contended marks waits the app
+     * considers queueing rather than base protocol cost). Free when
+     * no phases were declared.
+     */
+    void recordRequest(ProcCtx& ctx, int phase, int shard,
+                       std::uint32_t key, bool write, Time latency,
+                       Time lock_wait, bool contended);
+
     /** Number of workers that have not finished yet. */
     int activeWorkers() const { return active_workers_; }
 
@@ -512,6 +532,15 @@ class DsmRuntime
     bool ran_ = false;
     RunStats stats_;
     TraceRing trace_;
+
+    /** Serving-phase accumulators (empty unless declared). */
+    struct ServicePhaseAccum
+    {
+        PhaseServiceStats stats;
+        /** keyCounts[shard][key]: requests per key, for hot keys. */
+        std::vector<std::vector<std::uint32_t>> keyCounts;
+    };
+    std::vector<ServicePhaseAccum> service_;
 };
 
 } // namespace mcdsm

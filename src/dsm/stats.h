@@ -9,8 +9,10 @@
 #define MCDSM_DSM_STATS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/types.h"
 #include "mem/alloc_profiler.h"
 
@@ -85,6 +87,121 @@ struct NodeStats
     std::uint64_t requestsServiced = 0;
 };
 
+/**
+ * Per-shard counters of a serving workload (src/apps/kv.*). Requests
+ * name a shard and a key within it; the runtime tracks per-key hit
+ * counts while the run executes and reduces them to the hottest key
+ * here, so hot-key contention is reported without shipping the whole
+ * key-frequency table in RunStats.
+ */
+struct ShardStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** Shard-lock acquires that waited (wait above the app's bar). */
+    std::uint64_t contendedAcquires = 0;
+    /** Total virtual time spent acquiring the shard lock. */
+    Time lockWait = 0;
+    /** Most-requested key of the shard and its request count. */
+    std::uint32_t hotKey = 0;
+    std::uint64_t hotKeyRequests = 0;
+
+    bool
+    operator==(const ShardStats& o) const
+    {
+        return requests == o.requests && reads == o.reads &&
+               writes == o.writes &&
+               contendedAcquires == o.contendedAcquires &&
+               lockWait == o.lockWait && hotKey == o.hotKey &&
+               hotKeyRequests == o.hotKeyRequests;
+    }
+    bool operator!=(const ShardStats& o) const { return !(*this == o); }
+};
+
+/** One traffic phase (read-heavy, write-heavy, ...) of a serving run. */
+struct PhaseServiceStats
+{
+    std::string name;
+    /** Per-request latency (ns): completion minus open-loop arrival. */
+    LatencyHistogram latency;
+    std::vector<ShardStats> shards;
+
+    std::uint64_t
+    requests() const
+    {
+        return latency.count();
+    }
+
+    bool
+    operator==(const PhaseServiceStats& o) const
+    {
+        return name == o.name && latency == o.latency &&
+               shards == o.shards;
+    }
+    bool
+    operator!=(const PhaseServiceStats& o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Request-serving statistics, empty unless the application declared
+ * service phases (DsmSystem::declareServicePhases) and recorded
+ * requests (Proc::recordRequest). Like every simulated quantity these
+ * are bit-identical for any --jobs value and reproducible from
+ * (plan, seed).
+ */
+struct ServiceStats
+{
+    std::vector<PhaseServiceStats> phases;
+
+    bool enabled() const { return !phases.empty(); }
+
+    bool operator==(const ServiceStats& o) const
+    {
+        return phases == o.phases;
+    }
+    bool operator!=(const ServiceStats& o) const { return !(*this == o); }
+
+    /** All phases merged into one histogram. */
+    LatencyHistogram
+    overallLatency() const
+    {
+        LatencyHistogram h;
+        for (const auto& ph : phases)
+            h.merge(ph.latency);
+        return h;
+    }
+
+    /** Per-shard counters summed across phases. */
+    std::vector<ShardStats>
+    overallShards() const
+    {
+        std::vector<ShardStats> out;
+        for (const auto& ph : phases) {
+            if (out.size() < ph.shards.size())
+                out.resize(ph.shards.size());
+            for (std::size_t s = 0; s < ph.shards.size(); ++s) {
+                const ShardStats& x = ph.shards[s];
+                out[s].requests += x.requests;
+                out[s].reads += x.reads;
+                out[s].writes += x.writes;
+                out[s].contendedAcquires += x.contendedAcquires;
+                out[s].lockWait += x.lockWait;
+                // The per-phase hot key is phase-local; report the
+                // hottest single (phase, key) spike across the run.
+                if (x.hotKeyRequests > out[s].hotKeyRequests) {
+                    out[s].hotKeyRequests = x.hotKeyRequests;
+                    out[s].hotKey = x.hotKey;
+                }
+            }
+        }
+        return out;
+    }
+};
+
 struct RunStats
 {
     std::vector<ProcStats> procs;
@@ -107,6 +224,14 @@ struct RunStats
      * detailed reports via DsmRuntime::raceChecker()).
      */
     std::uint64_t racesDetected = 0;
+
+    /**
+     * Request-serving statistics (empty for the HPC-style apps).
+     * Filled from Proc::recordRequest by the KV/parameter-server
+     * workload; reports per-phase latency percentiles and per-shard
+     * hot-key contention.
+     */
+    ServiceStats service;
 
     /**
      * Host-side allocation counters (src/mem/). Unlike every other

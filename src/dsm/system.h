@@ -73,6 +73,20 @@ class DsmSystem
         return rt_->hostLoad<T>(a);
     }
 
+    /**
+     * Declare the traffic phases of a serving workload (host side,
+     * before run); see DsmRuntime::declareServicePhases. Workers then
+     * report completed requests through Proc::recordRequest and the
+     * run's RunStats::service carries per-phase latency percentiles
+     * and per-shard hot-key contention.
+     */
+    void
+    declareServicePhases(const std::vector<std::string>& names,
+                         int shards, std::uint32_t keys_per_shard)
+    {
+        rt_->declareServicePhases(names, shards, keys_per_shard);
+    }
+
     // ---- execution ----------------------------------------------------------
     /** Run the parallel section (once per system). */
     void

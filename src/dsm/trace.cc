@@ -18,6 +18,7 @@ traceKindName(TraceKind k)
       case TraceKind::FlagWait: return "flag_wait";
       case TraceKind::MessageSend: return "message_send";
       case TraceKind::RequestService: return "request_service";
+      case TraceKind::KvRequest: return "kv_request";
     }
     return "?";
 }

@@ -30,6 +30,8 @@ enum class TraceKind : std::uint8_t {
     FlagWait,
     MessageSend,
     RequestService,
+    /** Completed serving request: arg = latency (ns), peer = shard. */
+    KvRequest,
 };
 
 const char* traceKindName(TraceKind k);

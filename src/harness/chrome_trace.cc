@@ -60,6 +60,26 @@ emitRun(std::string& out, const ExpResult& r, int pid)
     counter("pool hits",
             [](const MemSiteStats& s) { return s.poolHits; });
 
+    // Serving workloads: one percentile-summary counter per traffic
+    // phase (p50/p90/p99/p999 in µs), so the tail story is visible
+    // next to the timeline; individual completions stream as samples
+    // below (TraceKind::KvRequest).
+    int phase_idx = 0;
+    for (const PhaseServiceStats& ph : r.stats.service.phases) {
+        const LatencyHistogram& h = ph.latency;
+        out += strprintf(
+            "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%d,"
+            "\"name\":\"kv phase %s latency us\","
+            "\"args\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,"
+            "\"p999\":%.3f,\"max\":%.3f}},\n",
+            pid, phase_idx++, ph.name.c_str(),
+            static_cast<double>(h.p50()) / 1000.0,
+            static_cast<double>(h.p90()) / 1000.0,
+            static_cast<double>(h.p99()) / 1000.0,
+            static_cast<double>(h.p999()) / 1000.0,
+            static_cast<double>(h.max()) / 1000.0);
+    }
+
     // Barrier episodes become duration slices; everything else is an
     // instant. A Leave whose Enter was overwritten in the ring is
     // downgraded to an instant so the B/E nesting stays balanced.
@@ -80,6 +100,18 @@ emitRun(std::string& out, const ExpResult& r, int pid)
                 out += strprintf("{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,"
                                  "\"ts\":%.3f},\n",
                                  pid, tid, us(e.time));
+                break;
+            }
+            [[fallthrough]];
+          case TraceKind::KvRequest:
+            if (e.kind == TraceKind::KvRequest) {
+                // Completion sample: latency counter keyed by shard.
+                out += strprintf(
+                    "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"kv request latency us\","
+                    "\"args\":{\"shard%d\":%.3f}},\n",
+                    pid, tid, us(e.time), e.peer,
+                    static_cast<double>(e.arg) / 1000.0);
                 break;
             }
             [[fallthrough]];

@@ -1,0 +1,141 @@
+#include "harness/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+/** Name part of a `--name[=value]` token ("" if not flag-shaped). */
+std::string
+flagName(const std::string& a)
+{
+    if (a.rfind("--", 0) != 0)
+        return "";
+    return a.substr(2, a.find('=') - 2);
+}
+
+} // namespace
+
+Flags::Flags(int argc, char** argv)
+{
+    if (argc > 0)
+        prog_ = argv[0];
+    for (int i = 1; i < argc; ++i)
+        args_.emplace_back(argv[i]);
+}
+
+Flags::Flags(std::vector<std::string> args, std::string prog)
+    : prog_(std::move(prog)), args_(std::move(args))
+{}
+
+std::string
+Flags::normalize(const std::vector<FlagInfo>& known)
+{
+    static const FlagInfo kHelp{"help", "show this message",
+                                FlagArg::None};
+    auto lookup = [&](const std::string& name) -> const FlagInfo* {
+        if (name == kHelp.name)
+            return &kHelp;
+        for (const FlagInfo& f : known) {
+            if (name == f.name)
+                return &f;
+        }
+        return nullptr;
+    };
+
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+        const std::string& a = args_[i];
+        const std::string name = flagName(a);
+        if (name.empty()) {
+            return strprintf("unexpected argument '%s' (flags are "
+                             "--name or --name=value; --help lists "
+                             "accepted flags)",
+                             a.c_str());
+        }
+        const FlagInfo* info = lookup(name);
+        if (info == nullptr) {
+            return strprintf("unknown argument '--%s' (--help lists "
+                             "accepted flags)",
+                             name.c_str());
+        }
+        if (a.find('=') != std::string::npos) {
+            out.push_back(a);
+            continue;
+        }
+        // Separated-value form: `--flag value`. A following token
+        // that is itself flag-shaped is never consumed as a value.
+        const bool next_is_value =
+            i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0;
+        switch (info->arg) {
+          case FlagArg::Required:
+            if (!next_is_value) {
+                return strprintf("missing value for '--%s' (expected "
+                                 "--%s=VALUE or --%s VALUE)",
+                                 name.c_str(), name.c_str(),
+                                 name.c_str());
+            }
+            out.push_back("--" + name + "=" + args_[++i]);
+            break;
+          case FlagArg::Optional:
+            if (next_is_value)
+                out.push_back("--" + name + "=" + args_[++i]);
+            else
+                out.push_back(a);
+            break;
+          case FlagArg::None:
+            out.push_back(a);
+            break;
+        }
+    }
+    args_ = std::move(out);
+    return "";
+}
+
+std::string
+Flags::get(const std::string& key, const std::string& def) const
+{
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+        if (a.rfind(prefix, 0) == 0)
+            return a.substr(prefix.size());
+    }
+    return def;
+}
+
+bool
+Flags::has(const std::string& key) const
+{
+    const std::string flag = "--" + key;
+    for (const auto& a : args_) {
+        if (a == flag || a.rfind(flag + "=", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+handleUsage(Flags& flags, const char* summary,
+            std::initializer_list<FlagInfo> known)
+{
+    if (flags.has("help")) {
+        std::printf("%s: %s\n\nFlags:\n", flags.prog().c_str(), summary);
+        for (const FlagInfo& f : known)
+            std::printf("  --%-14s %s\n", f.name, f.help);
+        std::printf("  --%-14s %s\n", "help", "show this message");
+        std::exit(0);
+    }
+    const std::string err =
+        flags.normalize(std::vector<FlagInfo>(known));
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", flags.prog().c_str(),
+                     err.c_str());
+        std::exit(2);
+    }
+}
+
+} // namespace mcdsm

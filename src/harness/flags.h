@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Command-line flag parsing shared by every bench binary.
+ *
+ * Historically each binary accepted only the `--flag=value` spelling
+ * while a few tolerated `--flag value`; the parser now normalizes
+ * both forms against the binary's declared flag list, so every
+ * spelling works everywhere and unknown flags, stray positionals and
+ * missing values are rejected uniformly (tests/test_flags.cc).
+ */
+
+#ifndef MCDSM_HARNESS_FLAGS_H
+#define MCDSM_HARNESS_FLAGS_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mcdsm {
+
+/** Whether a flag consumes a value. */
+enum class FlagArg {
+    None,     ///< boolean switch; never consumes the next token
+    Required, ///< must have a value (inline or as the next token)
+    Optional, ///< value taken when present (`--json` or `--json FILE`)
+};
+
+/** A flag a binary accepts, for --help and unknown-flag rejection. */
+struct FlagInfo
+{
+    const char* name;
+    const char* help;
+    FlagArg arg = FlagArg::Required;
+};
+
+/**
+ * Small flag parser. Construct from argv, then normalize() against
+ * the binary's flag list (handleUsage does this); lookups accept both
+ * `--key=value` and `--key value` spellings after normalization.
+ */
+class Flags
+{
+  public:
+    Flags(int argc, char** argv);
+
+    /** Test constructor: arguments without the program name. */
+    explicit Flags(std::vector<std::string> args,
+                   std::string prog = "test");
+
+    /**
+     * Validate the argument list against @p known and fold separated
+     * values (`--key value`) into the canonical `--key=value` form.
+     * `--help` is implicitly known. @return an error message, or ""
+     * on success. On error the argument list is left unchanged.
+     */
+    std::string normalize(const std::vector<FlagInfo>& known);
+
+    /** Value of --key (either spelling, post-normalize), or @p def. */
+    std::string get(const std::string& key, const std::string& def) const;
+
+    bool has(const std::string& key) const;
+
+    const std::string& prog() const { return prog_; }
+    const std::vector<std::string>& raw() const { return args_; }
+
+  private:
+    std::string prog_ = "bench";
+    std::vector<std::string> args_;
+};
+
+/**
+ * Uniform --help / unknown-flag handling: every bench binary calls
+ * this right after constructing Flags, passing the flags it honors.
+ * --help prints them and exits 0; normalization failure (unknown
+ * flag, positional argument, missing value) prints a message and
+ * exits 2.
+ */
+void handleUsage(Flags& flags, const char* summary,
+                 std::initializer_list<FlagInfo> known);
+
+} // namespace mcdsm
+
+#endif // MCDSM_HARNESS_FLAGS_H

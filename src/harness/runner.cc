@@ -54,7 +54,11 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
                  "unsupported configuration %s x %d",
                  protocolName(protocol), nprocs);
 
-    auto app = makeApp(app_name, opts.scale, opts.seed);
+    std::unique_ptr<App> app;
+    if (opts.kv && app_name == "kv")
+        app = std::make_unique<KvApp>(*opts.kv, opts.seed);
+    else
+        app = makeApp(app_name, opts.scale, opts.seed);
 
     DsmConfig cfg = opts.base.value_or(DsmConfig{});
     cfg.protocol = protocol;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "apps/kv.h"
 #include "dsm/system.h"
 #include "dsm/trace.h"
 #include "fault/fault_plan.h"
@@ -69,6 +70,14 @@ struct RunOpts
      * Host-side only: simulated results are identical either way.
      */
     bool memPool = BufferPool::enabledFromEnv();
+
+    /**
+     * Explicit KV workload shape; only consulted when the app is
+     * "kv", where it replaces the KvConfig::preset for the scale.
+     * Lets benchmarks sweep shard count / skew / phase mix without
+     * widening the makeApp signature.
+     */
+    std::optional<KvConfig> kv;
 };
 
 /**

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic Zipfian rank generator.
+ *
+ * Serving benchmarks draw keys from a Zipf(theta) distribution over n
+ * ranks: P(rank k) ∝ 1/(k+1)^theta, rank 0 hottest. Sampling is by
+ * inversion of the exact cumulative distribution (precomputed prefix
+ * sums, binary search), so the generator is driven by one uniform
+ * draw per sample from the simulation Rng — reproducible from the
+ * seed, and seed-splittable into per-processor streams with
+ * Rng::split like every other random input in the simulator.
+ */
+
+#ifndef MCDSM_SIM_ZIPF_H
+#define MCDSM_SIM_ZIPF_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/log.h"
+#include "sim/rng.h"
+
+namespace mcdsm {
+
+class ZipfGenerator
+{
+  public:
+    /**
+     * Distribution over ranks [0, n) with skew @p theta >= 0
+     * (theta = 0 is uniform; ~0.99 is the classic YCSB hot-spot).
+     */
+    ZipfGenerator(std::size_t n, double theta, Rng rng)
+        : rng_(rng), cdf_(n)
+    {
+        mcdsm_assert(n > 0, "ZipfGenerator needs at least one rank");
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+            cdf_[k] = sum;
+        }
+        for (std::size_t k = 0; k < n; ++k)
+            cdf_[k] /= sum;
+        cdf_.back() = 1.0; // guard against rounding
+    }
+
+    /** Next rank in [0, n). Advances the embedded Rng by one draw. */
+    std::size_t
+    next()
+    {
+        const double u = rng_.nextDouble();
+        return static_cast<std::size_t>(
+            std::upper_bound(cdf_.begin(), cdf_.end(), u) -
+            cdf_.begin());
+    }
+
+    std::size_t ranks() const { return cdf_.size(); }
+
+    /** Analytic P(rank <= k), for property tests. */
+    double
+    cdf(std::size_t k) const
+    {
+        return k < cdf_.size() ? cdf_[k] : 1.0;
+    }
+
+    /** Analytic P(rank == k). */
+    double
+    probability(std::size_t k) const
+    {
+        return cdf(k) - (k == 0 ? 0.0 : cdf(k - 1));
+    }
+
+  private:
+    Rng rng_;
+    std::vector<double> cdf_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_ZIPF_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the bench flag parser (harness/flags.h): both `--flag=v`
+ * and `--flag v` spellings must work for every flag, unknown flags
+ * and stray positionals are rejected, missing required values error,
+ * and optional/boolean flags never swallow a following flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/flags.h"
+
+namespace mcdsm {
+namespace {
+
+const std::vector<FlagInfo> kKnown = {
+    {"scale", "problem scale"},
+    {"procs", "processor counts"},
+    {"jobs", "worker threads"},
+    {"json", "report file", FlagArg::Optional},
+    {"grid", "run the grid", FlagArg::None},
+};
+
+TEST(Flags, EqualsAndSeparatedFormsAgree)
+{
+    Flags eq({"--scale=tiny", "--procs=4,8", "--jobs=3"});
+    Flags sep({"--scale", "tiny", "--procs", "4,8", "--jobs", "3"});
+    Flags mixed({"--scale", "tiny", "--procs=4,8", "--jobs", "3"});
+    for (Flags* f : {&eq, &sep, &mixed}) {
+        ASSERT_EQ(f->normalize(kKnown), "");
+        EXPECT_EQ(f->get("scale", ""), "tiny");
+        EXPECT_EQ(f->get("procs", ""), "4,8");
+        EXPECT_EQ(f->get("jobs", ""), "3");
+    }
+}
+
+TEST(Flags, DefaultsWhenAbsent)
+{
+    Flags f({"--scale=tiny"});
+    ASSERT_EQ(f.normalize(kKnown), "");
+    EXPECT_EQ(f.get("jobs", "7"), "7");
+    EXPECT_FALSE(f.has("jobs"));
+    EXPECT_TRUE(f.has("scale"));
+}
+
+TEST(Flags, UnknownFlagRejected)
+{
+    Flags f({"--scale=tiny", "--bogus=1"});
+    const std::string err = f.normalize(kKnown);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("--bogus"), std::string::npos);
+    // On error the argument list is unchanged (no partial rewrite).
+    EXPECT_EQ(f.raw().size(), 2u);
+    EXPECT_EQ(f.raw()[1], "--bogus=1");
+}
+
+TEST(Flags, UnknownSeparatedFlagRejected)
+{
+    Flags f({"--bogus", "value"});
+    EXPECT_NE(f.normalize(kKnown), "");
+}
+
+TEST(Flags, PositionalArgumentRejected)
+{
+    Flags f({"--scale=tiny", "stray"});
+    const std::string err = f.normalize(kKnown);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("stray"), std::string::npos);
+}
+
+TEST(Flags, MissingRequiredValueAtEnd)
+{
+    Flags f({"--scale"});
+    const std::string err = f.normalize(kKnown);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("--scale"), std::string::npos);
+}
+
+TEST(Flags, RequiredValueNeverTakenFromNextFlag)
+{
+    // `--scale --jobs 3`: --jobs must not become scale's value.
+    Flags f({"--scale", "--jobs", "3"});
+    EXPECT_NE(f.normalize(kKnown), "");
+}
+
+TEST(Flags, OptionalFlagWithAndWithoutValue)
+{
+    Flags bare({"--json"});
+    ASSERT_EQ(bare.normalize(kKnown), "");
+    EXPECT_TRUE(bare.has("json"));
+    EXPECT_EQ(bare.get("json", ""), "");
+
+    Flags with({"--json", "out.json"});
+    ASSERT_EQ(with.normalize(kKnown), "");
+    EXPECT_EQ(with.get("json", ""), "out.json");
+
+    Flags inl({"--json=out.json"});
+    ASSERT_EQ(inl.normalize(kKnown), "");
+    EXPECT_EQ(inl.get("json", ""), "out.json");
+
+    // A following flag is never consumed as the optional value.
+    Flags then_flag({"--json", "--grid"});
+    ASSERT_EQ(then_flag.normalize(kKnown), "");
+    EXPECT_EQ(then_flag.get("json", "def"), "def");
+    EXPECT_TRUE(then_flag.has("json"));
+    EXPECT_TRUE(then_flag.has("grid"));
+}
+
+TEST(Flags, BooleanFlagNeverConsumesValue)
+{
+    // `--grid --scale tiny` and `--grid` followed by nothing both
+    // parse; `--grid tiny` is a stray positional.
+    Flags ok({"--grid", "--scale", "tiny"});
+    ASSERT_EQ(ok.normalize(kKnown), "");
+    EXPECT_TRUE(ok.has("grid"));
+    EXPECT_EQ(ok.get("scale", ""), "tiny");
+
+    Flags bad({"--grid", "tiny"});
+    EXPECT_NE(bad.normalize(kKnown), "");
+}
+
+TEST(Flags, HelpIsImplicitlyKnown)
+{
+    Flags f({"--help"});
+    ASSERT_EQ(f.normalize(kKnown), "");
+    EXPECT_TRUE(f.has("help"));
+}
+
+TEST(Flags, EmptyArgumentsNormalize)
+{
+    Flags f(std::vector<std::string>{});
+    EXPECT_EQ(f.normalize(kKnown), "");
+    EXPECT_FALSE(f.has("scale"));
+}
+
+TEST(Flags, ValueMayContainEquals)
+{
+    Flags f({"--scale=a=b", "--procs", "c=d"});
+    ASSERT_EQ(f.normalize(kKnown), "");
+    EXPECT_EQ(f.get("scale", ""), "a=b");
+    EXPECT_EQ(f.get("procs", ""), "c=d");
+}
+
+} // namespace
+} // namespace mcdsm

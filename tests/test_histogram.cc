@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the HDR-style log-bucketed latency histogram
+ * (common/histogram.h): bucket geometry (contiguity, bounded relative
+ * error, exactness below kSubBuckets), percentiles against
+ * closed-form distributions (uniform, two-point, exponential),
+ * single-sample and empty edge cases, and merge/multiplicity
+ * equivalences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "sim/rng.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(HistogramGeometry, ExactBelowSubBuckets)
+{
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        const std::size_t i = LatencyHistogram::bucketIndex(v);
+        EXPECT_EQ(i, v);
+        EXPECT_EQ(LatencyHistogram::bucketLow(i), v);
+        EXPECT_EQ(LatencyHistogram::bucketHigh(i), v);
+    }
+}
+
+TEST(HistogramGeometry, ValueWithinItsBucket)
+{
+    // Boundary values around every interesting edge: sub-bucket end,
+    // powers of two, and large 64-bit values.
+    const std::uint64_t samples[] = {
+        0,    1,    31,       32,        33,        63,
+        64,   65,   127,      128,       1023,      1024,
+        4095, 4096, 1u << 20, (1u << 20) + 1, std::uint64_t{1} << 40,
+        (std::uint64_t{1} << 40) + 12345, ~std::uint64_t{0}};
+    for (std::uint64_t v : samples) {
+        const std::size_t i = LatencyHistogram::bucketIndex(v);
+        EXPECT_LE(LatencyHistogram::bucketLow(i), v) << "v=" << v;
+        EXPECT_GE(LatencyHistogram::bucketHigh(i), v) << "v=" << v;
+    }
+}
+
+TEST(HistogramGeometry, BucketsAreContiguous)
+{
+    // high(i) + 1 == low(i+1) over every bucket a 48-bit latency can
+    // reach: no gaps, no overlaps.
+    const std::size_t top =
+        LatencyHistogram::bucketIndex(std::uint64_t{1} << 48);
+    for (std::size_t i = 0; i < top; ++i) {
+        EXPECT_EQ(LatencyHistogram::bucketHigh(i) + 1,
+                  LatencyHistogram::bucketLow(i + 1))
+            << "bucket " << i;
+    }
+}
+
+TEST(HistogramGeometry, RelativeErrorBounded)
+{
+    // Above the exact range the bucket width must stay within
+    // low/kSubBuckets: the documented ~3.1% quantization bound.
+    const std::size_t top =
+        LatencyHistogram::bucketIndex(std::uint64_t{1} << 48);
+    for (std::size_t i = 2 * LatencyHistogram::kSubBuckets; i < top;
+         ++i) {
+        const std::uint64_t lo = LatencyHistogram::bucketLow(i);
+        const std::uint64_t width = LatencyHistogram::bucketHigh(i) - lo;
+        EXPECT_LE(width, lo / LatencyHistogram::kSubBuckets)
+            << "bucket " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EmptyHistogram)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(Histogram, SingleSampleAllPercentilesEqualIt)
+{
+    for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{17},
+                            std::uint64_t{100000},
+                            std::uint64_t{1} << 40}) {
+        LatencyHistogram h;
+        h.record(v);
+        EXPECT_EQ(h.count(), 1u);
+        EXPECT_EQ(h.min(), v);
+        EXPECT_EQ(h.max(), v);
+        EXPECT_EQ(h.mean(), static_cast<double>(v));
+        for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0})
+            EXPECT_EQ(h.percentile(q), v) << "q=" << q << " v=" << v;
+    }
+}
+
+TEST(Histogram, PercentileZeroAndOneHitExtremes)
+{
+    LatencyHistogram h;
+    h.record(3);
+    h.record(50000);
+    h.record(123456789);
+    EXPECT_EQ(h.percentile(0.0), h.min());
+    EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, BucketBoundarySamples)
+{
+    // Exactly on bucket edges: each must land in its own bucket and
+    // percentiles walk them in order.
+    LatencyHistogram h;
+    const std::uint64_t lo = LatencyHistogram::bucketLow(100);
+    const std::uint64_t hi = LatencyHistogram::bucketHigh(100);
+    h.record(lo);
+    h.record(hi);
+    h.record(hi + 1); // first value of bucket 101
+    EXPECT_EQ(h.bucketCount(100), 2u);
+    EXPECT_EQ(h.bucketCount(101), 1u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), lo);
+    EXPECT_EQ(h.max(), hi + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form distributions
+// ---------------------------------------------------------------------------
+
+/** |got - want| as a fraction of want. */
+double
+relErr(std::uint64_t got, double want)
+{
+    return std::abs(static_cast<double>(got) - want) / want;
+}
+
+TEST(HistogramPercentiles, UniformClosedForm)
+{
+    // 1..N once each: quantile q is q*N, up to bucket resolution.
+    const std::uint64_t n = 100000;
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= n; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), n);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), n);
+    // Bucket quantization bound is 1/32 (~3.1%); allow 3.2%.
+    EXPECT_LT(relErr(h.p50(), 0.50 * n), 0.032);
+    EXPECT_LT(relErr(h.p90(), 0.90 * n), 0.032);
+    EXPECT_LT(relErr(h.p99(), 0.99 * n), 0.032);
+    EXPECT_LT(relErr(h.p999(), 0.999 * n), 0.032);
+    EXPECT_LT(std::abs(h.mean() - (n + 1) / 2.0) / (n / 2.0), 1e-9);
+}
+
+TEST(HistogramPercentiles, TwoPointClosedForm)
+{
+    // 900 samples at 10, 100 at 1000: quantiles below 0.9 are exactly
+    // 10 (exact bucket), above it exactly 1000.
+    LatencyHistogram h;
+    h.record(10, 900);
+    h.record(1000, 100);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.p50(), 10u);
+    EXPECT_EQ(h.p90(), 10u);   // rank 900 is the last 10
+    EXPECT_EQ(h.p99(), 1000u); // rank 990 is a 1000 (max-clamped)
+    EXPECT_EQ(h.p999(), 1000u);
+    EXPECT_EQ(h.percentile(0.901), 1000u);
+    EXPECT_EQ(h.mean(), (900.0 * 10 + 100.0 * 1000) / 1000.0);
+}
+
+TEST(HistogramPercentiles, ExponentialClosedForm)
+{
+    // Exponential with mean m: quantile q is -m*ln(1-q).
+    const double mean = 10000.0;
+    const int n = 200000;
+    Rng rng(0x4157u);
+    LatencyHistogram h;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.nextDouble();
+        h.record(static_cast<std::uint64_t>(-mean * std::log1p(-u)));
+    }
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(n));
+    // 3.1% bucket error + sampling error at n=200k: 5% covers the
+    // body, 8% the extreme tail.
+    EXPECT_LT(relErr(h.p50(), mean * std::log(2.0)), 0.05);
+    EXPECT_LT(relErr(h.p90(), mean * std::log(10.0)), 0.05);
+    EXPECT_LT(relErr(h.p99(), mean * std::log(100.0)), 0.05);
+    EXPECT_LT(relErr(h.p999(), mean * std::log(1000.0)), 0.08);
+    EXPECT_LT(std::abs(h.mean() - mean) / mean, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Merge / multiplicity
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, MergeEqualsCombinedRecording)
+{
+    Rng rng(77);
+    LatencyHistogram a, b, all;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.nextBounded(1u << 20);
+        ((i % 2 == 0) ? a : b).record(v);
+        all.record(v);
+    }
+    LatencyHistogram merged = a;
+    merged.merge(b);
+    EXPECT_TRUE(merged == all);
+    EXPECT_EQ(merged.p99(), all.p99());
+
+    // Merging an empty histogram changes nothing.
+    LatencyHistogram empty;
+    merged.merge(empty);
+    EXPECT_TRUE(merged == all);
+    // Merging INTO an empty one copies.
+    empty.merge(all);
+    EXPECT_TRUE(empty == all);
+}
+
+TEST(Histogram, MultiplicityEqualsRepeatedRecords)
+{
+    LatencyHistogram a, b;
+    a.record(500, 37);
+    for (int i = 0; i < 37; ++i)
+        b.record(500);
+    EXPECT_TRUE(a == b);
+    a.record(500, 0); // n=0 is a no-op
+    EXPECT_TRUE(a == b);
+}
+
+} // namespace
+} // namespace mcdsm

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the sharded KV serving workload (src/apps/kv.*) and its
+ * ServiceStats plumbing:
+ *
+ *   1. The verification checksum matches the sequential reference for
+ *      all six protocol variants and is invariant in processor count;
+ *      GET self-verification (aux) reports zero failures everywhere.
+ *   2. Race-cleanliness matrix: the workload is race-free under the
+ *      vector-clock detector across variants and under
+ *      schedule-perturbation fuzzing.
+ *   3. --jobs invariance: bit-identical RunStats — including latency
+ *      histograms, percentiles and per-shard counters — between
+ *      jobs=1 and jobs=4.
+ *   4. ServiceStats sanity: per-phase request accounting, shard
+ *      totals, hot-key bounds and percentile ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "harness/pool.h"
+
+namespace mcdsm {
+namespace {
+
+constexpr ProtocolKind kVariants[] = {
+    ProtocolKind::CsmPp,     ProtocolKind::CsmInt,
+    ProtocolKind::CsmPoll,   ProtocolKind::TmkUdpInt,
+    ProtocolKind::TmkMcInt,  ProtocolKind::TmkMcPoll,
+};
+
+/** Small but non-trivial shape: all three phases, Zipf-hot keys. */
+KvConfig
+tinyKv()
+{
+    KvConfig cfg;
+    cfg.shards = 4;
+    cfg.keysPerShard = 32;
+    cfg.valueWords = 4;
+    cfg.clientStreams = 4;
+    cfg.opsPerStream = 25;
+    cfg.zipfTheta = 0.9;
+    cfg.meanInterArrival = 50 * kMicrosecond;
+    return cfg;
+}
+
+RunOpts
+kvOpts()
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    opts.kv = tinyKv();
+    return opts;
+}
+
+void
+expectSameBits(double a, double b, const char* what)
+{
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0) << what;
+}
+
+TEST(KvApp, ChecksumMatchesSequentialAcrossVariants)
+{
+    const RunOpts opts = kvOpts();
+    const ExpResult seq = runSequential("kv", opts);
+    EXPECT_GT(seq.appResult.checksum, 0.0);
+    EXPECT_EQ(seq.appResult.aux, 0.0) << "sequential GET failures";
+
+    for (ProtocolKind k : kVariants) {
+        SCOPED_TRACE(protocolName(k));
+        const ExpResult r = runExperiment("kv", k, 4, opts);
+        expectSameBits(r.appResult.checksum, seq.appResult.checksum,
+                       "checksum vs sequential");
+        EXPECT_EQ(r.appResult.aux, 0.0) << "GET verification failures";
+    }
+}
+
+TEST(KvApp, ChecksumInvariantInProcessorCount)
+{
+    const RunOpts opts = kvOpts();
+    const ExpResult a = runExperiment("kv", ProtocolKind::CsmPoll, 2, opts);
+    const ExpResult b = runExperiment("kv", ProtocolKind::CsmPoll, 8, opts);
+    const ExpResult c =
+        runExperiment("kv", ProtocolKind::TmkMcPoll, 8, opts);
+    expectSameBits(a.appResult.checksum, b.appResult.checksum,
+                   "2 vs 8 procs");
+    expectSameBits(a.appResult.checksum, c.appResult.checksum,
+                   "csm vs tmk at 8 procs");
+}
+
+TEST(KvApp, RaceCleanAcrossVariantsAndSchedules)
+{
+    RunOpts opts = kvOpts();
+    opts.raceDetect = true;
+
+    for (ProtocolKind k : kVariants) {
+        SCOPED_TRACE(protocolName(k));
+        const ExpResult r = runExperiment("kv", k, 4, opts);
+        EXPECT_EQ(r.races, 0u) << r.raceSummary;
+        EXPECT_EQ(r.appResult.aux, 0.0);
+    }
+
+    // Schedule-perturbation fuzzing: jitter the runnable order and
+    // re-check both the race detector and the checksum invariant.
+    const ExpResult base =
+        runExperiment("kv", ProtocolKind::TmkMcPoll, 4, kvOpts());
+    for (std::uint64_t sched_seed : {1ull, 42ull, 99ull}) {
+        SCOPED_TRACE(testing::Message() << "schedSeed " << sched_seed);
+        RunOpts fuzz = opts;
+        fuzz.schedSeed = sched_seed;
+        for (ProtocolKind k :
+             {ProtocolKind::CsmPoll, ProtocolKind::TmkMcPoll}) {
+            const ExpResult r = runExperiment("kv", k, 4, fuzz);
+            EXPECT_EQ(r.races, 0u)
+                << protocolName(k) << ": " << r.raceSummary;
+            EXPECT_EQ(r.appResult.aux, 0.0);
+            expectSameBits(r.appResult.checksum, base.appResult.checksum,
+                           "checksum under perturbed schedule");
+        }
+    }
+}
+
+TEST(KvApp, JobsInvarianceIncludingServiceStats)
+{
+    const RunOpts opts = kvOpts();
+    std::vector<ExpSpec> specs;
+    for (ProtocolKind k : kVariants)
+        specs.push_back({"kv", k, 4, opts});
+    specs.push_back({"kv", ProtocolKind::None, 1, opts});
+
+    const auto seq = runExperiments(specs, 1);
+    const auto par = runExperiments(specs, 4);
+    ASSERT_EQ(seq.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(protocolName(specs[i].protocol));
+        const ExpResult& a = seq[i];
+        const ExpResult& b = par[i];
+        EXPECT_EQ(a.elapsed, b.elapsed);
+        expectSameBits(a.appResult.checksum, b.appResult.checksum,
+                       "checksum");
+        expectSameBits(a.appResult.aux, b.appResult.aux, "aux");
+        EXPECT_EQ(a.stats.messages, b.stats.messages);
+
+        // The whole service block — histograms, per-shard counters —
+        // must be bit-identical, and so must every derived percentile.
+        EXPECT_TRUE(a.stats.service == b.stats.service);
+        ASSERT_EQ(a.stats.service.phases.size(),
+                  b.stats.service.phases.size());
+        for (std::size_t p = 0; p < a.stats.service.phases.size(); ++p) {
+            const LatencyHistogram& ha = a.stats.service.phases[p].latency;
+            const LatencyHistogram& hb = b.stats.service.phases[p].latency;
+            EXPECT_EQ(ha.p50(), hb.p50());
+            EXPECT_EQ(ha.p90(), hb.p90());
+            EXPECT_EQ(ha.p99(), hb.p99());
+            EXPECT_EQ(ha.p999(), hb.p999());
+        }
+    }
+}
+
+TEST(KvApp, ServiceStatsSanity)
+{
+    const KvConfig cfg = tinyKv();
+    RunOpts opts = kvOpts();
+    const ExpResult r =
+        runExperiment("kv", ProtocolKind::CsmPoll, 4, opts);
+    const ServiceStats& svc = r.stats.service;
+
+    ASSERT_TRUE(svc.enabled());
+    ASSERT_EQ(svc.phases.size(), cfg.phases.size());
+    const std::uint64_t per_phase =
+        static_cast<std::uint64_t>(cfg.clientStreams) * cfg.opsPerStream;
+
+    for (std::size_t p = 0; p < svc.phases.size(); ++p) {
+        const PhaseServiceStats& ph = svc.phases[p];
+        SCOPED_TRACE(ph.name);
+        EXPECT_EQ(ph.name, cfg.phases[p].name);
+        EXPECT_EQ(ph.requests(), per_phase);
+        ASSERT_EQ(ph.shards.size(), static_cast<std::size_t>(cfg.shards));
+
+        std::uint64_t req = 0, reads = 0, writes = 0;
+        for (const ShardStats& s : ph.shards) {
+            req += s.requests;
+            reads += s.reads;
+            writes += s.writes;
+            EXPECT_EQ(s.reads + s.writes, s.requests);
+            EXPECT_LE(s.contendedAcquires, s.requests);
+            EXPECT_LE(s.hotKeyRequests, s.requests);
+            if (s.requests > 0) {
+                EXPECT_GT(s.hotKeyRequests, 0u);
+                EXPECT_LT(s.hotKey, cfg.keysPerShard);
+            }
+            EXPECT_GE(s.lockWait, 0);
+        }
+        EXPECT_EQ(req, per_phase);
+        EXPECT_EQ(reads + writes, per_phase);
+
+        // Phase mixes: read_heavy is ~95% GETs, write_heavy ~90% PUTs.
+        if (ph.name == "read_heavy") {
+            EXPECT_GT(reads, writes * 4);
+        }
+        if (ph.name == "write_heavy") {
+            EXPECT_GT(writes, reads * 2);
+        }
+
+        // Percentiles are ordered and within [min, max].
+        const LatencyHistogram& h = ph.latency;
+        EXPECT_LE(h.min(), h.p50());
+        EXPECT_LE(h.p50(), h.p90());
+        EXPECT_LE(h.p90(), h.p99());
+        EXPECT_LE(h.p99(), h.p999());
+        EXPECT_LE(h.p999(), h.max());
+    }
+
+    EXPECT_EQ(svc.overallLatency().count(),
+              per_phase * svc.phases.size());
+    const auto overall = svc.overallShards();
+    ASSERT_EQ(overall.size(), static_cast<std::size_t>(cfg.shards));
+    std::uint64_t total = 0;
+    for (const ShardStats& s : overall)
+        total += s.requests;
+    EXPECT_EQ(total, per_phase * svc.phases.size());
+
+    // Zipf skew concentrates traffic: the hottest shard must see more
+    // than an even share of requests.
+    const auto hottest = std::max_element(
+        overall.begin(), overall.end(),
+        [](const ShardStats& a, const ShardStats& b) {
+            return a.requests < b.requests;
+        });
+    EXPECT_GT(hottest->requests,
+              per_phase * svc.phases.size() /
+                  static_cast<std::uint64_t>(cfg.shards));
+}
+
+TEST(KvApp, HpcAppsHaveNoServiceStats)
+{
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    const ExpResult r =
+        runExperiment("sor", ProtocolKind::CsmPoll, 4, opts);
+    EXPECT_FALSE(r.stats.service.enabled());
+}
+
+TEST(KvApp, TraceCarriesRequestCompletions)
+{
+    RunOpts opts = kvOpts();
+    opts.traceCapacity = std::size_t{1} << 16;
+    const ExpResult r =
+        runExperiment("kv", ProtocolKind::CsmPoll, 4, opts);
+    const KvConfig cfg = tinyKv();
+
+    std::uint64_t kv_events = 0;
+    for (const TraceEvent& e : r.trace) {
+        if (e.kind != TraceKind::KvRequest)
+            continue;
+        ++kv_events;
+        EXPECT_LT(e.peer, cfg.shards); // peer carries the shard
+    }
+    EXPECT_EQ(kv_events, static_cast<std::uint64_t>(cfg.clientStreams) *
+                             cfg.opsPerStream * cfg.phases.size());
+}
+
+} // namespace
+} // namespace mcdsm
