@@ -28,7 +28,8 @@ main(int argc, char** argv)
                 "Ablations: exclusive mode, interrupt latency, "
                 "second-generation Memory Channel",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int np = std::stoi(flags.get("procs", "16"));
     const auto apps =
@@ -138,5 +139,5 @@ main(int argc, char** argv)
         t.print();
     }
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

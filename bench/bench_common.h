@@ -55,6 +55,50 @@ inline constexpr FlagInfo kFlagFaultSeed{
     "fault-seed", "fault-injection seed (default 1)"};
 inline constexpr FlagInfo kFlagTraceOut{
     "trace-out", "write a Chrome-trace JSON of every run to FILE"};
+inline constexpr FlagInfo kFlagCheck{
+    "check",
+    "run verification analyses: comma list of race, lockset, "
+    "invariant, deadlock, or all (bare --check = all); any finding "
+    "makes the binary exit 1",
+    FlagArg::Optional};
+
+/** Parse --check into a CheckConfig (exits 2 on a bad list). */
+inline CheckConfig
+checksFrom(const Flags& flags)
+{
+    CheckConfig cc;
+    if (!flags.has("check"))
+        return cc;
+    const std::string err = parseCheckList(flags.get("check", ""), &cc);
+    if (!err.empty()) {
+        std::fprintf(stderr, "--check: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return cc;
+}
+
+/**
+ * Print the verification report of every run that had findings.
+ * @return true if any did — the binary should then exit nonzero.
+ */
+inline bool
+reportCheckFindings(const std::vector<ExpResult>& results)
+{
+    bool any = false;
+    for (const auto& r : results) {
+        if (r.checkViolations == 0)
+            continue;
+        any = true;
+        std::printf("CHECK FAILED: %s x %s x %d procs: %llu "
+                    "finding(s)\n%s",
+                    r.app.c_str(), protocolName(r.protocol), r.nprocs,
+                    static_cast<unsigned long long>(r.checkViolations),
+                    r.checkReport.c_str());
+    }
+    if (any)
+        std::fflush(stdout);
+    return any;
+}
 
 /** Parse --scenario / --fault-seed into a FaultPlan. */
 inline FaultPlan
@@ -141,6 +185,7 @@ optsFrom(const Flags& flags)
     opts.scale = scaleFromName(flags.get("scale", "small"));
     opts.seed = std::stoull(flags.get("seed", "1"));
     opts.fault = faultFrom(flags);
+    opts.checks = checksFrom(flags);
     if (flags.has("trace-out"))
         opts.traceCapacity = std::size_t{1} << 18;
     return opts;

@@ -21,7 +21,7 @@ main(int argc, char** argv)
                 "six protocol variants",
                 {kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale,
                  kFlagSeed, kFlagJobs, kFlagScenario, kFlagFaultSeed,
-                 kFlagTraceOut});
+                 kFlagTraceOut, kFlagCheck});
     RunOpts opts = optsFrom(flags);
 
     const auto apps = appList(flags);
@@ -88,5 +88,5 @@ main(int argc, char** argv)
         std::fflush(stdout);
     }
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

@@ -22,7 +22,8 @@ main(int argc, char** argv)
                 "Figure 6: execution-time breakdown for the polling "
                 "variants",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
 
@@ -72,5 +73,5 @@ main(int argc, char** argv)
     }
     table.print();
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

@@ -242,7 +242,7 @@ main(int argc, char** argv)
           FlagArg::None},
          kFlagProtocols, {"procs", "processor count (one value)"},
          kFlagScale, kFlagSeed, kFlagJobs, kFlagScenario,
-         kFlagFaultSeed, kFlagTraceOut});
+         kFlagFaultSeed, kFlagTraceOut, kFlagCheck});
 
     if (flags.has("check-det"))
         return checkDeterminism(flags);
@@ -351,5 +351,7 @@ main(int argc, char** argv)
         }
     }
     maybeWriteTrace(flags, results);
+    if (reportCheckFindings(results))
+        return 1;
     return bad_aux == 0 ? 0 : 1;
 }

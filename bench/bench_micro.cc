@@ -232,6 +232,7 @@ runGrid(const bench::Flags& flags)
         opts.traceCapacity = std::size_t{1} << 18;
     if (flags.has("no-pool"))
         opts.memPool = false;
+    const CheckConfig checks = bench::checksFrom(flags);
     const int jobs = bench::jobsFrom(flags);
     const int repeat =
         std::max(1, std::stoi(flags.get("repeat", "1")));
@@ -278,6 +279,43 @@ runGrid(const bench::Flags& flags)
         med_secs[i] = median(rep_secs[i]);
     }
 
+    // With --check, run the grid again under the verification suite
+    // and report the host-time overhead of checking per config. The
+    // simulated results must be identical — the checkers charge no
+    // virtual time — so only host seconds differ.
+    std::vector<ExpResult> cresults(specs.size());
+    std::vector<double> check_secs(specs.size(), 0.0);
+    if (checks.any()) {
+        std::vector<ExpSpec> cspecs = specs;
+        for (auto& s : cspecs)
+            s.opts.checks = checks;
+        std::vector<std::vector<double>> crep(specs.size());
+        for (int rep = 0; rep < repeat; ++rep) {
+            parallelFor(cspecs.size(), jobs, [&](std::size_t i) {
+                const auto t0 = clock::now();
+                const ExpSpec& s = cspecs[i];
+                cresults[i] =
+                    runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+                crep[i].push_back(
+                    std::chrono::duration<double>(clock::now() - t0)
+                        .count());
+            });
+        }
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            check_secs[i] =
+                *std::min_element(crep[i].begin(), crep[i].end());
+            if (cresults[i].elapsed != results[i].elapsed) {
+                std::fprintf(stderr,
+                             "checkers perturbed simulated time of "
+                             "%s x %s x %d\n",
+                             cresults[i].app.c_str(),
+                             protocolName(cresults[i].protocol),
+                             cresults[i].nprocs);
+                return 2;
+            }
+        }
+    }
+
     double host_total = 0, sim_total = 0;
     std::uint64_t events_total = 0, faults_total = 0;
     std::uint64_t allocs_total = 0, pool_hits_total = 0;
@@ -303,6 +341,15 @@ runGrid(const bench::Flags& flags)
             host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
             static_cast<unsigned long long>(allocs),
             faults > 0 ? static_cast<double>(allocs) / faults : 0.0);
+    }
+    if (checks.any()) {
+        double check_total = 0;
+        for (double s : check_secs)
+            check_total += s;
+        std::printf("checkers (--check=%s): host-cpu %.3f s vs %.3f s "
+                    "unchecked, overhead %.2fx\n",
+                    checks.describe().c_str(), check_total, host_total,
+                    host_total > 0 ? check_total / host_total : 0.0);
     }
     std::printf("total: wall %.3f s, host-cpu %.3f s, sim %.3f s, "
                 "jobs %d, repeat %d, speedup-vs-serial %.2fx, "
@@ -340,6 +387,18 @@ runGrid(const bench::Flags& flags)
                           sizeof(r.appResult.checksum));
             std::memcpy(&cks_bits, &r.appResult.checksum,
                         sizeof(cks_bits));
+            std::string check_fields;
+            if (checks.any()) {
+                check_fields = strprintf(
+                    "\"checkHostSeconds\": %.6f, "
+                    "\"checkOverhead\": %.4f, "
+                    "\"checkViolations\": %llu, ",
+                    check_secs[i],
+                    host_secs[i] > 0 ? check_secs[i] / host_secs[i]
+                                     : 0.0,
+                    static_cast<unsigned long long>(
+                        cresults[i].checkViolations));
+            }
             std::fprintf(
                 f,
                 "    {\"app\": \"%s\", \"protocol\": \"%s\", "
@@ -349,7 +408,7 @@ runGrid(const bench::Flags& flags)
                 "\"eventsPerHostSec\": %.1f, "
                 "\"pageFaults\": %llu, \"heapAllocs\": %llu, "
                 "\"heapBytes\": %llu, \"poolHits\": %llu, "
-                "\"allocsPerFault\": %.4f, "
+                "\"allocsPerFault\": %.4f, %s"
                 "\"checksumBits\": \"0x%016llx\"}%s\n",
                 r.app.c_str(), protocolName(r.protocol), r.nprocs,
                 host_secs[i], med_secs[i], r.seconds(),
@@ -361,6 +420,7 @@ runGrid(const bench::Flags& flags)
                 static_cast<unsigned long long>(m.poolHits()),
                 faults > 0 ? static_cast<double>(m.heapAllocs()) / faults
                            : 0.0,
+                check_fields.c_str(),
                 static_cast<unsigned long long>(cks_bits),
                 i + 1 < specs.size() ? "," : "");
         }
@@ -415,6 +475,8 @@ runGrid(const bench::Flags& flags)
                     "(limit %.4f)\n",
                     cur, base, limit);
     }
+    if (checks.any() && bench::reportCheckFindings(cresults))
+        return 1;
     return 0;
 }
 
@@ -429,7 +491,8 @@ main(int argc, char** argv)
     // Grid mode: whole-simulation throughput via the parallel engine.
     // Other arguments (e.g. --benchmark_filter) pass through to the
     // google-benchmark suite, so unknown flags are rejected only here.
-    if (flags.has("grid") || flags.has("json") || flags.has("help")) {
+    if (flags.has("grid") || flags.has("json") || flags.has("check") ||
+        flags.has("help")) {
         handleUsage(
             flags,
             "simulator micro/throughput benchmarks; --grid runs whole "
@@ -450,7 +513,8 @@ main(int argc, char** argv)
               "compare allocs-per-fault against the baseline grid "
               "JSON at FILE; exit 1 on >10% regression"},
              kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale, kFlagSeed,
-             kFlagJobs, kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+             kFlagJobs, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+             kFlagCheck});
         return mcdsm::runGrid(flags);
     }
     // Otherwise: the google-benchmark micro suite.

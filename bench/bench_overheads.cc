@@ -20,7 +20,8 @@ main(int argc, char** argv)
                 "Section 4.1 instrumentation overheads: polling and "
                 "write doubling on one processor",
                 {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagCheck});
     RunOpts opts = optsFrom(flags);
 
     CostModel costs;
@@ -83,5 +84,5 @@ main(int argc, char** argv)
     }
     table.print();
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

@@ -153,7 +153,8 @@ main(int argc, char** argv)
           "verify null-plan bit-equality and --jobs invariance, then "
           "exit", FlagArg::None},
          kFlagApps, {"procs", "processor count (one value)"}, kFlagScale,
-         kFlagSeed, kFlagJobs, kFlagFaultSeed, kFlagTraceOut});
+         kFlagSeed, kFlagJobs, kFlagFaultSeed, kFlagTraceOut,
+         kFlagCheck});
 
     if (flags.has("check-null"))
         return checkNull(flags);
@@ -343,5 +344,5 @@ main(int argc, char** argv)
     }
 
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

@@ -16,6 +16,10 @@ namespace {
 
 /** Fault plan applied to every measurement (default: null plan). */
 FaultPlan g_fault;
+/** Verification analyses applied to every measurement (--check). */
+CheckConfig g_checks;
+std::uint64_t g_violations = 0;
+std::string g_checkReport;
 
 DsmConfig
 cfgFor(ProtocolKind k, int nprocs)
@@ -25,7 +29,18 @@ cfgFor(ProtocolKind k, int nprocs)
     cfg.topo = Topology::standard(nprocs);
     cfg.maxSharedBytes = 8 << 20;
     cfg.fault = g_fault;
+    cfg.checks = g_checks;
     return cfg;
+}
+
+/** Accumulate checker findings of a finished measurement system. */
+void
+noteChecks(DsmSystem& sys)
+{
+    if (const CheckerSuite* cs = sys.runtime().checks()) {
+        g_violations += cs->violations();
+        g_checkReport += cs->report();
+    }
 }
 
 /** Average uncontended lock acquire + release cost on one processor. */
@@ -48,6 +63,7 @@ lockCost(ProtocolKind k)
         }
         p.barrier(0);
     });
+    noteChecks(*sys);
     return {acq / kIters, rel / kIters};
 }
 
@@ -68,6 +84,7 @@ barrierCost(ProtocolKind k, int nprocs)
         if (p.id() == 0)
             total = p.now() - t0;
     });
+    noteChecks(*sys);
     return total / kIters;
 }
 
@@ -99,6 +116,7 @@ pageTransferCost(ProtocolKind k)
         }
         p.barrier(1);
     });
+    noteChecks(*sys);
     return total / timed;
 }
 
@@ -114,8 +132,9 @@ main(int argc, char** argv)
     handleUsage(flags,
                 "Table 1: minimum cost of basic operations for all six "
                 "protocol variants",
-                {kFlagScenario, kFlagFaultSeed});
+                {kFlagScenario, kFlagFaultSeed, kFlagCheck});
     g_fault = faultFrom(flags);
+    g_checks = checksFrom(flags);
 
     std::printf("Table 1: cost of basic operations (microseconds)\n");
     std::printf("(paper: Table 1; barrier column shows 2-proc with "
@@ -151,5 +170,11 @@ main(int argc, char** argv)
     table.addRow(bar_row);
     table.addRow(pt_row);
     table.print();
+    if (g_violations > 0) {
+        std::printf("CHECK FAILED: %llu finding(s)\n%s",
+                    static_cast<unsigned long long>(g_violations),
+                    g_checkReport.c_str());
+        return 1;
+    }
     return 0;
 }

@@ -15,7 +15,8 @@ main(int argc, char** argv)
     handleUsage(flags,
                 "Table 2: data-set sizes and sequential execution time",
                 {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagCheck});
     RunOpts opts = optsFrom(flags);
 
     std::printf("Table 2: data set sizes and sequential execution time\n");
@@ -41,5 +42,5 @@ main(int argc, char** argv)
     }
     table.print();
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

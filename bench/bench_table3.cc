@@ -17,7 +17,8 @@ main(int argc, char** argv)
                 "Table 3: communication statistics for the polling "
                 "variants",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut});
+                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
 
@@ -101,5 +102,5 @@ main(int argc, char** argv)
         t.print();
     }
     maybeWriteTrace(flags, results);
-    return 0;
+    return reportCheckFindings(results) ? 1 : 0;
 }

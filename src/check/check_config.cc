@@ -1,0 +1,42 @@
+#include "check/check_config.h"
+
+namespace mcdsm {
+
+std::string
+parseCheckList(const std::string& spec, CheckConfig* out)
+{
+    *out = CheckConfig{};
+    if (spec.empty() || spec == "all") {
+        *out = CheckConfig::all();
+        return "";
+    }
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string name =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (name == "race")
+            out->race = true;
+        else if (name == "lockset")
+            out->lockset = true;
+        else if (name == "invariant")
+            out->invariant = true;
+        else if (name == "deadlock")
+            out->deadlock = true;
+        else if (name == "all")
+            *out = CheckConfig::all();
+        else if (name == "none" && spec == "none")
+            ; // explicit off
+        else
+            return "unknown checker '" + name +
+                   "' (expected race, lockset, invariant, deadlock, "
+                   "all)";
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return "";
+}
+
+} // namespace mcdsm

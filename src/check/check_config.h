@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Selection of dynamic verification analyses for a run.
+ *
+ * Four analyses are available (see DESIGN.md §11):
+ *   race      — vector-clock happens-before race detector
+ *   lockset   — Eraser-style lock-discipline detector (independent
+ *               second opinion next to the vector-clock model)
+ *   invariant — coherence-invariant oracle: shadow-memory
+ *               single-writer/data-value checking of the protocol
+ *   deadlock  — lock-order graph with cycle detection (deadlock
+ *               prediction from acquisition history)
+ *
+ * Bench binaries parse `--check[=race,lockset,invariant,deadlock|all]`
+ * into this struct; `--check` with no value means all.
+ */
+
+#ifndef MCDSM_CHECK_CHECK_CONFIG_H
+#define MCDSM_CHECK_CHECK_CONFIG_H
+
+#include <string>
+
+namespace mcdsm {
+
+struct CheckConfig
+{
+    bool race = false;
+    bool lockset = false;
+    bool invariant = false;
+    bool deadlock = false;
+
+    bool
+    any() const
+    {
+        return race || lockset || invariant || deadlock;
+    }
+
+    static CheckConfig
+    all()
+    {
+        return CheckConfig{true, true, true, true};
+    }
+
+    /** Canonical "race,lockset,..." spelling of the enabled set. */
+    std::string
+    describe() const
+    {
+        std::string out;
+        auto add = [&](bool on, const char* name) {
+            if (!on)
+                return;
+            if (!out.empty())
+                out += ",";
+            out += name;
+        };
+        add(race, "race");
+        add(lockset, "lockset");
+        add(invariant, "invariant");
+        add(deadlock, "deadlock");
+        return out.empty() ? "none" : out;
+    }
+};
+
+/**
+ * Parse a `--check` value: "", "all", or a comma list of analysis
+ * names. @return an error message, or "" on success (with @p out
+ * filled in).
+ */
+std::string parseCheckList(const std::string& spec, CheckConfig* out);
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_CHECK_CONFIG_H

@@ -1,0 +1,183 @@
+#include "check/invariant_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+namespace {
+
+/** Up to the first 8 bytes of [b, b+n) as a hex literal. */
+std::string
+hexBytes(const std::uint8_t* b, std::size_t n)
+{
+    std::string out = "0x";
+    const std::size_t show = std::min<std::size_t>(n, 8);
+    for (std::size_t i = 0; i < show; ++i)
+        out += strprintf("%02x", b[i]);
+    if (show < n)
+        out += "..";
+    return out;
+}
+
+} // namespace
+
+InvariantOracle::InvariantOracle(int nprocs, std::size_t page_count,
+                                 int chunk_shift, std::size_t max_reports)
+    : clock_(nprocs, /*lock_edges=*/true), chunk_shift_(chunk_shift),
+      chunks_per_page_(kPageSize >> chunk_shift), pages_(page_count),
+      sink_("invariant", max_reports)
+{
+    mcdsm_assert(chunk_shift >= 0 &&
+                     (std::size_t{1} << chunk_shift) <= kPageSize,
+                 "bad oracle chunk shift");
+}
+
+InvariantOracle::ShadowPage&
+InvariantOracle::shadowFor(PageNum pn, const std::uint8_t* frame)
+{
+    mcdsm_assert(pn < pages_.size(), "oracle: page out of range");
+    ShadowPage& sp = pages_[pn];
+    if (!sp.bytes) {
+        // First hooked access to this page anywhere: every processor
+        // still sees the initial image, so the accessor's own frame is
+        // a faithful baseline for all not-yet-written bytes.
+        sp.bytes = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memcpy(sp.bytes.get(), frame, kPageSize);
+        sp.meta = std::make_unique<ChunkMeta[]>(chunks_per_page_);
+    }
+    return sp;
+}
+
+void
+InvariantOracle::onWrite(ProcId p, GAddr a, std::size_t size, Time now,
+                         const std::uint8_t* frame)
+{
+    if (p < 0 || p >= clock_.nprocs() || size == 0)
+        return;
+    const PageNum pn = pageOf(a);
+    const std::size_t off = pageOffset(a);
+    ShadowPage& sp = shadowFor(pn, frame);
+    const std::size_t c0 = off >> chunk_shift_;
+    const std::size_t c1 = (off + size - 1) >> chunk_shift_;
+
+    // Report unordered write-write pairs, merging adjacent chunks that
+    // share the same prior writer into one diagnostic.
+    std::size_t runBegin = 0;
+    std::int32_t runProc = -1;
+    std::uint32_t runCtx = 0;
+    auto flush = [&](std::size_t end_chunk) {
+        if (runProc < 0)
+            return;
+        swmr_ += 1;
+        sink_.report(
+            now,
+            diagSite(pn,
+                     static_cast<std::uint32_t>(runBegin << chunk_shift_),
+                     static_cast<std::uint32_t>(end_chunk
+                                                << chunk_shift_)) +
+                " — SWMR: " +
+                diagAccess(runProc, true, clock_.ctxStr(runCtx)) +
+                " unordered with " +
+                diagAccess(p, true, clock_.ctxOf(p)));
+        runProc = -1;
+    };
+    for (std::size_t c = c0; c <= c1; ++c) {
+        ChunkMeta& m = sp.meta[c];
+        const bool bad = m.wProc >= 0 && m.wProc != p &&
+                         !clock_.ordered(m.wProc, m.wClock, p);
+        if (bad && m.wProc == runProc) {
+            // extend the current run
+        } else {
+            flush(c);
+            if (bad) {
+                runBegin = c;
+                runProc = m.wProc;
+                runCtx = m.wCtx;
+            }
+        }
+        m.wProc = p;
+        m.wClock = clock_.clockOf(p);
+        m.wCtx = clock_.ctxId(p);
+    }
+    flush(c1 + 1);
+
+    std::memcpy(sp.bytes.get() + off, frame + off, size);
+}
+
+void
+InvariantOracle::onRead(ProcId p, GAddr a, std::size_t size, Time now,
+                        const std::uint8_t* frame)
+{
+    if (p < 0 || p >= clock_.nprocs() || size == 0)
+        return;
+    const PageNum pn = pageOf(a);
+    const std::size_t off = pageOffset(a);
+    ShadowPage& sp = shadowFor(pn, frame);
+    const std::size_t c0 = off >> chunk_shift_;
+    const std::size_t c1 = (off + size - 1) >> chunk_shift_;
+
+    // Compare frame against shadow per chunk; merge adjacent
+    // mismatching chunks into one diagnostic. Chunks whose last write
+    // is concurrent with this read are skipped: the value is
+    // undefined and the race detector owns that report.
+    std::size_t mismBegin = 0, mismEnd = 0; // byte range within page
+    std::int32_t mismProc = -1;
+    std::uint32_t mismCtx = 0;
+    auto flush = [&]() {
+        if (mismProc == -2)
+            mismProc = kNoProc; // never-written baseline mismatch
+        else if (mismProc == -1)
+            return;
+        value_ += 1;
+        std::string body =
+            diagSite(pn, static_cast<std::uint32_t>(mismBegin),
+                     static_cast<std::uint32_t>(mismEnd)) +
+            " — data-value: " +
+            diagAccess(p, false, clock_.ctxOf(p)) + " saw " +
+            hexBytes(frame + mismBegin, mismEnd - mismBegin) +
+            " expected " +
+            hexBytes(sp.bytes.get() + mismBegin, mismEnd - mismBegin);
+        if (mismProc >= 0) {
+            body += " (written by " +
+                    diagAccess(mismProc, true, clock_.ctxStr(mismCtx)) +
+                    ")";
+        } else {
+            body += " (initial image)";
+        }
+        sink_.report(now, body);
+        mismProc = -1;
+    };
+    for (std::size_t c = c0; c <= c1; ++c) {
+        const ChunkMeta& m = sp.meta[c];
+        // -2 encodes "checkable, never written"; -1 "not checkable".
+        std::int32_t who = -1;
+        if (m.wProc < 0)
+            who = -2;
+        else if (clock_.ordered(m.wProc, m.wClock, p))
+            who = m.wProc;
+        const std::size_t b0 = std::max(off, c << chunk_shift_);
+        const std::size_t b1 =
+            std::min(off + size, (c + 1) << chunk_shift_);
+        const bool mismatch =
+            who != -1 &&
+            std::memcmp(frame + b0, sp.bytes.get() + b0, b1 - b0) != 0;
+        if (mismatch && mismProc != -1 && who == mismProc &&
+            mismEnd == b0) {
+            mismEnd = b1; // extend
+        } else {
+            flush();
+            if (mismatch) {
+                mismBegin = b0;
+                mismEnd = b1;
+                mismProc = who;
+                mismCtx = m.wCtx;
+            }
+        }
+    }
+    flush();
+}
+
+} // namespace mcdsm

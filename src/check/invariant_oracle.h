@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Coherence-invariant oracle: shadow-memory checking of the protocol
+ * itself, independent of which variant is running.
+ *
+ * The oracle maintains a shadow copy of every application-written byte
+ * plus, per 2^chunkShift-byte chunk, the vector-clock epoch of the
+ * most recent write. Two invariants of release consistency are
+ * checked at the runtime's protocol-independent access points, so any
+ * protocol variant — including future ones (RDMA Cashmere, Tardis
+ * timestamps) — is covered without per-protocol code:
+ *
+ *   SWMR        — single-writer/multiple-reader per chunk: two writes
+ *                 to the same chunk must be happens-before ordered
+ *                 (an unordered pair means either an application race
+ *                 or a protocol that failed to serialize owners).
+ *   data-value  — a read that happens-after the most recent write to
+ *                 a chunk must return exactly the bytes of that
+ *                 write. A violation is the protocol's fault by
+ *                 construction: it means an invalidation, diff or
+ *                 page update was lost, reordered or misapplied.
+ *
+ * Reads whose last writer is concurrent (not happens-before ordered)
+ * are skipped — their value is undefined and the race/lockset
+ * detectors own that report. Shadow pages are snapshotted lazily from
+ * the first accessor's frame, so never-written bytes are checked
+ * against the initial image too (catching diff-application slop on
+ * clean bytes).
+ *
+ * Like the race detector, the oracle is simulator-side only: it
+ * charges no virtual time and sends no messages, so enabling it does
+ * not change schedules or modelled timings.
+ */
+
+#ifndef MCDSM_CHECK_INVARIANT_ORACLE_H
+#define MCDSM_CHECK_INVARIANT_ORACLE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+#include "check/sync_clock.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class InvariantOracle
+{
+  public:
+    /**
+     * @param nprocs compute processors tracked
+     * @param page_count pages in the shared segment
+     * @param chunk_shift log2 bytes per write-epoch chunk
+     * @param max_reports detailed reports kept (counts are unbounded)
+     */
+    InvariantOracle(int nprocs, std::size_t page_count, int chunk_shift,
+                    std::size_t max_reports);
+
+    // ---- data-access hooks (frame = accessor's mapped page frame,
+    // after the store landed / before the loaded bytes are stale) ----
+    void onWrite(ProcId p, GAddr a, std::size_t size, Time now,
+                 const std::uint8_t* frame);
+    void onRead(ProcId p, GAddr a, std::size_t size, Time now,
+                const std::uint8_t* frame);
+
+    // ---- synchronization hooks (same placement as the race detector)
+    void afterAcquire(ProcId p, int l) { clock_.afterAcquire(p, l); }
+    void beforeRelease(ProcId p, int l) { clock_.beforeRelease(p, l); }
+    void barrierEnter(ProcId p, int b) { clock_.barrierEnter(p, b); }
+    void barrierLeave(ProcId p, int b) { clock_.barrierLeave(p, b); }
+    void beforeFlagSet(ProcId p, int f) { clock_.beforeFlagSet(p, f); }
+    void afterFlagWait(ProcId p, int f) { clock_.afterFlagWait(p, f); }
+
+    /** Unordered write-write pairs observed (SWMR violations). */
+    std::uint64_t swmrViolations() const { return swmr_; }
+    /** Stale or corrupt reads observed (data-value violations). */
+    std::uint64_t valueViolations() const { return value_; }
+    std::uint64_t violations() const { return swmr_ + value_; }
+
+    std::string summary() const { return sink_.summary(); }
+
+  private:
+    /** Per-chunk epoch of the most recent write. */
+    struct ChunkMeta
+    {
+        std::int32_t wProc = -1; ///< last writer (-1: never written)
+        SyncClock::Clock wClock = 0;
+        std::uint32_t wCtx = 0; ///< writer's sync context (interned)
+    };
+
+    struct ShadowPage
+    {
+        std::unique_ptr<std::uint8_t[]> bytes;
+        std::unique_ptr<ChunkMeta[]> meta;
+    };
+
+    ShadowPage& shadowFor(PageNum pn, const std::uint8_t* frame);
+
+    SyncClock clock_;
+    int chunk_shift_;
+    std::size_t chunks_per_page_;
+    std::vector<ShadowPage> pages_;
+
+    std::uint64_t swmr_ = 0;
+    std::uint64_t value_ = 0;
+    DiagSink sink_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_INVARIANT_ORACLE_H

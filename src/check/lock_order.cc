@@ -1,0 +1,160 @@
+#include "check/lock_order.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+LockOrderChecker::LockOrderChecker(int nprocs, std::size_t max_reports)
+    : nprocs_(nprocs), sink_("deadlock", max_reports)
+{
+    held_.resize(nprocs);
+}
+
+void
+LockOrderChecker::onAcquire(ProcId p, int lock_id, Time now)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    for (int h : held_[p]) {
+        if (h == lock_id)
+            continue;
+        Edge& e = edges_[h].try_emplace(lock_id).first->second;
+        if (e.proc == kNoProc) {
+            e.proc = p;
+            e.when = now;
+        }
+    }
+}
+
+void
+LockOrderChecker::onAcquired(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    auto& h = held_[p];
+    h.insert(std::lower_bound(h.begin(), h.end(), lock_id), lock_id);
+}
+
+void
+LockOrderChecker::onRelease(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    auto& h = held_[p];
+    auto it = std::lower_bound(h.begin(), h.end(), lock_id);
+    if (it != h.end() && *it == lock_id)
+        h.erase(it);
+}
+
+void
+LockOrderChecker::barrierEnter(ProcId p, int barrier_id, Time now)
+{
+    if (p < 0 || p >= nprocs_)
+        return;
+    for (int h : held_[p]) {
+        if (!barrierHazards_.emplace(h, barrier_id).second)
+            continue;
+        sink_.report(now,
+                     strprintf("barrier-hold: P%d entered barrier(%d) "
+                               "holding lock %d — a processor blocked "
+                               "on that lock can never arrive",
+                               p, barrier_id, h));
+    }
+}
+
+void
+LockOrderChecker::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    // Tarjan SCC over the lock-order graph. Non-trivial components are
+    // exactly the lock sets an adversarial schedule can deadlock on.
+    std::map<int, int> index, low, comp;
+    std::vector<int> stack;
+    std::set<int> onStack;
+    int next = 0, ncomp = 0;
+
+    // Iterative DFS (lock graphs are small, but avoid recursion).
+    struct Frame
+    {
+        int v;
+        std::map<int, Edge>::const_iterator it, end;
+    };
+    for (const auto& [root, _] : edges_) {
+        if (index.count(root))
+            continue;
+        std::vector<Frame> dfs;
+        auto push = [&](int v) {
+            index[v] = low[v] = next++;
+            stack.push_back(v);
+            onStack.insert(v);
+            static const std::map<int, Edge> kEmpty;
+            const auto& adj =
+                edges_.count(v) ? edges_.at(v) : kEmpty;
+            dfs.push_back({v, adj.begin(), adj.end()});
+        };
+        push(root);
+        while (!dfs.empty()) {
+            Frame& f = dfs.back();
+            if (f.it != f.end) {
+                const int w = f.it->first;
+                ++f.it;
+                if (!index.count(w))
+                    push(w);
+                else if (onStack.count(w))
+                    low[f.v] = std::min(low[f.v], index[w]);
+            } else {
+                if (low[f.v] == index[f.v]) {
+                    const int c = ncomp++;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack.erase(w);
+                        comp[w] = c;
+                    } while (w != f.v);
+                }
+                const int v = f.v;
+                dfs.pop_back();
+                if (!dfs.empty())
+                    low[dfs.back().v] =
+                        std::min(low[dfs.back().v], low[v]);
+            }
+        }
+    }
+
+    // Group members per component; report each component with >1 lock.
+    std::map<int, std::vector<int>> members;
+    for (const auto& [v, c] : comp)
+        members[c].push_back(v);
+    for (auto& [c, locks] : members) {
+        if (locks.size() < 2)
+            continue;
+        std::sort(locks.begin(), locks.end());
+        std::string body = "lock-order cycle among " + diagLockSet(locks);
+        Time latest = 0;
+        std::set<int> inComp(locks.begin(), locks.end());
+        for (int v : locks) {
+            auto av = edges_.find(v);
+            if (av == edges_.end())
+                continue;
+            for (const auto& [w, e] : av->second) {
+                if (!inComp.count(w))
+                    continue;
+                body += strprintf("; lock %d -> lock %d (P%d at "
+                                  "t=%llu)",
+                                  v, w, e.proc,
+                                  static_cast<unsigned long long>(
+                                      e.when));
+                latest = std::max(latest, e.when);
+            }
+        }
+        sink_.report(latest, body);
+    }
+}
+
+} // namespace mcdsm

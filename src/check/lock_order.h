@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lock-order graph with cycle detection — deadlock *prediction* from
+ * acquisition history (in the style of the kernel's lockdep).
+ *
+ * Every time a processor requests lock B while holding lock A, the
+ * directed edge A→B is recorded (with the first such acquisition as
+ * the example). A cycle in this graph means some interleaving of the
+ * observed program can deadlock, even if this run happened to get
+ * through — which is exactly the case simulation schedules tend to
+ * hide. Cycles are searched at finish() so the whole history is in
+ * the graph; the search iterates std::map adjacency, so reports are
+ * deterministic.
+ *
+ * A second hazard is flagged immediately: entering a barrier while
+ * holding a lock. Another processor blocked on that lock can never
+ * reach the barrier, so the program deadlocks under an adversarial
+ * schedule (reported once per lock/barrier pair).
+ *
+ * Hook placement: onAcquire fires *before* the processor may block on
+ * the lock (the edge must be recorded even if the run then deadlocks);
+ * onAcquired after the lock is granted; onRelease before the protocol
+ * releases. Covers the protocol lock space, including PR 6's per-shard
+ * KV locks.
+ */
+
+#ifndef MCDSM_CHECK_LOCK_ORDER_H
+#define MCDSM_CHECK_LOCK_ORDER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class LockOrderChecker
+{
+  public:
+    LockOrderChecker(int nprocs, std::size_t max_reports);
+
+    /** Before the processor may block waiting for @p lock_id. */
+    void onAcquire(ProcId p, int lock_id, Time now);
+    /** After the lock was granted. */
+    void onAcquired(ProcId p, int lock_id);
+    /** Before the lock is released. */
+    void onRelease(ProcId p, int lock_id);
+
+    /** Barrier entry: holding any lock here is a deadlock hazard. */
+    void barrierEnter(ProcId p, int barrier_id, Time now);
+
+    /** Run cycle detection over the accumulated graph. */
+    void finish();
+
+    std::uint64_t violations() const { return sink_.count(); }
+    std::string summary() const { return sink_.summary(); }
+
+  private:
+    /** Example acquisition that created an edge. */
+    struct Edge
+    {
+        ProcId proc = kNoProc;
+        Time when = 0;
+    };
+
+    int nprocs_;
+    std::vector<std::vector<int>> held_; ///< per-proc sorted lock ids
+
+    /** held→requested adjacency; inner map keeps neighbors ordered. */
+    std::map<int, std::map<int, Edge>> edges_;
+
+    std::set<std::pair<int, int>> barrierHazards_; ///< (lock, barrier)
+    bool finished_ = false;
+    DiagSink sink_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_LOCK_ORDER_H

@@ -1,0 +1,177 @@
+#include "check/lockset.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+LocksetChecker::LocksetChecker(int nprocs, std::size_t page_count,
+                               int chunk_shift, std::size_t max_reports)
+    : bf_(nprocs, /*lock_edges=*/false), chunk_shift_(chunk_shift),
+      chunks_per_page_(kPageSize >> chunk_shift), pages_(page_count),
+      sink_("lockset", max_reports)
+{
+    mcdsm_assert(chunk_shift >= 0 &&
+                     (std::size_t{1} << chunk_shift) <= kPageSize,
+                 "bad lockset chunk shift");
+    held_.resize(nprocs);
+    heldSet_.assign(nprocs, 0);
+    sets_.push_back({}); // id 0: the empty set
+    setIds_[{}] = 0;
+}
+
+LocksetChecker::Chunk*
+LocksetChecker::chunksFor(PageNum pn)
+{
+    mcdsm_assert(pn < pages_.size(), "lockset: page out of range");
+    if (!pages_[pn])
+        pages_[pn] = std::make_unique<Chunk[]>(chunks_per_page_);
+    return pages_[pn].get();
+}
+
+std::uint32_t
+LocksetChecker::internSet(std::vector<int> locks)
+{
+    auto it = setIds_.find(locks);
+    if (it != setIds_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(sets_.size());
+    setIds_.emplace(locks, id);
+    sets_.push_back(std::move(locks));
+    return id;
+}
+
+std::uint32_t
+LocksetChecker::intersect(std::uint32_t a, std::uint32_t b)
+{
+    if (a == b)
+        return a;
+    if (a == 0 || b == 0)
+        return 0;
+    std::vector<int> out;
+    std::set_intersection(sets_[a].begin(), sets_[a].end(),
+                          sets_[b].begin(), sets_[b].end(),
+                          std::back_inserter(out));
+    return internSet(std::move(out));
+}
+
+void
+LocksetChecker::afterAcquire(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= bf_.nprocs())
+        return;
+    bf_.afterAcquire(p, lock_id);
+    auto& h = held_[p];
+    h.insert(std::lower_bound(h.begin(), h.end(), lock_id), lock_id);
+    heldSet_[p] = internSet(h);
+}
+
+void
+LocksetChecker::beforeRelease(ProcId p, int lock_id)
+{
+    if (p < 0 || p >= bf_.nprocs())
+        return;
+    bf_.beforeRelease(p, lock_id);
+    auto& h = held_[p];
+    auto it = std::lower_bound(h.begin(), h.end(), lock_id);
+    if (it != h.end() && *it == lock_id)
+        h.erase(it);
+    heldSet_[p] = internSet(h);
+}
+
+void
+LocksetChecker::onRead(ProcId p, GAddr a, std::size_t size, Time now)
+{
+    access(p, a, size, now, false);
+}
+
+void
+LocksetChecker::onWrite(ProcId p, GAddr a, std::size_t size, Time now)
+{
+    access(p, a, size, now, true);
+}
+
+void
+LocksetChecker::access(ProcId p, GAddr a, std::size_t size, Time now,
+                       bool is_write)
+{
+    if (p < 0 || p >= bf_.nprocs() || size == 0)
+        return;
+    const PageNum pn = pageOf(a);
+    Chunk* chunks = chunksFor(pn);
+    const std::size_t off = pageOffset(a);
+    const std::size_t c0 = off >> chunk_shift_;
+    const std::size_t c1 = (off + size - 1) >> chunk_shift_;
+
+    // Merge chunks that newly trip the discipline during this one
+    // access into a single diagnostic.
+    std::size_t runBegin = 0, runEnd = 0;
+    bool pending = false;
+    auto flush = [&]() {
+        if (!pending)
+            return;
+        Finding f;
+        f.page = pn;
+        f.beginOff = static_cast<std::uint32_t>(runBegin << chunk_shift_);
+        f.endOff = static_cast<std::uint32_t>(runEnd << chunk_shift_);
+        sink_.report(now, diagSite(pn, f.beginOff, f.endOff) +
+                              " — discipline: " +
+                              diagAccess(p, is_write, bf_.ctxOf(p)) +
+                              " holding " + diagLockSet(held_[p]) +
+                              "; no lock consistently protects these "
+                              "bytes");
+        findings_.push_back(f);
+        pending = false;
+    };
+
+    for (std::size_t c = c0; c <= c1; ++c) {
+        Chunk& ch = chunks[c];
+        bool fire = false;
+
+        if (ch.st == St::Virgin) {
+            ch.st = St::Exclusive;
+            ch.owner = static_cast<std::int16_t>(p);
+            ch.lockset = heldSet_[p];
+        } else if (ch.lastProc >= 0 &&
+                   bf_.ordered(ch.lastProc, ch.lastClock, p)) {
+            // The previous access period is closed by a barrier/flag
+            // edge: phased data resets to a fresh exclusive period.
+            ch.st = St::Exclusive;
+            ch.owner = static_cast<std::int16_t>(p);
+            ch.lockset = heldSet_[p];
+        } else if (ch.st == St::Exclusive && ch.owner == p) {
+            // Still initializing: remember the latest lockset, check
+            // nothing (Eraser's initialization grace).
+            ch.lockset = heldSet_[p];
+        } else {
+            ch.lockset = intersect(ch.lockset, heldSet_[p]);
+            if (is_write)
+                ch.st = St::SharedModified;
+            else if (ch.st == St::Exclusive)
+                ch.st = St::Shared;
+            if (ch.st == St::SharedModified &&
+                sets_[ch.lockset].empty() && !ch.reported) {
+                ch.reported = true;
+                fire = true;
+            }
+        }
+
+        ch.lastProc = p;
+        ch.lastClock = bf_.clockOf(p);
+
+        if (fire && pending && runEnd == c) {
+            runEnd = c + 1;
+        } else {
+            flush();
+            if (fire) {
+                pending = true;
+                runBegin = c;
+                runEnd = c + 1;
+            }
+        }
+    }
+    flush();
+}
+
+} // namespace mcdsm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Eraser-style lockset detector — the schedule-insensitive second
+ * opinion next to the vector-clock race detector.
+ *
+ * The happens-before detector only reports races that the observed
+ * schedule left unordered: a racy program can get lucky. The lockset
+ * model instead checks a *discipline* — every chunk that is written
+ * by more than one processor must be consistently protected by at
+ * least one common lock — which flags the bug class regardless of how
+ * this particular schedule interleaved (Savage et al.'s Eraser).
+ *
+ * Classic Eraser drowns barrier/flag-phased programs (all of SPLASH)
+ * in false positives, so this detector runs a SyncClock restricted to
+ * barrier and flag edges: when a chunk's previous access
+ * happens-before the current one through barriers/flags alone, its
+ * state resets to Exclusive — phased data is excused, while
+ * lock-protected data must still satisfy the lockset discipline (lock
+ * edges deliberately do NOT order accesses here; that independence
+ * from the race detector's model is the point).
+ *
+ * Approximation: only the most recent access epoch is kept per chunk,
+ * so a reset requires just the latest accessor to be ordered. Since
+ * barriers are global this is exact for barrier phases; for flag
+ * chains it can excuse a chunk whose older accesses are unordered
+ * (missed report, never a false one... for the reset direction).
+ * Cross-validation against the vector-clock detector
+ * (CheckerSuite::crossValidation) reports where the two models
+ * disagree.
+ */
+
+#ifndef MCDSM_CHECK_LOCKSET_H
+#define MCDSM_CHECK_LOCKSET_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+#include "check/sync_clock.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class LocksetChecker
+{
+  public:
+    /** A chunk the discipline check flagged (for cross-validation). */
+    struct Finding
+    {
+        PageNum page = 0;
+        std::uint32_t beginOff = 0;
+        std::uint32_t endOff = 0;
+    };
+
+    LocksetChecker(int nprocs, std::size_t page_count, int chunk_shift,
+                   std::size_t max_reports);
+
+    // ---- data-access hooks -------------------------------------------
+    void onRead(ProcId p, GAddr a, std::size_t size, Time now);
+    void onWrite(ProcId p, GAddr a, std::size_t size, Time now);
+
+    // ---- synchronization hooks ---------------------------------------
+    void afterAcquire(ProcId p, int lock_id);
+    void beforeRelease(ProcId p, int lock_id);
+    void barrierEnter(ProcId p, int b) { bf_.barrierEnter(p, b); }
+    void barrierLeave(ProcId p, int b) { bf_.barrierLeave(p, b); }
+    void beforeFlagSet(ProcId p, int f) { bf_.beforeFlagSet(p, f); }
+    void afterFlagWait(ProcId p, int f) { bf_.afterFlagWait(p, f); }
+
+    std::uint64_t violations() const { return sink_.count(); }
+    const std::vector<Finding>& findings() const { return findings_; }
+    std::string summary() const { return sink_.summary(); }
+
+  private:
+    /** Eraser state machine per chunk. */
+    enum class St : std::uint8_t {
+        Virgin,         ///< never accessed
+        Exclusive,      ///< one owner so far (initialization)
+        Shared,         ///< multiple readers, at most one writer
+        SharedModified, ///< multiple writers: lockset must stay nonempty
+    };
+
+    struct Chunk
+    {
+        St st = St::Virgin;
+        bool reported = false;
+        std::int16_t owner = -1;
+        std::uint32_t lockset = 0; ///< interned candidate set id
+        std::int32_t lastProc = -1;
+        SyncClock::Clock lastClock = 0;
+    };
+
+    Chunk* chunksFor(PageNum pn);
+    void access(ProcId p, GAddr a, std::size_t size, Time now,
+                bool is_write);
+    std::uint32_t internSet(std::vector<int> locks);
+    std::uint32_t intersect(std::uint32_t a, std::uint32_t b);
+
+    SyncClock bf_; ///< barrier/flag edges only (no lock edges)
+    int chunk_shift_;
+    std::size_t chunks_per_page_;
+    std::vector<std::unique_ptr<Chunk[]>> pages_;
+
+    /** Per-proc held locks: sorted ids + interned set id. */
+    std::vector<std::vector<int>> held_;
+    std::vector<std::uint32_t> heldSet_;
+
+    /** Interned lock sets; id 0 is the empty set. */
+    std::vector<std::vector<int>> sets_;
+    std::map<std::vector<int>, std::uint32_t> setIds_;
+
+    std::vector<Finding> findings_;
+    DiagSink sink_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_LOCKSET_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/report.h"
 #include "common/log.h"
 
 namespace mcdsm {
@@ -9,13 +10,11 @@ namespace mcdsm {
 std::string
 RaceReport::toString() const
 {
-    return strprintf(
-        "race: page %u bytes [%u,%u) — P%d %s (%s) vs P%d %s (%s) "
-        "at t=%lld",
-        page, beginOff, endOff, firstProc,
-        firstIsWrite ? "write" : "read", firstSync.c_str(), secondProc,
-        secondIsWrite ? "write" : "read", secondSync.c_str(),
-        static_cast<long long>(when));
+    return DiagSink::strdiag(
+        "race", when,
+        diagSite(page, beginOff, endOff) + " — " +
+            diagAccess(firstProc, firstIsWrite, firstSync) + " vs " +
+            diagAccess(secondProc, secondIsWrite, secondSync));
 }
 
 RaceChecker::RaceChecker(int nprocs, std::size_t page_count,

@@ -1,0 +1,60 @@
+#include "check/report.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+std::string
+diagSite(PageNum page, std::uint32_t begin_off, std::uint32_t end_off)
+{
+    return strprintf("page %u bytes [%u,%u)", page, begin_off, end_off);
+}
+
+std::string
+diagAccess(ProcId p, bool is_write, const std::string& sync)
+{
+    return strprintf("P%d %s (%s)", p, is_write ? "write" : "read",
+                     sync.c_str());
+}
+
+std::string
+diagLockSet(const std::vector<int>& locks)
+{
+    if (locks.empty())
+        return "{}";
+    std::string out = "{";
+    for (std::size_t i = 0; i < locks.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += strprintf("%d", locks[i]);
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+DiagSink::strdiag(const std::string& analysis, Time when,
+                  const std::string& body)
+{
+    return strprintf("%s: %s at t=%lld", analysis.c_str(), body.c_str(),
+                     static_cast<long long>(when));
+}
+
+std::string
+DiagSink::summary() const
+{
+    std::string out;
+    for (const auto& line : lines_) {
+        out += line;
+        out += "\n";
+    }
+    if (count_ > lines_.size()) {
+        out += strprintf("... and %llu more %s finding(s)\n",
+                         static_cast<unsigned long long>(count_ -
+                                                         lines_.size()),
+                         analysis_.c_str());
+    }
+    return out;
+}
+
+} // namespace mcdsm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared diagnostic formatting for the verification layer.
+ *
+ * Every analysis in src/check/ (race detector, coherence-invariant
+ * oracle, lockset detector, lock-order graph) emits diagnostics
+ * through these helpers so reports are uniform and — critically —
+ * stable text: the same (plan, seed, --jobs) must produce
+ * byte-identical checker output, which the harness tests enforce.
+ * Nothing here may read host state (wall clock, addresses, iteration
+ * order of unordered containers); diagnostics are built only from
+ * simulated quantities.
+ */
+
+#ifndef MCDSM_CHECK_REPORT_H
+#define MCDSM_CHECK_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcdsm {
+
+/** "page 3 bytes [32,40)" — the site of a shared-memory finding. */
+std::string diagSite(PageNum page, std::uint32_t begin_off,
+                     std::uint32_t end_off);
+
+/** "P2 write (acquire(lock 7))" — one side of an access pair. */
+std::string diagAccess(ProcId p, bool is_write, const std::string& sync);
+
+/** "{3, 9}" — a lock set, rendered from a sorted id list. */
+std::string diagLockSet(const std::vector<int>& locks);
+
+/**
+ * Bounded, counting sink for one analysis' diagnostics. Holds up to
+ * @p cap formatted lines; findings past the cap are still counted.
+ * The line format is "<analysis>: <body> at t=<when>".
+ */
+class DiagSink
+{
+  public:
+    DiagSink(std::string analysis, std::size_t cap)
+        : analysis_(std::move(analysis)), cap_(cap)
+    {}
+
+    void
+    report(Time when, const std::string& body)
+    {
+        count_ += 1;
+        if (lines_.size() >= cap_)
+            return;
+        lines_.push_back(strdiag(analysis_, when, body));
+    }
+
+    /** Full line text for one diagnostic (also used by tests). */
+    static std::string strdiag(const std::string& analysis, Time when,
+                               const std::string& body);
+
+    std::uint64_t count() const { return count_; }
+    const std::vector<std::string>& lines() const { return lines_; }
+
+    /** One line per retained diagnostic plus an overflow note. */
+    std::string summary() const;
+
+  private:
+    std::string analysis_;
+    std::size_t cap_;
+    std::uint64_t count_ = 0;
+    std::vector<std::string> lines_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_REPORT_H

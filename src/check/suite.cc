@@ -1,0 +1,235 @@
+#include "check/suite.h"
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+CheckerSuite::CheckerSuite(const CheckConfig& cfg, int nprocs,
+                           std::size_t page_count, int chunk_shift,
+                           std::size_t max_reports)
+    : cfg_(cfg)
+{
+    if (cfg.race)
+        race_ = std::make_unique<RaceChecker>(nprocs, page_count,
+                                              chunk_shift, max_reports);
+    if (cfg.lockset)
+        lockset_ = std::make_unique<LocksetChecker>(
+            nprocs, page_count, chunk_shift, max_reports);
+    if (cfg.invariant)
+        oracle_ = std::make_unique<InvariantOracle>(
+            nprocs, page_count, chunk_shift, max_reports);
+    if (cfg.deadlock)
+        lockOrder_ = std::make_unique<LockOrderChecker>(nprocs,
+                                                        max_reports);
+}
+
+void
+CheckerSuite::onRead(ProcId p, GAddr a, std::size_t size, Time now,
+                     const std::uint8_t* frame)
+{
+    // The oracle checks the loaded bytes before the access is recorded
+    // as this chunk's latest event by the other analyses.
+    if (oracle_)
+        oracle_->onRead(p, a, size, now, frame);
+    if (race_)
+        race_->onRead(p, a, size, now);
+    if (lockset_)
+        lockset_->onRead(p, a, size, now);
+}
+
+void
+CheckerSuite::onWrite(ProcId p, GAddr a, std::size_t size, Time now,
+                      const std::uint8_t* frame)
+{
+    if (oracle_)
+        oracle_->onWrite(p, a, size, now, frame);
+    if (race_)
+        race_->onWrite(p, a, size, now);
+    if (lockset_)
+        lockset_->onWrite(p, a, size, now);
+}
+
+void
+CheckerSuite::beforeAcquire(ProcId p, int lock_id, Time now)
+{
+    if (lockOrder_)
+        lockOrder_->onAcquire(p, lock_id, now);
+}
+
+void
+CheckerSuite::afterAcquire(ProcId p, int lock_id)
+{
+    if (race_)
+        race_->afterAcquire(p, lock_id);
+    if (lockset_)
+        lockset_->afterAcquire(p, lock_id);
+    if (oracle_)
+        oracle_->afterAcquire(p, lock_id);
+    if (lockOrder_)
+        lockOrder_->onAcquired(p, lock_id);
+}
+
+void
+CheckerSuite::beforeRelease(ProcId p, int lock_id)
+{
+    if (race_)
+        race_->beforeRelease(p, lock_id);
+    if (lockset_)
+        lockset_->beforeRelease(p, lock_id);
+    if (oracle_)
+        oracle_->beforeRelease(p, lock_id);
+    if (lockOrder_)
+        lockOrder_->onRelease(p, lock_id);
+}
+
+void
+CheckerSuite::barrierEnter(ProcId p, int barrier_id, Time now)
+{
+    if (race_)
+        race_->barrierEnter(p, barrier_id);
+    if (lockset_)
+        lockset_->barrierEnter(p, barrier_id);
+    if (oracle_)
+        oracle_->barrierEnter(p, barrier_id);
+    if (lockOrder_)
+        lockOrder_->barrierEnter(p, barrier_id, now);
+}
+
+void
+CheckerSuite::barrierLeave(ProcId p, int barrier_id)
+{
+    if (race_)
+        race_->barrierLeave(p, barrier_id);
+    if (lockset_)
+        lockset_->barrierLeave(p, barrier_id);
+    if (oracle_)
+        oracle_->barrierLeave(p, barrier_id);
+}
+
+void
+CheckerSuite::beforeFlagSet(ProcId p, int flag_id)
+{
+    if (race_)
+        race_->beforeFlagSet(p, flag_id);
+    if (lockset_)
+        lockset_->beforeFlagSet(p, flag_id);
+    if (oracle_)
+        oracle_->beforeFlagSet(p, flag_id);
+}
+
+void
+CheckerSuite::afterFlagWait(ProcId p, int flag_id)
+{
+    if (race_)
+        race_->afterFlagWait(p, flag_id);
+    if (lockset_)
+        lockset_->afterFlagWait(p, flag_id);
+    if (oracle_)
+        oracle_->afterFlagWait(p, flag_id);
+}
+
+void
+CheckerSuite::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (lockOrder_)
+        lockOrder_->finish();
+
+    if (!race_ || !lockset_)
+        return;
+
+    // Cross-validation: the two race models cover different ground
+    // (happens-before sees this schedule; lockset sees the
+    // discipline), so one firing without the other is worth a line.
+    // Comparison uses the retained reports, so it is best-effort past
+    // the report cap.
+    auto overlaps = [](PageNum pg, std::uint32_t b, std::uint32_t e,
+                       PageNum pg2, std::uint32_t b2, std::uint32_t e2) {
+        return pg == pg2 && b < e2 && b2 < e;
+    };
+    for (const auto& f : lockset_->findings()) {
+        bool seen = false;
+        for (const auto& r : race_->reports()) {
+            if (overlaps(f.page, f.beginOff, f.endOff, r.page,
+                         r.beginOff, r.endOff)) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            disagreements_ += 1;
+            crossValidation_ += strprintf(
+                "cross-validation: lockset flagged page %llu bytes "
+                "[%u,%u) but happens-before saw no race there (this "
+                "schedule serialized it)\n",
+                static_cast<unsigned long long>(f.page), f.beginOff,
+                f.endOff);
+        }
+    }
+    for (const auto& r : race_->reports()) {
+        bool seen = false;
+        for (const auto& f : lockset_->findings()) {
+            if (overlaps(f.page, f.beginOff, f.endOff, r.page,
+                         r.beginOff, r.endOff)) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            disagreements_ += 1;
+            crossValidation_ += strprintf(
+                "cross-validation: happens-before raced on page %llu "
+                "bytes [%u,%u) but the lockset model did not flag it "
+                "(barrier/flag-phased or initialization-excused)\n",
+                static_cast<unsigned long long>(r.page), r.beginOff,
+                r.endOff);
+        }
+    }
+}
+
+std::uint64_t
+CheckerSuite::violations() const
+{
+    std::uint64_t n = 0;
+    if (race_)
+        n += race_->raceCount();
+    if (lockset_)
+        n += lockset_->violations();
+    if (oracle_)
+        n += oracle_->violations();
+    if (lockOrder_)
+        n += lockOrder_->violations();
+    return n;
+}
+
+std::string
+CheckerSuite::report() const
+{
+    std::string out;
+    auto section = [&](const char* name, std::uint64_t count,
+                       const std::string& body) {
+        if (count == 0)
+            return;
+        out += strprintf("== %s: %llu finding(s) ==\n", name,
+                         static_cast<unsigned long long>(count));
+        out += body;
+        if (!body.empty() && body.back() != '\n')
+            out += "\n";
+    };
+    if (race_)
+        section("race", race_->raceCount(), race_->summary());
+    if (lockset_)
+        section("lockset", lockset_->violations(), lockset_->summary());
+    if (oracle_)
+        section("invariant", oracle_->violations(), oracle_->summary());
+    if (lockOrder_)
+        section("deadlock", lockOrder_->violations(),
+                lockOrder_->summary());
+    if (!crossValidation_.empty())
+        section("cross-validation", disagreements_, crossValidation_);
+    return out;
+}
+
+} // namespace mcdsm

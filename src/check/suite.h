@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CheckerSuite — the verification layer's single entry point.
+ *
+ * Bundles the four dynamic analyses behind one set of hooks so the
+ * runtime calls the suite, not individual checkers, and a CheckConfig
+ * decides which analyses actually run:
+ *
+ *   race      — vector-clock happens-before detector (race_detector.h)
+ *   lockset   — Eraser-style discipline detector (lockset.h)
+ *   invariant — coherence-invariant oracle (invariant_oracle.h)
+ *   deadlock  — lock-order graph + cycle detection (lock_order.h)
+ *
+ * When both `race` and `lockset` run, finish() cross-validates the two
+ * models: a lockset finding no overlapping happens-before race report
+ * touches (the discipline is broken but this schedule serialized it)
+ * and vice versa. Disagreements are informational — they are reported
+ * but not counted as violations, because each model is wrong about the
+ * other's domain by design.
+ *
+ * All analyses are simulator-side only: no virtual time is charged and
+ * no messages are sent, so enabling checks does not perturb schedules
+ * or modelled timings. All diagnostics are built from simulated
+ * quantities only, so the same (plan, seed, --jobs) yields
+ * byte-identical report() output.
+ */
+
+#ifndef MCDSM_CHECK_SUITE_H
+#define MCDSM_CHECK_SUITE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/check_config.h"
+#include "check/invariant_oracle.h"
+#include "check/lock_order.h"
+#include "check/lockset.h"
+#include "check/race_detector.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class CheckerSuite
+{
+  public:
+    CheckerSuite(const CheckConfig& cfg, int nprocs,
+                 std::size_t page_count, int chunk_shift,
+                 std::size_t max_reports);
+
+    const CheckConfig& config() const { return cfg_; }
+
+    /** True if any enabled analysis needs read/write hooks. */
+    bool
+    needsDataHooks() const
+    {
+        return race_ != nullptr || lockset_ != nullptr ||
+               oracle_ != nullptr;
+    }
+
+    // ---- data-access hooks (frame: accessor's mapped page frame) ----
+    void onRead(ProcId p, GAddr a, std::size_t size, Time now,
+                const std::uint8_t* frame);
+    void onWrite(ProcId p, GAddr a, std::size_t size, Time now,
+                 const std::uint8_t* frame);
+
+    // ---- synchronization hooks --------------------------------------
+    /** Before the processor may block on the lock (deadlock edges). */
+    void beforeAcquire(ProcId p, int lock_id, Time now);
+    void afterAcquire(ProcId p, int lock_id);
+    void beforeRelease(ProcId p, int lock_id);
+    void barrierEnter(ProcId p, int barrier_id, Time now);
+    void barrierLeave(ProcId p, int barrier_id);
+    void beforeFlagSet(ProcId p, int flag_id);
+    void afterFlagWait(ProcId p, int flag_id);
+
+    /** End of run: cycle detection + cross-validation. Idempotent. */
+    void finish();
+
+    /** Total violations across enabled analyses (after finish()). */
+    std::uint64_t violations() const;
+
+    /** Per-analysis sections + cross-validation; "" when all clean. */
+    std::string report() const;
+
+    // Sub-checker access (runner stats, tests). May be null.
+    RaceChecker* raceChecker() const { return race_.get(); }
+    LocksetChecker* lockset() const { return lockset_.get(); }
+    InvariantOracle* oracle() const { return oracle_.get(); }
+    LockOrderChecker* lockOrder() const { return lockOrder_.get(); }
+
+    /** Cross-validation disagreement count (after finish()). */
+    std::uint64_t disagreements() const { return disagreements_; }
+
+  private:
+    CheckConfig cfg_;
+    std::unique_ptr<RaceChecker> race_;
+    std::unique_ptr<LocksetChecker> lockset_;
+    std::unique_ptr<InvariantOracle> oracle_;
+    std::unique_ptr<LockOrderChecker> lockOrder_;
+
+    bool finished_ = false;
+    std::uint64_t disagreements_ = 0;
+    std::string crossValidation_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_SUITE_H

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * SyncClock — vector-clock tracking over the DSM's synchronization
+ * events, shared by the verification analyses that need a
+ * happens-before order (the coherence-invariant oracle and, in its
+ * barrier/flag-only configuration, the lockset detector).
+ *
+ * The race detector keeps its own FastTrack-style epochs on purpose:
+ * the point of the second-opinion analyses is to be *independent*
+ * models over the same execution, so a bug in one clock implementation
+ * does not blind every checker at once.
+ *
+ * `lock_edges` controls whether lock release→acquire pairs create
+ * happens-before edges. The oracle wants the full release-consistency
+ * order (locks, barriers, flags); the lockset detector deliberately
+ * excludes lock edges — lock-protected data must satisfy the Eraser
+ * discipline on its own, while barrier/flag-phased data is excused by
+ * the clock.
+ *
+ * Hook placement matches the race detector's (see race_detector.h):
+ * release-type operations publish *before* the protocol makes the
+ * object observable; acquire-type operations join *after* the protocol
+ * operation completed.
+ */
+
+#ifndef MCDSM_CHECK_SYNC_CLOCK_H
+#define MCDSM_CHECK_SYNC_CLOCK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class SyncClock
+{
+  public:
+    using Clock = std::uint32_t;
+    using VC = std::vector<Clock>;
+
+    SyncClock(int nprocs, bool lock_edges)
+        : nprocs_(nprocs), lock_edges_(lock_edges)
+    {
+        vc_.resize(nprocs);
+        for (int p = 0; p < nprocs; ++p) {
+            vc_[p].assign(nprocs, 0);
+            vc_[p][p] = 1; // epoch 0 means "never"
+        }
+        ctx_.push_back("start");
+        cur_ctx_.assign(nprocs, 0);
+    }
+
+    int nprocs() const { return nprocs_; }
+
+    /** This processor's own component (its current epoch). */
+    Clock
+    clockOf(ProcId p) const
+    {
+        return vc_[p][p];
+    }
+
+    const VC& of(ProcId p) const { return vc_[p]; }
+
+    /**
+     * True if an event by @p src at epoch @p src_clock happens-before
+     * @p dst's current point.
+     */
+    bool
+    ordered(ProcId src, Clock src_clock, ProcId dst) const
+    {
+        return src == dst || src_clock <= vc_[dst][src];
+    }
+
+    /** Interned description of @p p's latest sync operation. */
+    std::uint32_t ctxId(ProcId p) const { return cur_ctx_[p]; }
+    const std::string& ctxStr(std::uint32_t id) const { return ctx_[id]; }
+    const std::string& ctxOf(ProcId p) const { return ctx_[cur_ctx_[p]]; }
+
+    // ---- synchronization events ---------------------------------------
+    void
+    afterAcquire(ProcId p, int lock_id)
+    {
+        if (lock_edges_) {
+            auto it = locks_.find(lock_id);
+            if (it != locks_.end())
+                join(vc_[p], it->second);
+        }
+        setCtx(p, strprintf("acquire(lock %d)", lock_id));
+    }
+
+    void
+    beforeRelease(ProcId p, int lock_id)
+    {
+        if (lock_edges_) {
+            VC& lv =
+                locks_.try_emplace(lock_id, VC(nprocs_, 0)).first->second;
+            join(lv, vc_[p]);
+            vc_[p][p] += 1;
+        }
+        setCtx(p, strprintf("release(lock %d)", lock_id));
+    }
+
+    void
+    barrierEnter(ProcId p, int barrier_id)
+    {
+        BarrierState& b =
+            barriers_.try_emplace(barrier_id, BarrierState{})
+                .first->second;
+        if (b.pending.empty())
+            b.pending.assign(nprocs_, 0);
+        join(b.pending, vc_[p]);
+        b.arrived += 1;
+        if (b.arrived == nprocs_) {
+            b.released = b.pending;
+            b.pending.assign(nprocs_, 0);
+            b.arrived = 0;
+        }
+    }
+
+    void
+    barrierLeave(ProcId p, int barrier_id)
+    {
+        BarrierState& b = barriers_[barrier_id];
+        mcdsm_assert(!b.released.empty(),
+                     "barrier leave before episode completion");
+        join(vc_[p], b.released);
+        vc_[p][p] += 1;
+        setCtx(p, strprintf("barrier(%d)", barrier_id));
+    }
+
+    void
+    beforeFlagSet(ProcId p, int flag_id)
+    {
+        VC& fv = flags_.try_emplace(flag_id, VC(nprocs_, 0)).first->second;
+        join(fv, vc_[p]);
+        vc_[p][p] += 1;
+        setCtx(p, strprintf("setFlag(%d)", flag_id));
+    }
+
+    void
+    afterFlagWait(ProcId p, int flag_id)
+    {
+        auto it = flags_.find(flag_id);
+        mcdsm_assert(it != flags_.end(), "flag wait without any set");
+        join(vc_[p], it->second);
+        setCtx(p, strprintf("waitFlag(%d)", flag_id));
+    }
+
+  private:
+    void
+    join(VC& dst, const VC& src)
+    {
+        for (int q = 0; q < nprocs_; ++q)
+            dst[q] = std::max(dst[q], src[q]);
+    }
+
+    void
+    setCtx(ProcId p, std::string desc)
+    {
+        cur_ctx_[p] = static_cast<std::uint32_t>(ctx_.size());
+        ctx_.push_back(std::move(desc));
+    }
+
+    struct BarrierState
+    {
+        VC pending;
+        VC released;
+        int arrived = 0;
+    };
+
+    int nprocs_;
+    bool lock_edges_;
+    std::vector<VC> vc_;
+    std::unordered_map<int, VC> locks_;
+    std::unordered_map<int, VC> flags_;
+    std::unordered_map<int, BarrierState> barriers_;
+
+    std::vector<std::string> ctx_;
+    std::vector<std::uint32_t> cur_ctx_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_CHECK_SYNC_CLOCK_H

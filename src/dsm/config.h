@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "cache/cache_model.h"
+#include "check/check_config.h"
 #include "common/costs.h"
 #include "fault/fault_plan.h"
 #include "mem/buffer_pool.h"
@@ -143,10 +144,17 @@ struct DsmConfig
      */
     bool raceDetect = false;
 
-    /** Race-detector chunk granularity: log2 bytes per chunk. */
+    /**
+     * Verification analyses to run (src/check/suite.h): race, lockset,
+     * invariant, deadlock. `raceDetect` above is the historical alias
+     * for `checks.race` and is OR-ed in; either spelling works.
+     */
+    CheckConfig checks;
+
+    /** Checker chunk granularity: log2 bytes per tracked chunk. */
     int raceChunkShift = 2;
 
-    /** Detailed race reports retained (the counter is unbounded). */
+    /** Detailed reports retained per analysis (counts are unbounded). */
     std::size_t raceMaxReports = 64;
 
     /**

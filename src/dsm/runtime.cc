@@ -101,13 +101,16 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
 
     protocol_->attach(*this);
 
-    if (cfg_.raceDetect) {
-        checker_ = std::make_unique<RaceChecker>(
-            cfg_.topo.nprocs, page_count_, cfg_.raceChunkShift,
+    CheckConfig checks = cfg_.checks;
+    checks.race = checks.race || cfg_.raceDetect;
+    if (checks.any()) {
+        checks_ = std::make_unique<CheckerSuite>(
+            checks, cfg_.topo.nprocs, page_count_, cfg_.raceChunkShift,
             cfg_.raceMaxReports);
+        data_checks_ = checks_->needsDataHooks();
     }
-    write_hook_ = protocol_->wantsWriteHook() || checker_ != nullptr;
-    read_hook_ = protocol_->wantsReadHook() || checker_ != nullptr;
+    write_hook_ = protocol_->wantsWriteHook() || data_checks_;
+    read_hook_ = protocol_->wantsReadHook() || data_checks_;
 
     if (cfg_.schedSeed != 0)
         sched_.perturb(cfg_.schedSeed, cfg_.schedMaxJitter);
@@ -237,11 +240,16 @@ DsmRuntime::acquireLock(ProcCtx& ctx, int lock_id)
     sched_.yield();
     ctx.stats.lockAcquires += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::LockAcquire, lock_id);
+    // The lock-order graph records held->requested edges before the
+    // processor may block: the edge must exist even if the run then
+    // deadlocks.
+    if (checks_)
+        checks_->beforeAcquire(ctx.id, lock_id, sched_.now());
     protocol_->acquire(ctx, lock_id);
-    // The detector joins the lock's clock only once the lock is held:
+    // The detectors join the lock's clock only once the lock is held:
     // by then the previous holder has published via beforeRelease.
-    if (checker_)
-        checker_->afterAcquire(ctx.id, lock_id);
+    if (checks_)
+        checks_->afterAcquire(ctx.id, lock_id);
 }
 
 void
@@ -250,8 +258,8 @@ DsmRuntime::releaseLock(ProcCtx& ctx, int lock_id)
     mcdsm_assert(lock_id >= 0 && lock_id < cfg_.numLocks, "bad lock id");
     sched_.yield();
     trace_.record(sched_.now(), ctx.id, TraceKind::LockRelease, lock_id);
-    if (checker_)
-        checker_->beforeRelease(ctx.id, lock_id);
+    if (checks_)
+        checks_->beforeRelease(ctx.id, lock_id);
     protocol_->release(ctx, lock_id);
 }
 
@@ -264,11 +272,11 @@ DsmRuntime::barrier(ProcCtx& ctx, int barrier_id)
     ctx.stats.barriers += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::BarrierEnter,
                   barrier_id);
-    if (checker_)
-        checker_->barrierEnter(ctx.id, barrier_id);
+    if (checks_)
+        checks_->barrierEnter(ctx.id, barrier_id, sched_.now());
     protocol_->barrier(ctx, barrier_id);
-    if (checker_)
-        checker_->barrierLeave(ctx.id, barrier_id);
+    if (checks_)
+        checks_->barrierLeave(ctx.id, barrier_id);
     trace_.record(sched_.now(), ctx.id, TraceKind::BarrierLeave,
                   barrier_id);
 }
@@ -281,8 +289,8 @@ DsmRuntime::setFlag(ProcCtx& ctx, int flag_id)
     ctx.stats.flagOps += 1;
     trace_.record(sched_.now(), ctx.id, TraceKind::FlagSet, flag_id);
     // Publish before the protocol makes the flag observable.
-    if (checker_)
-        checker_->beforeFlagSet(ctx.id, flag_id);
+    if (checks_)
+        checks_->beforeFlagSet(ctx.id, flag_id);
     protocol_->setFlag(ctx, flag_id);
 }
 
@@ -295,8 +303,8 @@ DsmRuntime::waitFlag(ProcCtx& ctx, int flag_id)
     trace_.record(sched_.now(), ctx.id, TraceKind::FlagWait, flag_id);
     protocol_->waitFlag(ctx, flag_id);
     // Join only after the wait completed: the setter has published.
-    if (checker_)
-        checker_->afterFlagWait(ctx.id, flag_id);
+    if (checks_)
+        checks_->afterFlagWait(ctx.id, flag_id);
 }
 
 Time
@@ -599,7 +607,11 @@ DsmRuntime::collectStats()
     stats_.mcBytes = mc_.totalBytes();
     stats_.mcStreamBytes = mc_.streamBytes();
     stats_.messages = mail_->totalMessages();
-    stats_.racesDetected = checker_ ? checker_->raceCount() : 0;
+    if (checks_)
+        checks_->finish();
+    stats_.racesDetected =
+        raceChecker() ? raceChecker()->raceCount() : 0;
+    stats_.checkViolations = checks_ ? checks_->violations() : 0;
     stats_.mem = prof_.stats();
 
     // Serving statistics: reduce the per-key hit tables to each

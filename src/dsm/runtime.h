@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "check/race_detector.h"
+#include "check/suite.h"
 #include "common/costs.h"
 #include "common/log.h"
 #include "common/types.h"
@@ -216,16 +216,20 @@ class DsmRuntime
     afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
     {
         protocol_->afterWrite(ctx, a, size);
-        if (checker_ && !ctx.isPp)
-            checker_->onWrite(ctx.id, a, size, sched_.now());
+        if (data_checks_ && !ctx.isPp) {
+            checks_->onWrite(ctx.id, a, size, sched_.now(),
+                             ctx.frame(pageOf(a)));
+        }
     }
 
     void
     afterRead(ProcCtx& ctx, GAddr a, std::size_t size)
     {
         protocol_->afterRead(ctx, a, size);
-        if (checker_ && !ctx.isPp)
-            checker_->onRead(ctx.id, a, size, sched_.now());
+        if (data_checks_ && !ctx.isPp) {
+            checks_->onRead(ctx.id, a, size, sched_.now(),
+                            ctx.frame(pageOf(a)));
+        }
     }
 
     /** Application loop-top instrumentation point. */
@@ -397,8 +401,15 @@ class DsmRuntime
     /** Protocol event trace (empty unless cfg.traceCapacity > 0). */
     const TraceRing& trace() const { return trace_; }
 
-    /** Race detector (nullptr unless cfg.raceDetect). */
-    const RaceChecker* raceChecker() const { return checker_.get(); }
+    /** Race detector (nullptr unless the race analysis is enabled). */
+    const RaceChecker*
+    raceChecker() const
+    {
+        return checks_ ? checks_->raceChecker() : nullptr;
+    }
+
+    /** Verification suite (nullptr unless any analysis is enabled). */
+    const CheckerSuite* checks() const { return checks_.get(); }
 
     /** Fault injector (nullptr unless cfg.fault.active()). */
     const FaultInjector* faults() const { return faults_.get(); }
@@ -512,7 +523,8 @@ class DsmRuntime
     bool polls_while_waiting_ = true;
     bool write_hook_ = false;
     bool read_hook_ = false;
-    std::unique_ptr<RaceChecker> checker_;
+    bool data_checks_ = false; ///< checks_ set and wants data hooks
+    std::unique_ptr<CheckerSuite> checks_;
 
     std::unique_ptr<FaultInjector> faults_;
     /** Per-node cost models (empty unless the plan straggles nodes). */

@@ -226,6 +226,14 @@ struct RunStats
     std::uint64_t racesDetected = 0;
 
     /**
+     * Total findings across all enabled verification analyses
+     * (DsmConfig::checks): races + lockset-discipline violations +
+     * coherence-invariant violations + predicted deadlocks. Always 0
+     * when no analysis runs; detailed text via DsmRuntime::checks().
+     */
+    std::uint64_t checkViolations = 0;
+
+    /**
      * Request-serving statistics (empty for the HPC-style apps).
      * Filled from Proc::recordRequest by the KV/parameter-server
      * workload; reports per-phase latency percentiles and per-shard

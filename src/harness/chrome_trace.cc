@@ -1,7 +1,7 @@
 #include "harness/chrome_trace.h"
 
 #include <cstdio>
-#include <unordered_map>
+#include <map>
 
 #include "common/log.h"
 
@@ -83,7 +83,9 @@ emitRun(std::string& out, const ExpResult& r, int pid)
     // Barrier episodes become duration slices; everything else is an
     // instant. A Leave whose Enter was overwritten in the ring is
     // downgraded to an instant so the B/E nesting stays balanced.
-    std::unordered_map<int, int> barrier_depth;
+    // Ordered map: the close-out loop below writes into the trace
+    // JSON, and its byte order must not depend on hash layout.
+    std::map<int, int> barrier_depth;
     for (const TraceEvent& e : r.trace) {
         const int tid = e.proc;
         switch (e.kind) {

@@ -66,6 +66,7 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
                                                 : Topology::standard(nprocs);
     cfg.seed = opts.seed;
     cfg.raceDetect = opts.raceDetect;
+    cfg.checks = opts.checks;
     cfg.schedSeed = opts.schedSeed;
     cfg.schedMaxJitter = opts.schedMaxJitter;
     cfg.fault = opts.fault;
@@ -93,6 +94,10 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     if (const RaceChecker* rc = sys->runtime().raceChecker()) {
         r.races = rc->raceCount();
         r.raceSummary = rc->summary();
+    }
+    if (const CheckerSuite* cs = sys->runtime().checks()) {
+        r.checkViolations = cs->violations();
+        r.checkReport = cs->report();
     }
     if (sys->runtime().trace().enabled())
         r.trace = sys->runtime().trace().events();

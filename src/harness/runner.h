@@ -33,6 +33,10 @@ struct ExpResult
     std::uint64_t races = 0;
     std::string raceSummary;
 
+    /** Verification suite output (empty unless RunOpts::checks). */
+    std::uint64_t checkViolations = 0;
+    std::string checkReport;
+
     /** Protocol events (empty unless RunOpts::traceCapacity > 0). */
     std::vector<TraceEvent> trace;
     /** Link brown-out windows active during the run (src/fault/). */
@@ -55,6 +59,8 @@ struct RunOpts
 
     /** Run under the vector-clock race detector. */
     bool raceDetect = false;
+    /** Verification analyses to enable (race/lockset/invariant/deadlock). */
+    CheckConfig checks;
     /** Schedule-perturbation seed (0 = baseline schedule). */
     std::uint64_t schedSeed = 0;
     /** Jitter bound for perturbed schedules (ns). */

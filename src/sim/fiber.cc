@@ -4,6 +4,17 @@
 
 #include "common/log.h"
 
+#if MCDSM_TSAN
+// Declared here instead of including <sanitizer/tsan_interface.h> so
+// the header set does not change between sanitized and plain builds.
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace mcdsm {
 
 namespace {
@@ -64,6 +75,10 @@ Fiber::Fiber(Entry entry, std::size_t stack_bytes)
 
 Fiber::~Fiber()
 {
+#if MCDSM_TSAN
+    if (tsan_fiber_)
+        __tsan_destroy_fiber(tsan_fiber_);
+#endif
     // Destroying an unfinished fiber simply abandons its stack; the
     // scheduler only does this when tearing down a deadlocked run.
     // Either way the stack goes back to this thread's cache.
@@ -84,6 +99,9 @@ Fiber::trampoline()
     self->finished_ = true;
     // Return to the resumer; uc_link would also do this, but being
     // explicit keeps the control flow obvious.
+#if MCDSM_TSAN
+    __tsan_switch_to_fiber(self->tsan_link_, 0);
+#endif
     swapcontext(&self->ctx_, &self->link_);
     mcdsm_panic("resumed a finished fiber");
 }
@@ -104,9 +122,16 @@ Fiber::resume()
         ctx_.uc_link = &link_;
         makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                     0);
+#if MCDSM_TSAN
+        tsan_fiber_ = __tsan_create_fiber(0);
+#endif
     }
 
     current_fiber = this;
+#if MCDSM_TSAN
+    tsan_link_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
     if (swapcontext(&link_, &ctx_) != 0)
         mcdsm_panic("swapcontext into fiber failed");
     current_fiber = nullptr;
@@ -118,6 +143,9 @@ Fiber::yield()
     Fiber* self = current_fiber;
     mcdsm_assert(self != nullptr, "yield() outside any fiber");
     current_fiber = nullptr;
+#if MCDSM_TSAN
+    __tsan_switch_to_fiber(self->tsan_link_, 0);
+#endif
     if (swapcontext(&self->ctx_, &self->link_) != 0)
         mcdsm_panic("swapcontext out of fiber failed");
     current_fiber = self;

@@ -18,6 +18,24 @@
 #include <memory>
 #include <vector>
 
+// ThreadSanitizer cannot follow ucontext switches on its own: without
+// help it sees one OS thread whose stack pointer teleports between
+// fiber stacks, and reports false races between fibers that the
+// scheduler in fact serialised. When TSan is enabled we tell it about
+// every fiber create/switch/destroy through its fiber API, so
+// `-fsanitize=thread` builds (the tsan CI job) check the host-level
+// ThreadPool paths while fibers stay invisible to the race analysis.
+#if defined(__SANITIZE_THREAD__)
+#define MCDSM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCDSM_TSAN 1
+#endif
+#endif
+#ifndef MCDSM_TSAN
+#define MCDSM_TSAN 0
+#endif
+
 namespace mcdsm {
 
 /**
@@ -71,6 +89,10 @@ class Fiber
     Entry entry_;
     bool started_ = false;
     bool finished_ = false;
+#if MCDSM_TSAN
+    void* tsan_fiber_ = nullptr; ///< TSan's handle for this fiber
+    void* tsan_link_ = nullptr;  ///< TSan fiber of the last resumer
+#endif
 };
 
 } // namespace mcdsm

@@ -23,6 +23,17 @@ twinAddr(PageNum pn)
     return 0x20000000ULL + pageBase(pn);
 }
 
+/** Causal application order: orderKey, then writer/seq for ties. */
+bool
+diffBefore(const DiffPtr& a, const DiffPtr& b)
+{
+    if (a->orderKey != b->orderKey)
+        return a->orderKey < b->orderKey;
+    if (a->writer != b->writer)
+        return a->writer < b->writer;
+    return a->seq < b->seq;
+}
+
 } // namespace
 
 void
@@ -114,6 +125,10 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     ctx.cache.touchRange(pageBase(pn), kPageSize);
     ctx.cache.touchRange(twinAddr(pn), kPageSize);
 
+    // Our own writes are part of the frame's composition too: a
+    // rebuild in applyDiffs must replay them in causal position.
+    m.applied.push_back(d);
+    m.maxKeyApplied = std::max(m.maxKeyApplied, d->orderKey);
     s.diffCache[pn].push_back(std::move(d));
     rt_->freeFrame(m.twin);
     m.twin = nullptr;
@@ -221,24 +236,51 @@ TreadMarks::applyDiffs(ProcCtx& ctx, PageNum pn,
 {
     PState& s = st(ctx);
     PageMeta& m = s.pages[pn];
+    mcdsm_assert(m.twin == nullptr,
+                 "diff application with un-flushed local writes");
 
-    std::sort(diffs.begin(), diffs.end(),
-              [](const DiffPtr& a, const DiffPtr& b) {
-                  if (a->orderKey != b->orderKey)
-                      return a->orderKey < b->orderKey;
-                  if (a->writer != b->writer)
-                      return a->writer < b->writer;
-                  return a->seq < b->seq;
-              });
+    std::sort(diffs.begin(), diffs.end(), diffBefore);
 
+    // Keep the diffs we have not applied yet (per-writer seqs are
+    // monotonic, so anything at or below the newest applied seq is a
+    // re-send).
+    std::vector<DiffPtr> fresh;
     for (const auto& d : diffs) {
         auto& last = m.lastSeqApplied[d->writer];
         if (d->seq <= last && last != 0)
             continue;
-        applyRuns(ctx.frame(pn), d->runs);
         last = d->seq;
         auto& cov = m.coveredUpTo[d->writer];
         cov = std::max(cov, d->coversUpTo);
+        fresh.push_back(d);
+    }
+    if (fresh.empty())
+        return;
+
+    // A server ships every cached diff newer than the requester's seq,
+    // which can include intervals the requester has no notices for
+    // yet. A *causally older* diff can therefore still arrive at a
+    // later fault; applied blindly it would roll freshly-applied bytes
+    // back to stale values. Detect that case and rebuild the frame
+    // from the initial image in causal order instead. (Concurrent
+    // intervals touch disjoint bytes in a data-race-free program, so
+    // any total order consistent with orderKey reproduces the frame.)
+    if (!m.applied.empty() &&
+        fresh.front()->orderKey < m.maxKeyApplied) {
+        m.applied.insert(m.applied.end(), fresh.begin(), fresh.end());
+        std::sort(m.applied.begin(), m.applied.end(), diffBefore);
+        std::memcpy(ctx.frame(pn), rt_->initFrame(pn), kPageSize);
+        for (const auto& d : m.applied)
+            applyRuns(ctx.frame(pn), d->runs);
+    } else {
+        for (const auto& d : fresh) {
+            applyRuns(ctx.frame(pn), d->runs);
+            m.applied.push_back(d);
+        }
+    }
+
+    for (const auto& d : fresh) {
+        m.maxKeyApplied = std::max(m.maxKeyApplied, d->orderKey);
         ctx.stats.diffsApplied += 1;
         rt_->charge(ctx, TimeCat::Protocol,
                     rt_->costs().diffApply(d->dataBytes()));

@@ -111,6 +111,20 @@ class TreadMarks final : public Protocol
         std::unordered_map<ProcId, std::uint32_t> lastSeqApplied;
         /** Intervals covered by applied diffs, per writer. */
         std::unordered_map<ProcId, std::uint32_t> coveredUpTo;
+        /**
+         * Every diff composing this frame (own flushes and remote
+         * diffs), kept so an out-of-order arrival can rebuild the
+         * frame in causal order. A diff server ships everything newer
+         * than the requester's seq — possibly intervals the requester
+         * has no notices for yet — so a *causally older* diff can
+         * arrive at a later fault, after newer bytes are already in
+         * place. Applying it blindly would roll those bytes back (a
+         * stale read the coherence oracle flags as a data-value
+         * violation); see applyDiffs.
+         */
+        std::vector<DiffPtr> applied;
+        /** Largest orderKey in `applied`. */
+        std::uint64_t maxKeyApplied = 0;
         bool everMapped = false;
     };
 

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deliberately non-deterministic code: detlint must flag every
+ * construct below. This file is NOT compiled into any target; it
+ * exists so CI proves the lint gate actually fires (the `detlint_bad`
+ * ctest entry runs the tool over this file and expects failure).
+ */
+
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace detlint_bad {
+
+struct Widget
+{
+    int id;
+};
+
+inline long
+sampleWallClock()
+{
+    return static_cast<long>(time(nullptr)); // wall-clock
+}
+
+inline int
+sampleRand()
+{
+    srand(42);      // rand (seeding from code, not configuration)
+    return rand(); // rand
+}
+
+inline int
+sampleUnorderedIteration()
+{
+    std::unordered_map<int, int> tally;
+    tally[1] = 2;
+    int sum = 0;
+    for (const auto& [k, v] : tally) // unordered-iter
+        sum += k * v;
+    return sum;
+}
+
+inline std::size_t
+samplePointerKey(Widget* a, Widget* b)
+{
+    std::map<Widget*, int> rank; // pointer-key
+    rank[a] = 1;
+    rank[b] = 2;
+    return rank.size();
+}
+
+} // namespace detlint_bad

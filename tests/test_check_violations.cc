@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Negative tests for the verification layer: each fixture contains a
+ * deliberate bug (a protocol that loses updates, an application that
+ * inverts lock order or breaks the lock discipline) and asserts that
+ * the corresponding detector fires. A clean program and a determinism
+ * check round things out — a checker that cries wolf, stays silent, or
+ * wobbles between runs is worse than none.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/log.h"
+#include "dsm/proc.h"
+#include "dsm/protocol.h"
+#include "dsm/shared_array.h"
+#include "dsm/system.h"
+
+namespace mcdsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StaleProtocol: a toy protocol that skips invalidation entirely.
+// ---------------------------------------------------------------------------
+
+constexpr int kStaleReqBarrier = 1;
+constexpr int kStaleRepBarrier = kReplyBase + 1;
+
+/**
+ * A deliberately broken coherence protocol: every processor computes
+ * on its own private copy of each page and no write is ever shipped or
+ * invalidated, so updates are silently lost across processors. The
+ * barrier itself is real (message rendezvous through processor 0), so
+ * the synchronization order is sound — only the data movement is
+ * wrong. That is precisely the bug class the coherence-invariant
+ * oracle exists for: a read that happens-after a write yet returns
+ * stale bytes is a data-value violation no checksum-tolerant app test
+ * is guaranteed to catch.
+ */
+class StaleProtocol final : public Protocol
+{
+  public:
+    void
+    attach(DsmRuntime& rt) override
+    {
+        rt_ = &rt;
+    }
+
+    void
+    onReadFault(ProcCtx& ctx, PageNum pn) override
+    {
+        mapPrivate(ctx, pn);
+    }
+
+    void
+    onWriteFault(ProcCtx& ctx, PageNum pn) override
+    {
+        mapPrivate(ctx, pn);
+    }
+
+    void
+    acquire(ProcCtx&, int) override
+    {
+        mcdsm_panic("StaleProtocol has no locks");
+    }
+
+    void
+    release(ProcCtx&, int) override
+    {
+        mcdsm_panic("StaleProtocol has no locks");
+    }
+
+    void
+    setFlag(ProcCtx&, int) override
+    {
+        mcdsm_panic("StaleProtocol has no flags");
+    }
+
+    void
+    waitFlag(ProcCtx&, int) override
+    {
+        mcdsm_panic("StaleProtocol has no flags");
+    }
+
+    void
+    barrier(ProcCtx& ctx, int barrier_id) override
+    {
+        const int nprocs = rt_->nprocs();
+        if (nprocs == 1)
+            return;
+        if (ctx.id == 0) {
+            Bar& bar = bars_[barrier_id];
+            ctx.noteWait("stale_barrier_mgr", barrier_id);
+            rt_->waitEvent(ctx, [&bar, nprocs] {
+                return bar.arrived == nprocs - 1;
+            });
+            for (ProcId q : bar.waiters) {
+                Message rep;
+                rep.type = kStaleRepBarrier;
+                rep.a = static_cast<std::uint64_t>(barrier_id);
+                rep.bytes = 32;
+                rt_->sendMessage(ctx, q, std::move(rep));
+            }
+            bar.waiters.clear();
+            bar.arrived = 0;
+        } else {
+            Message req;
+            req.type = kStaleReqBarrier;
+            req.a = static_cast<std::uint64_t>(barrier_id);
+            req.bytes = 32;
+            rt_->sendMessage(ctx, 0, std::move(req));
+            ctx.noteWait("stale_barrier", barrier_id);
+            rt_->waitReply(ctx,
+                           ReplyMatch{kStaleRepBarrier, barrier_id, -1});
+        }
+    }
+
+    void
+    serviceRequest(ProcCtx&, Message& msg) override
+    {
+        mcdsm_assert(msg.type == kStaleReqBarrier,
+                     "StaleProtocol: unexpected request");
+        Bar& bar = bars_[static_cast<int>(msg.a)];
+        bar.arrived += 1;
+        bar.waiters.push_back(msg.src);
+    }
+
+  private:
+    struct Bar
+    {
+        int arrived = 0;
+        std::vector<ProcId> waiters;
+    };
+
+    void
+    mapPrivate(ProcCtx& ctx, PageNum pn)
+    {
+        if (ctx.frame(pn) == nullptr) {
+            std::uint8_t* f = rt_->allocFrame();
+            std::memcpy(f, rt_->initFrame(pn), kPageSize);
+            ctx.mapFrame(pn, f);
+        }
+        ctx.pt.setProtection(pn, ProtRw);
+    }
+
+    DsmRuntime* rt_ = nullptr;
+    std::map<int, Bar> bars_;
+};
+
+TEST(CheckViolations, StaleProtocolTripsDataValueOracle)
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::TmkUdpInt; // servicing mode only
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.checks = CheckConfig::all();
+
+    DsmRuntime rt(cfg, std::make_unique<StaleProtocol>());
+    const GAddr a = rt.alloc(sizeof(std::int64_t));
+    rt.hostStore<std::int64_t>(a, 0);
+
+    rt.run([&](Proc& p) {
+        if (p.id() == 0)
+            p.write<std::int64_t>(a, 42);
+        p.barrier(0);
+        if (p.id() == 1)
+            (void)p.read<std::int64_t>(a); // sees stale 0, not 42
+    });
+
+    const CheckerSuite* suite = rt.checks();
+    ASSERT_NE(suite, nullptr);
+    EXPECT_GE(suite->oracle()->valueViolations(), 1u);
+    // The write and the read are barrier-ordered: the protocol lost
+    // the update, the application did nothing wrong, so the oracle
+    // must be the only analysis that fires.
+    EXPECT_EQ(suite->raceChecker()->raceCount(), 0u);
+    EXPECT_EQ(suite->lockset()->violations(), 0u);
+    EXPECT_EQ(suite->lockOrder()->violations(), 0u);
+    EXPECT_GE(rt.stats().checkViolations, 1u);
+    EXPECT_NE(suite->report().find("invariant"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SWMR: unsynchronized concurrent writes under a real protocol.
+// ---------------------------------------------------------------------------
+
+TEST(CheckViolations, UnsyncedWritesTripSwmrInvariant)
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::CsmPoll;
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.checks.invariant = true;
+
+    auto sys = DsmSystem::create(cfg);
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 8);
+    sys->run([&](Proc& p) {
+        arr.set(p, 0, p.id() + 1); // both procs, no sync: SWMR broken
+        p.barrier(0);
+    });
+
+    const CheckerSuite* suite = sys->runtime().checks();
+    ASSERT_NE(suite, nullptr);
+    EXPECT_GE(suite->oracle()->swmrViolations(), 1u);
+    EXPECT_GE(sys->stats().checkViolations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order inversion: a cycle the schedule happened not to trip.
+// ---------------------------------------------------------------------------
+
+TEST(CheckViolations, LockOrderInversionIsPredicted)
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::CsmPoll;
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.checks.deadlock = true;
+
+    auto sys = DsmSystem::create(cfg);
+    // The barrier separates the two nestings in time, so this run
+    // cannot deadlock — exactly the case cycle detection exists for:
+    // an adversarial interleaving of the same program can.
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            p.acquire(0);
+            p.acquire(1);
+            p.release(1);
+            p.release(0);
+        }
+        p.barrier(0);
+        if (p.id() == 1) {
+            p.acquire(1);
+            p.acquire(0);
+            p.release(0);
+            p.release(1);
+        }
+        p.barrier(1);
+    });
+
+    const CheckerSuite* suite = sys->runtime().checks();
+    ASSERT_NE(suite, nullptr);
+    EXPECT_GE(suite->lockOrder()->violations(), 1u);
+    EXPECT_NE(suite->report().find("deadlock"), std::string::npos);
+    EXPECT_GE(sys->stats().checkViolations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lockset vs happens-before: a discipline breach this schedule
+// serialized. The lockset detector must fire, the vector-clock
+// detector must not, and cross-validation must notice they disagree.
+// ---------------------------------------------------------------------------
+
+struct LocksetFixtureResult
+{
+    std::uint64_t locksetViolations = 0;
+    std::uint64_t races = 0;
+    std::uint64_t disagreements = 0;
+    std::string report;
+};
+
+LocksetFixtureResult
+runLocksetFixture()
+{
+    DsmConfig cfg;
+    cfg.protocol = ProtocolKind::CsmPoll;
+    cfg.topo = Topology::standard(2);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.checks.race = true;
+    cfg.checks.lockset = true;
+
+    auto sys = DsmSystem::create(cfg);
+    const GAddr x = sys->alloc(sizeof(std::int64_t));
+    const GAddr g = sys->alloc(sizeof(std::int64_t));
+    sys->hostStore<std::int64_t>(x, 0);
+    sys->hostStore<std::int64_t>(g, 0);
+
+    sys->run([&](Proc& p) {
+        if (p.id() == 0) {
+            // Writes x under lock 0 and publishes a guard.
+            p.acquire(0);
+            p.write<std::int64_t>(x, 1);
+            p.write<std::int64_t>(g, 1);
+            p.release(0);
+        } else {
+            // Polls the guard under lock 0 — once it reads 1, the
+            // write below is lock-chain ordered after proc 0's
+            // (no happens-before race) — then writes x under a
+            // *different* lock, breaking the discipline.
+            for (;;) {
+                p.pollPoint();
+                p.acquire(0);
+                const std::int64_t done = p.read<std::int64_t>(g);
+                p.release(0);
+                if (done == 1)
+                    break;
+            }
+            p.acquire(1);
+            p.write<std::int64_t>(x, 2);
+            p.release(1);
+        }
+    });
+
+    const CheckerSuite* suite = sys->runtime().checks();
+    LocksetFixtureResult r;
+    r.locksetViolations = suite->lockset()->violations();
+    r.races = suite->raceChecker()->raceCount();
+    r.disagreements = suite->disagreements();
+    r.report = suite->report();
+    return r;
+}
+
+TEST(CheckViolations, LocksetFiresWhereHappensBeforeCannot)
+{
+    const LocksetFixtureResult r = runLocksetFixture();
+    EXPECT_GE(r.locksetViolations, 1u);
+    EXPECT_EQ(r.races, 0u);
+    EXPECT_GE(r.disagreements, 1u);
+    EXPECT_NE(r.report.find("lockset"), std::string::npos);
+    EXPECT_NE(r.report.find("cross-validation"), std::string::npos);
+}
+
+TEST(CheckViolations, ReportsAreByteIdenticalAcrossRuns)
+{
+    const LocksetFixtureResult a = runLocksetFixture();
+    const LocksetFixtureResult b = runLocksetFixture();
+    ASSERT_FALSE(a.report.empty());
+    EXPECT_EQ(a.report, b.report);
+    EXPECT_EQ(a.locksetViolations, b.locksetViolations);
+    EXPECT_EQ(a.disagreements, b.disagreements);
+}
+
+// ---------------------------------------------------------------------------
+// A clean program keeps every analysis quiet.
+// ---------------------------------------------------------------------------
+
+void
+expectClean(ProtocolKind kind)
+{
+    DsmConfig cfg;
+    cfg.protocol = kind;
+    cfg.topo = Topology::standard(4);
+    cfg.maxSharedBytes = 1 << 20;
+    cfg.checks = CheckConfig::all();
+
+    auto sys = DsmSystem::create(cfg);
+    auto arr = SharedArray<std::int64_t>::allocate(*sys, 64);
+    const GAddr sum = sys->alloc(sizeof(std::int64_t));
+    sys->hostStore<std::int64_t>(sum, 0);
+
+    sys->run([&](Proc& p) {
+        arr.set(p, p.id(), p.id() + 1); // disjoint slots
+        p.barrier(0);
+        std::int64_t local = 0;
+        for (int i = 0; i < p.nprocs(); ++i)
+            local += arr.get(p, i);
+        p.acquire(0);
+        p.write<std::int64_t>(sum,
+                              p.read<std::int64_t>(sum) + local);
+        p.release(0);
+        p.barrier(1);
+    });
+
+    const CheckerSuite* suite = sys->runtime().checks();
+    ASSERT_NE(suite, nullptr);
+    EXPECT_EQ(suite->violations(), 0u)
+        << protocolName(kind) << ":\n"
+        << suite->report();
+    EXPECT_EQ(suite->report(), "");
+    EXPECT_EQ(sys->stats().checkViolations, 0u);
+}
+
+TEST(CheckViolations, CleanProgramIsCleanUnderCashmere)
+{
+    expectClean(ProtocolKind::CsmPoll);
+}
+
+TEST(CheckViolations, CleanProgramIsCleanUnderTreadMarks)
+{
+    expectClean(ProtocolKind::TmkMcPoll);
+}
+
+} // namespace
+} // namespace mcdsm
