@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Scale-cliff report: sweeps processor counts far past the paper's 32
+ * (default 32..1024) for one app per protocol family plus the KV
+ * serving workload, and reports where simulated speedup flattens and
+ * what the simulator itself costs to get there.
+ *
+ * Two axes per configuration:
+ *  - simulated speedup: sequential simulated time / parallel
+ *    simulated time, the paper's figure of merit, extended past the
+ *    32-processor SC machine;
+ *  - host events/sec: simulator throughput, the figure the scaling
+ *    work in this repo is gated on (directory bitsets, combining-tree
+ *    barriers, sparse timestamp deltas, O(P)-free per-event paths).
+ *
+ * Results are bit-identical for any --jobs value (--check-det proves
+ * it in CI), and --perf-gate compares host throughput against the
+ * committed floor in ci/perf_baseline.json so raw-speed regressions
+ * fail the build. --json and --trace-out match the other benches.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "bench_common.h"
+
+namespace mcdsm::bench {
+namespace {
+
+/** Simulator work proxy: events processed during one run. */
+std::uint64_t
+simEvents(const RunStats& s)
+{
+    std::uint64_t n = s.messages;
+    for (const auto& p : s.procs) {
+        n += p.cacheAccesses + p.readFaults + p.writeFaults +
+             p.requestsServiced + p.lockAcquires + p.barriers +
+             p.flagOps;
+    }
+    return n;
+}
+
+/**
+ * Extract a named top-level number from a JSON report written by this
+ * binary (naive key scan — the schema is ours and flat).
+ */
+bool
+readJsonNumber(const std::string& path, const char* key, double* out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    const std::string needle = std::string{"\""} + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return false;
+    *out = std::strtod(text.c_str() + at + needle.size(), nullptr);
+    return true;
+}
+
+/** Bit-exact comparison of two runs of the same spec. */
+bool
+sameResult(const ExpResult& a, const ExpResult& b, std::string* why)
+{
+    if (a.elapsed != b.elapsed) {
+        *why = "simulated time differs";
+        return false;
+    }
+    if (std::memcmp(&a.appResult.checksum, &b.appResult.checksum,
+                    sizeof(a.appResult.checksum)) != 0) {
+        *why = "application checksum differs";
+        return false;
+    }
+    if (a.stats.messages != b.stats.messages) {
+        *why = "message count differs";
+        return false;
+    }
+    return true;
+}
+
+std::vector<ExpSpec>
+buildSpecs(const Flags& flags, const RunOpts& opts)
+{
+    std::vector<ExpSpec> specs;
+    for (const auto& app :
+         splitList(flags.get("apps", "sor,gauss,kv"))) {
+        for (const auto& proto : splitList(
+                 flags.get("protocols", "csm_poll,tmk_mc_poll"))) {
+            const ProtocolKind k = protocolFromName(proto);
+            for (const auto& np : splitList(
+                     flags.get("procs", "32,64,128,256,512,1024"))) {
+                const int nprocs = std::stoi(np);
+                if (!configSupported(k, nprocs)) {
+                    std::printf("skipping %s at %d procs "
+                                "(unsupported)\n",
+                                protocolName(k), nprocs);
+                    continue;
+                }
+                specs.push_back({app, k, nprocs, opts});
+            }
+        }
+    }
+    return specs;
+}
+
+/**
+ * --check-det: rerun the sweep with --jobs=1 and --jobs=2 and require
+ * bit-identical results. CI drives this at P=128.
+ */
+int
+checkDeterminism(const Flags& flags, const RunOpts& opts)
+{
+    const std::vector<ExpSpec> specs = buildSpecs(flags, opts);
+    const auto r1 = runExperiments(specs, 1);
+    const auto r2 = runExperiments(specs, 2);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::string why;
+        if (!sameResult(r1[i], r2[i], &why)) {
+            std::printf("DETERMINISM FAILED: %s x %s x %d procs: %s\n",
+                        specs[i].app.c_str(),
+                        protocolName(specs[i].protocol),
+                        specs[i].nprocs, why.c_str());
+            return 1;
+        }
+    }
+    std::printf("determinism OK: %zu configs bit-identical for "
+                "--jobs=1 and --jobs=2\n",
+                specs.size());
+    return 0;
+}
+
+int
+run(const Flags& flags)
+{
+    using clock = std::chrono::steady_clock;
+
+    RunOpts opts;
+    opts.scale = scaleFromName(flags.get("scale", "tiny"));
+    opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.fault = faultFrom(flags);
+    if (flags.has("trace-out"))
+        opts.traceCapacity = std::size_t{1} << 18;
+    if (flags.has("sparse-vt")) {
+        DsmConfig base;
+        base.tmkSparseVt = true;
+        opts.base = base;
+    }
+
+    if (flags.has("check-det"))
+        return checkDeterminism(flags, opts);
+
+    const int jobs = jobsFrom(flags);
+    const int repeat = std::max(1, std::stoi(flags.get("repeat", "1")));
+    const std::vector<ExpSpec> specs = buildSpecs(flags, opts);
+
+    // Sequential baselines (one per app) for the speedup column.
+    std::map<std::string, double> seq_secs;
+    for (const auto& s : specs) {
+        if (seq_secs.count(s.app) != 0)
+            continue;
+        seq_secs[s.app] = runSequential(s.app, opts).seconds();
+    }
+
+    // Host time per config is the min across repetitions (the
+    // standard noise-robust estimator); simulated results are
+    // identical every round.
+    std::vector<ExpResult> results(specs.size());
+    std::vector<double> host_secs(specs.size(), 0.0);
+    for (int rep = 0; rep < repeat; ++rep) {
+        parallelFor(specs.size(), jobs, [&](std::size_t i) {
+            const auto t0 = clock::now();
+            const ExpSpec& s = specs[i];
+            results[i] =
+                runExperiment(s.app, s.protocol, s.nprocs, s.opts);
+            const double secs =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+            host_secs[i] = rep == 0 ? secs
+                                    : std::min(host_secs[i], secs);
+        });
+    }
+
+    double host_total = 0, sim_total = 0;
+    std::uint64_t events_total = 0;
+    std::printf("%-8s %-12s %6s %10s %10s %14s %14s %9s\n", "app",
+                "protocol", "procs", "host(s)", "sim(s)", "events",
+                "events/host-s", "speedup");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const ExpResult& r = results[i];
+        const std::uint64_t ev = simEvents(r.stats);
+        const double seq = seq_secs[r.app];
+        host_total += host_secs[i];
+        sim_total += r.seconds();
+        events_total += ev;
+        std::printf("%-8s %-12s %6d %10.3f %10.3f %14llu %14.0f "
+                    "%9.2f\n",
+                    r.app.c_str(), protocolName(r.protocol), r.nprocs,
+                    host_secs[i], r.seconds(),
+                    static_cast<unsigned long long>(ev),
+                    host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+                    r.seconds() > 0 ? seq / r.seconds() : 0.0);
+    }
+    const double total_rate =
+        host_total > 0 ? events_total / host_total : 0.0;
+    std::printf("total: host-cpu %.3f s, sim %.3f s, %llu events, "
+                "%.0f events/host-cpu-s, jobs %d, repeat %d\n",
+                host_total, sim_total,
+                static_cast<unsigned long long>(events_total),
+                total_rate, jobs, repeat);
+
+    const std::string json = flags.get("json", "");
+    if (!json.empty()) {
+        std::FILE* f = std::fopen(json.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"bench_scale\",\n");
+        std::fprintf(f, "  \"scale\": \"%s\",\n",
+                     flags.get("scale", "tiny").c_str());
+        std::fprintf(f, "  \"jobs\": %d,\n  \"repeat\": %d,\n", jobs,
+                     repeat);
+        std::fprintf(f, "  \"sparseVt\": %s,\n",
+                     flags.has("sparse-vt") ? "true" : "false");
+        std::fprintf(f, "  \"configs\": [\n");
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const ExpResult& r = results[i];
+            const std::uint64_t ev = simEvents(r.stats);
+            std::uint64_t cks_bits = 0;
+            static_assert(sizeof(cks_bits) ==
+                          sizeof(r.appResult.checksum));
+            std::memcpy(&cks_bits, &r.appResult.checksum,
+                        sizeof(cks_bits));
+            const double seq = seq_secs[r.app];
+            std::fprintf(
+                f,
+                "    {\"app\": \"%s\", \"protocol\": \"%s\", "
+                "\"nprocs\": %d, \"hostSeconds\": %.6f, "
+                "\"simSeconds\": %.9f, \"seqSimSeconds\": %.9f, "
+                "\"speedup\": %.4f, \"simEvents\": %llu, "
+                "\"eventsPerHostSec\": %.1f, "
+                "\"checksumBits\": \"0x%016llx\"}%s\n",
+                r.app.c_str(), protocolName(r.protocol), r.nprocs,
+                host_secs[i], r.seconds(), seq,
+                r.seconds() > 0 ? seq / r.seconds() : 0.0,
+                static_cast<unsigned long long>(ev),
+                host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+                static_cast<unsigned long long>(cks_bits),
+                i + 1 < specs.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"totals\": {\"hostSeconds\": %.6f, "
+                     "\"simSeconds\": %.9f, \"simEvents\": %llu, "
+                     "\"eventsPerHostSecTotal\": %.1f}\n}\n",
+                     host_total, sim_total,
+                     static_cast<unsigned long long>(events_total),
+                     total_rate);
+        std::fclose(f);
+        std::printf("wrote %s\n", json.c_str());
+    }
+    maybeWriteTrace(flags, results);
+
+    // --perf-gate=FILE: host-throughput floor. The committed baseline
+    // carries gateEventsPerHostSec, already derated well below a
+    // developer-machine measurement (CI machines are slow and noisy;
+    // like the alloc gate, this catches step-function regressions,
+    // not percent-level drift).
+    const std::string gate = flags.get("perf-gate", "");
+    if (!gate.empty()) {
+        double floor = 0.0;
+        if (!readJsonNumber(gate, "gateEventsPerHostSec", &floor)) {
+            std::fprintf(stderr,
+                         "perf-gate: cannot read gateEventsPerHostSec "
+                         "from %s\n",
+                         gate.c_str());
+            return 2;
+        }
+        if (total_rate < floor) {
+            std::fprintf(stderr,
+                         "PERF GATE FAILED: %.0f events/host-cpu-s < "
+                         "floor %.0f (%s)\n",
+                         total_rate, floor, gate.c_str());
+            return 1;
+        }
+        std::printf("perf gate OK: %.0f events/host-cpu-s >= floor "
+                    "%.0f\n",
+                    total_rate, floor);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace mcdsm::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace mcdsm;
+    using namespace mcdsm::bench;
+    Flags flags(argc, argv);
+    handleUsage(
+        flags,
+        "scale-cliff report: processor counts past the paper "
+        "(default 32..1024) for one app per protocol family plus KV, "
+        "reporting host events/sec and simulated speedup",
+        {{"apps", "comma-separated applications (default sor,gauss,kv)"},
+         {"protocols",
+          "comma-separated protocol variants (default "
+          "csm_poll,tmk_mc_poll)"},
+         {"procs",
+          "comma-separated processor counts (default "
+          "32,64,128,256,512,1024)"},
+         {"repeat",
+          "rounds per config; host time is the min (default 1)"},
+         {"sparse-vt",
+          "ship run-length-compressed vector-timestamp deltas "
+          "(DsmConfig::tmkSparseVt)", FlagArg::None},
+         {"json", "write a machine-readable report to FILE"},
+         {"check-det",
+          "determinism gate: run the sweep with --jobs=1 and "
+          "--jobs=2 and require bit-identical results, then exit",
+          FlagArg::None},
+         {"perf-gate",
+          "fail if total events/host-cpu-s drops below the floor "
+          "committed in FILE (ci/perf_baseline.json)"},
+         kFlagScale, kFlagSeed, kFlagJobs, kFlagScenario,
+         kFlagFaultSeed, kFlagTraceOut});
+    return run(flags);
+}

@@ -82,7 +82,9 @@ BarnesApp::configure(DsmSystem& sys)
         sys, static_cast<std::size_t>(cellCap_) * 8);
     leaf_ = SharedArray<std::int32_t>::allocate(sys, cellCap_);
     ctl_ = SharedArray<std::int32_t>::allocate(sys, 64);
-    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+    sums_ = SharedArray<double>::allocate(
+        sys, 64 * static_cast<std::size_t>(
+                      std::max(64, sys.cfg().topo.nprocs)));
 
     // Plummer-ish sphere of bodies.
     Rng rng(seed_);

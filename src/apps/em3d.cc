@@ -38,7 +38,9 @@ Em3dApp::configure(DsmSystem& sys)
     hdep_ = SharedArray<std::int32_t>::allocate(
         sys, static_cast<std::size_t>(n_) * degree_);
     weights_ = SharedArray<double>::allocate(sys, degree_ + 1);
-    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+    sums_ = SharedArray<double>::allocate(
+        sys, 64 * static_cast<std::size_t>(
+                      std::max(64, sys.cfg().topo.nprocs)));
 
     Rng rng(seed_);
     for (int d = 0; d <= degree_; ++d)

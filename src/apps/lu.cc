@@ -1,5 +1,6 @@
 #include "apps/lu.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/rng.h"
@@ -50,7 +51,9 @@ void
 LuApp::configure(DsmSystem& sys)
 {
     base_ = sys.allocPageAligned(sharedBytes());
-    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+    sums_ = SharedArray<double>::allocate(
+        sys, 64 * static_cast<std::size_t>(
+                      std::max(64, sys.cfg().topo.nprocs)));
 
     // Diagonally dominant matrix so factorization without pivoting is
     // stable; values depend only on (i, j), not on layout.

@@ -1,5 +1,6 @@
 #include "apps/sor.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace mcdsm {
@@ -26,7 +27,9 @@ SorApp::configure(DsmSystem& sys)
 {
     grid_ = SharedArray<double>::allocate(
         sys, static_cast<std::size_t>(rows_) * cols_);
-    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+    sums_ = SharedArray<double>::allocate(
+        sys, 64 * static_cast<std::size_t>(
+                      std::max(64, sys.cfg().topo.nprocs)));
 
     // Boundary conditions: hot top edge, cold elsewhere.
     for (int j = 0; j < cols_; ++j)

@@ -1,5 +1,6 @@
 #include "apps/water.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -30,7 +31,9 @@ WaterApp::configure(DsmSystem& sys)
     pos_ = SharedArray<double>::allocate(sys, 3 * n_);
     vel_ = SharedArray<double>::allocate(sys, 3 * n_);
     force_ = SharedArray<double>::allocate(sys, 3 * n_);
-    sums_ = SharedArray<double>::allocate(sys, 64 * 64);
+    sums_ = SharedArray<double>::allocate(
+        sys, 64 * static_cast<std::size_t>(
+                      std::max(64, sys.cfg().topo.nprocs)));
 
     Rng rng(seed_);
     const double box = std::cbrt(static_cast<double>(n_)) * 3.0;

@@ -16,6 +16,23 @@ pageBase(PageNum pn)
     return static_cast<GAddr>(pn) << kPageShift;
 }
 
+/**
+ * Barrier arrivals climb an 8-ary combining tree of nodes instead of
+ * all landing on node 0's receive link. With at most 8 nodes (every
+ * paper configuration) the parent of every non-root node is the root,
+ * so the tree degenerates to the original flat notification and the
+ * simulated timeline is bit-identical; past 8 nodes the arrival
+ * writes spread across interior nodes' receive links the way a real
+ * Memory Channel combining tree would.
+ */
+constexpr int kBarrierFanout = 8;
+
+inline NodeId
+barrierParent(NodeId n)
+{
+    return (n - 1) / kBarrierFanout;
+}
+
 } // namespace
 
 void
@@ -31,6 +48,7 @@ Cashmere::attach(DsmRuntime& rt)
     barrierDepth_ = 1;
     while ((1 << barrierDepth_) < rt.nprocs())
         ++barrierDepth_;
+    dirEntryBytes_ = dirEntryWireBytes(rt.topo().nodes);
 }
 
 Cashmere::PState&
@@ -38,8 +56,8 @@ Cashmere::st(ProcCtx& ctx)
 {
     if (!ctx.pstate) {
         auto s = std::make_unique<PState>();
-        s->wnPending.assign(rt_->pageCount(), 0);
-        s->dirtyPending.assign(rt_->pageCount(), 0);
+        s->wnPending.assign(rt_->activePageCount(), 0);
+        s->dirtyPending.assign(rt_->activePageCount(), 0);
         ctx.pstate = std::move(s);
     }
     return static_cast<PState&>(*ctx.pstate);
@@ -64,7 +82,7 @@ Cashmere::homeOf(ProcCtx& ctx, PageNum pn)
         if (dir_->assignHome(pn, ctx.node)) {
             rt_->charge(ctx, TimeCat::Protocol,
                         rt_->costs().dirModifyLocked);
-            rt_->mc().broadcast(ctx.node, kDirEntryBytes,
+            rt_->mc().broadcast(ctx.node, dirEntryBytes_,
                                 rt_->sched().now());
             ctx.stats.dirUpdates += 1;
         }
@@ -199,8 +217,7 @@ Cashmere::afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
     if (home != ctx.node) {
         const Time arr = rt_->mc().streamWrite(ctx.node, home, size,
                                                rt_->sched().now());
-        ctx.writeThroughDone[home] =
-            std::max(ctx.writeThroughDone[home], arr);
+        ctx.writeThroughDone = std::max(ctx.writeThroughDone, arr);
     }
 }
 
@@ -244,12 +261,15 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
 
     const int others = e.otherSharers(ctx.id);
     if (others > 0) {
-        for (ProcId q = 0; q < rt_->nprocs(); ++q) {
-            if (q == ctx.id || !e.isPresent(q))
-                continue;
+        // Walk the sharer bitmap, not the processor range: posting is
+        // O(sharers) per page, independent of P. Ascending bit order
+        // matches the old 0..P-1 scan, so charges land identically.
+        e.forEachSharer([&](ProcId q) {
+            if (q == ctx.id)
+                return;
             PState& qs = st(rt_->procCtx(q));
             if (qs.wnPending[pn])
-                continue; // duplicate notice suppressed by the bitmap
+                return; // duplicate notice suppressed by the bitmap
             qs.wnPending[pn] = 1;
             qs.writeNotices.push_back(pn);
             ctx.stats.writeNoticesSent += 1;
@@ -259,7 +279,7 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
                 rt_->mc().streamWrite(ctx.node, qnode, 16,
                                       rt_->sched().now());
             }
-        }
+        });
     }
 
     if (from_nle)
@@ -291,9 +311,7 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
 void
 Cashmere::drainWriteThrough(ProcCtx& ctx)
 {
-    Time done = 0;
-    for (Time t : ctx.writeThroughDone)
-        done = std::max(done, t);
+    const Time done = ctx.writeThroughDone;
     const Time now = rt_->sched().now();
     if (done > now)
         rt_->charge(ctx, TimeCat::CommWait, done - now);
@@ -305,16 +323,17 @@ Cashmere::processRelease(ProcCtx& ctx)
     PState& s = st(ctx);
 
     // Iterate over snapshots: posting notices never appends to our
-    // own lists, but be explicit about it.
-    std::vector<PageNum> dirty;
-    dirty.swap(s.dirty);
-    for (PageNum pn : dirty)
+    // own lists, but be explicit about it. The snapshot vectors are
+    // PState members so their capacity is reused phase after phase.
+    s.dirtySnap.swap(s.dirty);
+    for (PageNum pn : s.dirtySnap)
         postWriteNotices(ctx, pn, false);
+    s.dirtySnap.clear();
 
-    std::vector<PageNum> nle;
-    nle.swap(s.nle);
-    for (PageNum pn : nle)
+    s.nleSnap.swap(s.nle);
+    for (PageNum pn : s.nleSnap)
         postWriteNotices(ctx, pn, true);
+    s.nleSnap.clear();
 
     drainWriteThrough(ctx);
 }
@@ -387,10 +406,13 @@ Cashmere::barrier(ProcCtx& ctx, int barrier_id)
     const CostModel& c = rt_->costs();
     const NodeId root = rt_->topo().nodeOf(0);
 
-    // Notify arrival up the tree (a Memory Channel word write).
+    // Notify arrival up the tree (a Memory Channel word write to the
+    // parent node's notification region; see barrierParent above).
     rt_->charge(ctx, TimeCat::Protocol, c.mcPerWriteCpu);
-    if (ctx.node != root)
-        rt_->mc().streamWrite(ctx.node, root, 8, rt_->sched().now());
+    if (ctx.node != root) {
+        rt_->mc().streamWrite(ctx.node, barrierParent(ctx.node), 8,
+                              rt_->sched().now());
+    }
 
     const long my_epoch = bar.epoch;
     bar.arrived += 1;

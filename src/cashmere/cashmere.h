@@ -81,6 +81,15 @@ class Cashmere final : public Protocol
         std::vector<PageNum> writeNotices;
         std::vector<std::uint8_t> wnPending; ///< dedup bitmap, by page
         std::vector<std::uint8_t> dirtyPending;
+
+        /**
+         * Release-time snapshots of dirty/nle. Members (not locals)
+         * so their capacity survives across phases: a release swaps
+         * the live list in, walks it, clears it — zero steady-state
+         * heap traffic no matter how many phases the app runs.
+         */
+        std::vector<PageNum> dirtySnap;
+        std::vector<PageNum> nleSnap;
     };
 
     /** A cluster-wide lock built from an MC array + per-node flag. */
@@ -133,6 +142,7 @@ class Cashmere final : public Protocol
     std::vector<McBarrier> barriers_;
     std::vector<McFlag> flags_;
     int barrierDepth_ = 1;
+    std::size_t dirEntryBytes_ = dirEntryWireBytes(8);
 };
 
 } // namespace mcdsm

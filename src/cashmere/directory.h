@@ -21,17 +21,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/types.h"
 
 namespace mcdsm {
 
-/** Wire size of one replicated directory entry (8 nodes x 4 bytes). */
-constexpr std::size_t kDirEntryBytes = 32;
+/**
+ * Wire size of one replicated directory entry: one 4-byte word per
+ * node, never less than the paper's 8-node machine (whose entry is
+ * eight words even when fewer nodes are populated).
+ */
+constexpr std::size_t
+dirEntryWireBytes(int nodes)
+{
+    return 4 * static_cast<std::size_t>(nodes < 8 ? 8 : nodes);
+}
 
 struct DirEntry
 {
-    /** Presence bit per processor (supports up to 64). */
-    std::uint64_t presence = 0;
+    /** Presence bit per processor (any P; inline words for P <= 64). */
+    ProcSet presence;
 
     /** Processor holding exclusive read/write mode, if any. */
     ProcId exclusive = kNoProc;
@@ -42,27 +51,34 @@ struct DirEntry
     bool
     isPresent(ProcId p) const
     {
-        return (presence >> p) & 1;
+        return presence.test(p);
     }
 
     void
     addSharer(ProcId p)
     {
-        presence |= std::uint64_t{1} << p;
+        presence.set(p);
     }
 
     void
     removeSharer(ProcId p)
     {
-        presence &= ~(std::uint64_t{1} << p);
+        presence.clear(p);
     }
 
     /** Number of sharers other than @p p. */
     int
     otherSharers(ProcId p) const
     {
-        std::uint64_t others = presence & ~(std::uint64_t{1} << p);
-        return __builtin_popcountll(others);
+        return presence.countExcept(p);
+    }
+
+    /** Visit every sharer in ascending processor order. */
+    template <typename F>
+    void
+    forEachSharer(F&& f) const
+    {
+        presence.forEach(f);
     }
 };
 

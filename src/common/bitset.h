@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ProcSet: a dynamic processor-id bitset whose first 64 bits live
+ * inline. Coherence metadata keeps one of these per page, so the
+ * common case (the paper's machine, P <= 64) must stay exactly as
+ * cheap as the old single-word presence field: no heap allocation,
+ * one-word test/set/clear/popcount. Past 64 processors the overflow
+ * words are heap-backed and grown lazily on the first set() of a
+ * high bit, so pages never touched by high processors still carry
+ * no allocation.
+ */
+
+#ifndef MCDSM_COMMON_BITSET_H
+#define MCDSM_COMMON_BITSET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+class ProcSet
+{
+  public:
+    bool
+    test(int p) const
+    {
+        mcdsm_assert(p >= 0, "negative bit index");
+        if (p < kInlineBits)
+            return (low_ >> p) & 1u;
+        const std::size_t w = static_cast<std::size_t>(p) / 64 - 1;
+        if (w >= high_.size())
+            return false;
+        return (high_[w] >> (p % 64)) & 1u;
+    }
+
+    void
+    set(int p)
+    {
+        mcdsm_assert(p >= 0, "negative bit index");
+        if (p < kInlineBits) {
+            low_ |= std::uint64_t{1} << p;
+            return;
+        }
+        const std::size_t w = static_cast<std::size_t>(p) / 64 - 1;
+        if (w >= high_.size())
+            high_.resize(w + 1, 0);
+        high_[w] |= std::uint64_t{1} << (p % 64);
+    }
+
+    void
+    clear(int p)
+    {
+        mcdsm_assert(p >= 0, "negative bit index");
+        if (p < kInlineBits) {
+            low_ &= ~(std::uint64_t{1} << p);
+            return;
+        }
+        const std::size_t w = static_cast<std::size_t>(p) / 64 - 1;
+        if (w < high_.size())
+            high_[w] &= ~(std::uint64_t{1} << (p % 64));
+    }
+
+    /** Number of set bits. */
+    int
+    count() const
+    {
+        int n = __builtin_popcountll(low_);
+        for (std::uint64_t w : high_)
+            n += __builtin_popcountll(w);
+        return n;
+    }
+
+    /** Number of set bits other than @p p. */
+    int
+    countExcept(int p) const
+    {
+        return count() - (test(p) ? 1 : 0);
+    }
+
+    bool
+    empty() const
+    {
+        if (low_ != 0)
+            return false;
+        for (std::uint64_t w : high_)
+            if (w != 0)
+                return false;
+        return true;
+    }
+
+    /**
+     * Call @p f(p) for every set bit, in ascending order. The
+     * deterministic order matters: protocol code charges costs per
+     * sharer while iterating, so the visit order is part of the
+     * simulated timeline.
+     */
+    template <typename F>
+    void
+    forEach(F&& f) const
+    {
+        forEachInWord(low_, 0, f);
+        for (std::size_t w = 0; w < high_.size(); ++w)
+            forEachInWord(high_[w], static_cast<int>((w + 1) * 64), f);
+    }
+
+  private:
+    static constexpr int kInlineBits = 64;
+
+    template <typename F>
+    static void
+    forEachInWord(std::uint64_t word, int base, F&& f)
+    {
+        while (word != 0) {
+            const int b = __builtin_ctzll(word);
+            f(base + b);
+            word &= word - 1;
+        }
+    }
+
+    std::uint64_t low_ = 0;             ///< bits 0..63, allocation-free
+    std::vector<std::uint64_t> high_;   ///< bits 64.., grown on demand
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_COMMON_BITSET_H

@@ -182,6 +182,18 @@ struct DsmConfig
     bool cashmereExclusiveMode = true;
 
     /**
+     * TreadMarks: model vector timestamps on the wire as run-length
+     * compressed sparse deltas (8 bytes per nonzero entry, capped at
+     * the dense size) and drop the redundant per-interval-record
+     * timestamp words. The dense default reproduces the paper's
+     * message sizes bit-for-bit; sparse is what a scalable
+     * implementation would ship at hundreds of processors, where the
+     * dense O(P) vectors dominate every message. Accounting only —
+     * protocol decisions and simulated memory traffic are identical.
+     */
+    bool tmkSparseVt = false;
+
+    /**
      * Use the pooled memory subsystem (src/mem/) for frames and
      * message payloads. Defaults to on; MCDSM_NO_POOL=1 in the
      * environment flips the default to off. Purely a host-side

@@ -48,8 +48,13 @@ struct ProcCtx
     /** Sum of all explicitly charged (categorised) time. */
     Time accounted = 0;
 
-    /** Outstanding write-through completion time per destination node. */
-    std::vector<Time> writeThroughDone;
+    /**
+     * Latest outstanding write-through completion time across all
+     * destination nodes. Only the overall drain point matters to a
+     * release, so a running max replaces the old per-node vector —
+     * O(1) space and no O(nodes) scan per release at large P.
+     */
+    Time writeThroughDone = 0;
 
     /**
      * Debug note describing the current wait (set by protocols before

@@ -85,7 +85,6 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
         auto ctx = std::make_unique<ProcCtx>(p, cfg_.topo.nodeOf(p),
                                              page_count_, cfg_.cache,
                                              costs_);
-        ctx->writeThroughDone.assign(cfg_.topo.nodes, 0);
         procs_.push_back(std::move(ctx));
     }
     // Protocol-processor contexts (always created; only scheduled in
@@ -95,7 +94,6 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
                                              page_count_, cfg_.cache,
                                              costs_);
         ctx->isPp = true;
-        ctx->writeThroughDone.assign(cfg_.topo.nodes, 0);
         procs_.push_back(std::move(ctx));
     }
 
@@ -123,6 +121,9 @@ DsmRuntime::alloc(std::size_t bytes, std::size_t align)
 {
     mcdsm_assert(align != 0 && (align & (align - 1)) == 0,
                  "alignment must be a power of two");
+    mcdsm_assert(!ran_,
+                 "shared allocation after run() started (protocol page "
+                 "tables are sized by activePageCount at first use)");
     alloc_bytes_ = (alloc_bytes_ + align - 1) & ~(align - 1);
     GAddr a = alloc_bytes_;
     alloc_bytes_ += bytes;
@@ -137,6 +138,16 @@ GAddr
 DsmRuntime::allocPageAligned(std::size_t bytes)
 {
     return alloc(bytes, kPageSize);
+}
+
+std::size_t
+DsmRuntime::activePageCount() const
+{
+    const std::size_t sp = static_cast<std::size_t>(
+        std::max(1, cfg_.effectiveSuperpagePages(page_count_)));
+    std::size_t pages = (alloc_bytes_ + kPageSize - 1) >> kPageShift;
+    pages = (pages + sp - 1) / sp * sp;
+    return std::min(pages, page_count_);
 }
 
 std::uint8_t*

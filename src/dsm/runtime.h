@@ -294,6 +294,18 @@ class DsmRuntime
     int nprocs() const { return cfg_.topo.nprocs; }
     std::size_t pageCount() const { return page_count_; }
 
+    /**
+     * Pages actually backed by app allocations, rounded up to a whole
+     * superpage (Cashmere invalidations cover superpages). Protocols
+     * size their per-processor page metadata with this instead of
+     * pageCount(): maxSharedBytes is a generous segment bound, and at
+     * hundreds of processors metadata for never-allocated pages
+     * dominates run setup and teardown. Allocation is only legal
+     * before run(), so the value is stable by the time any
+     * per-processor protocol state is built.
+     */
+    std::size_t activePageCount() const;
+
     ProcCtx& procCtx(ProcId p) { return *procs_[p]; }
 
     /** Charge categorised time on the current fiber. */

@@ -19,8 +19,14 @@ configSupported(ProtocolKind protocol, int nprocs)
       case 24:
         break;
       case 32:
+      case 64:
+      case 128:
+      case 256:
+      case 512:
+      case 1024:
         // csm_pp needs a fourth CPU per node for the protocol
-        // processor; at 32 compute processors there is none.
+        // processor; at 32+ compute processors (all four CPUs of
+        // every node populated) there is none.
         if (protocol == ProtocolKind::CsmPp)
             return false;
         break;

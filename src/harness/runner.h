@@ -88,8 +88,9 @@ struct RunOpts
 
 /**
  * Run one experiment. @p nprocs must be one of the standard ladder
- * (1, 2, 4, 8, 12, 16, 24, 32); csm_pp at 32 is rejected (no spare
- * CPU for the protocol processor), matching the paper.
+ * (1, 2, 4, 8, 12, 16, 24, 32, then 64..1024 in powers of two);
+ * csm_pp at 32+ is rejected (no spare CPU for the protocol
+ * processor), matching the paper's machine.
  */
 ExpResult runExperiment(const std::string& app, ProtocolKind protocol,
                         int nprocs, const RunOpts& opts = {});

@@ -10,18 +10,23 @@ MailboxSystem::MailboxSystem(Scheduler& sched, MemoryChannel& mc,
                              const CostModel& costs, const Topology& topo)
     : sched_(sched), mc_(mc), costs_(costs), topo_(topo),
       queues_(endpointCount()), tasks_(endpointCount(), -1),
-      sent_count_(endpointCount(), 0), sent_bytes_(endpointCount(), 0)
+      sent_count_(endpointCount(), 0), sent_bytes_(endpointCount(), 0),
+      node_of_(endpointCount())
 {
+    // Endpoint -> node is fixed at construction; the table turns the
+    // two per-send divisions into loads (send() is one of the hottest
+    // simulator paths at large processor counts).
+    for (ProcId p = 0; p < endpointCount(); ++p) {
+        node_of_[p] = p < topo_.nprocs ? topo_.nodeOf(p)
+                                       : p - topo_.nprocs;
+    }
 }
 
 NodeId
 MailboxSystem::nodeOfEndpoint(ProcId p) const
 {
-    if (p < topo_.nprocs)
-        return topo_.nodeOf(p);
-    NodeId n = p - topo_.nprocs;
-    mcdsm_assert(n >= 0 && n < topo_.nodes, "bad endpoint id");
-    return n;
+    mcdsm_assert(p >= 0 && p < endpointCount(), "bad endpoint id");
+    return node_of_[p];
 }
 
 void
@@ -74,19 +79,20 @@ MailboxSystem::send(ProcId src, ProcId dst, Message msg,
 
     auto& q = queues_[dst];
     Queued item{arrival, seq_++, std::move(msg)};
-    if (q.empty() || q.back().arrival <= arrival) {
+    if (q.empty() || q.v.back().arrival <= arrival) {
         // Common case: the new message arrives last (seq_ is
         // monotone, so equal arrivals keep send order).
-        q.push_back(std::move(item));
+        q.v.push_back(std::move(item));
     } else {
         auto it = std::upper_bound(
-            q.begin(), q.end(), item,
+            q.v.begin() + static_cast<std::ptrdiff_t>(q.head),
+            q.v.end(), item,
             [](const Queued& a, const Queued& b) {
                 if (a.arrival != b.arrival)
                     return a.arrival < b.arrival;
                 return a.seq < b.seq;
             });
-        q.insert(it, std::move(item));
+        q.v.insert(it, std::move(item));
     }
 
     if (tasks_[dst] >= 0)
@@ -98,10 +104,10 @@ std::optional<Message>
 MailboxSystem::tryReceive(ProcId dst, Time now)
 {
     auto& q = queues_[dst];
-    if (q.empty() || q.front().arrival > now)
+    if (q.empty() || q.v[q.head].arrival > now)
         return std::nullopt;
-    Message msg = std::move(q.front().msg);
-    q.erase(q.begin());
+    Message msg = std::move(q.v[q.head].msg);
+    q.consume(q.head);
     return msg;
 }
 

@@ -114,12 +114,12 @@ class MailboxSystem
     tryReceiveIf(ProcId dst, Time now, Pred pred)
     {
         auto& q = queues_[dst];
-        for (auto it = q.begin(); it != q.end(); ++it) {
-            if (it->arrival > now)
+        for (std::size_t i = q.head; i < q.v.size(); ++i) {
+            if (q.v[i].arrival > now)
                 break;
-            if (pred(it->msg)) {
-                Message msg = std::move(it->msg);
-                q.erase(it);
+            if (pred(q.v[i].msg)) {
+                Message msg = std::move(q.v[i].msg);
+                q.consume(i);
                 return msg;
             }
         }
@@ -136,11 +136,12 @@ class MailboxSystem
     Time
     minActionable(ProcId dst, F actionable_time) const
     {
+        const auto& q = queues_[dst];
         Time best = -1;
-        for (const auto& e : queues_[dst]) {
-            if (best >= 0 && e.arrival >= best)
+        for (std::size_t i = q.head; i < q.v.size(); ++i) {
+            if (best >= 0 && q.v[i].arrival >= best)
                 break;
-            const Time t = actionable_time(e.msg);
+            const Time t = actionable_time(q.v[i].msg);
             if (t >= 0 && (best < 0 || t < best))
                 best = t;
         }
@@ -152,7 +153,7 @@ class MailboxSystem
     earliestArrival(ProcId dst) const
     {
         const auto& q = queues_[dst];
-        return q.empty() ? -1 : q.front().arrival;
+        return q.empty() ? -1 : q.v[q.head].arrival;
     }
 
     bool empty(ProcId dst) const { return queues_[dst].empty(); }
@@ -183,15 +184,48 @@ class MailboxSystem
         Message msg;
     };
 
+    /**
+     * Per-endpoint queue: the live messages are v[head..v.size()).
+     * Consuming the front advances `head` instead of erasing —
+     * erase-at-front moves every queued Message, which makes a
+     * barrier manager draining P arrivals an O(P^2) shuffle at large
+     * processor counts. Consumed slots (their Messages already moved
+     * from) are reclaimed wholesale once the queue drains.
+     */
+    struct Queue
+    {
+        std::vector<Queued> v;
+        std::size_t head = 0;
+
+        bool empty() const { return head == v.size(); }
+
+        /** Remove position @p i (>= head) after moving its Message out. */
+        void
+        consume(std::size_t i)
+        {
+            if (i == head) {
+                head += 1;
+                if (head == v.size()) {
+                    v.clear();
+                    head = 0;
+                }
+            } else {
+                v.erase(v.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+            }
+        }
+    };
+
     Scheduler& sched_;
     MemoryChannel& mc_;
     const CostModel& costs_;
     Topology topo_;
 
-    std::vector<std::vector<Queued>> queues_;
+    std::vector<Queue> queues_;
     std::vector<TaskId> tasks_;
     std::vector<std::uint64_t> sent_count_;
     std::vector<std::uint64_t> sent_bytes_;
+    std::vector<NodeId> node_of_; ///< endpoint -> node lookup
     std::uint64_t seq_ = 0;
     std::uint64_t total_messages_ = 0;
 };

@@ -28,7 +28,7 @@ MemoryChannel::occupy(NodeId src, NodeId dst, std::size_t bytes,
     // hub for bytes/aggBw, and lands latency after it finishes.
     Time start = std::max({send_time, tx_free_[src], hub_free_});
     if (src != dst)
-        start = std::max(start, rx_free_[dst]);
+        start = std::max(start, rxFree(dst));
 
     // Fault injection samples link state at the transfer's start time;
     // with no injector attached the arithmetic below is exactly the
@@ -110,20 +110,24 @@ MemoryChannel::broadcast(NodeId src, std::size_t bytes, Time send_time)
 
     const Time done = std::max(tx_done, hub_free_) + jitter;
     // The broadcast completes only when the slowest receive link has
-    // drained it; healthy links all land at `done`.
+    // drained it. Healthy links all land at `done`, which the floor
+    // records in O(1) — no per-node write (see rxFree()). Only a
+    // degraded link can land later than `done`; that excess is
+    // materialised per node on the (rare) faulted path.
+    raiseBroadcastFloor(src, done);
     Time done_all = done;
-    for (NodeId n = 0; n < nodes(); ++n) {
-        if (n == src)
-            continue;
-        Time land = done;
-        if (faults_ != nullptr) [[unlikely]] {
+    if (faults_ != nullptr) [[unlikely]] {
+        for (NodeId n = 0; n < nodes(); ++n) {
+            if (n == src)
+                continue;
             const Time rx_time = static_cast<Time>(
                 static_cast<double>(bytes) /
                 (costs_.mcLinkBw * faults_->linkFactor(n, start)));
-            land = std::max(done, start + rx_time + jitter);
+            const Time land = std::max(done, start + rx_time + jitter);
+            if (land > done)
+                rx_free_[n] = std::max(rx_free_[n], land);
+            done_all = std::max(done_all, land);
         }
-        rx_free_[n] = std::max(rx_free_[n], land);
-        done_all = std::max(done_all, land);
     }
     return done_all + costs_.mcLatency;
 }

@@ -18,6 +18,7 @@
 #ifndef MCDSM_NET_MEMORY_CHANNEL_H
 #define MCDSM_NET_MEMORY_CHANNEL_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -81,11 +82,48 @@ class MemoryChannel
   private:
     Time occupy(NodeId src, NodeId dst, std::size_t bytes, Time send_time);
 
+    /**
+     * Effective receive-link next-free time for @p n: the per-node
+     * value folded with the broadcast floor. A healthy broadcast lands
+     * on every receive link but the sender's at the same instant, so
+     * instead of an O(nodes) write per broadcast the model keeps the
+     * landing time as a floor: the latest broadcast-done time overall
+     * (bc_hi_, from node bc_hi_src_) plus the latest from any *other*
+     * source (bc_lo_). For node n the applicable floor excludes n's
+     * own broadcasts, which is bc_lo_ when n == bc_hi_src_ and bc_hi_
+     * otherwise. The pair is maintainable exactly: whenever the
+     * argmax source changes, the displaced bc_hi_ dominates every
+     * earlier broadcast and its source differs from the new argmax.
+     */
+    Time
+    rxFree(NodeId n) const
+    {
+        return std::max(rx_free_[n], n == bc_hi_src_ ? bc_lo_ : bc_hi_);
+    }
+
+    /** Fold a broadcast from @p src finishing at @p done into the floor. */
+    void
+    raiseBroadcastFloor(NodeId src, Time done)
+    {
+        if (src == bc_hi_src_) {
+            bc_hi_ = std::max(bc_hi_, done);
+        } else if (done > bc_hi_) {
+            bc_lo_ = bc_hi_;
+            bc_hi_ = done;
+            bc_hi_src_ = src;
+        } else {
+            bc_lo_ = std::max(bc_lo_, done);
+        }
+    }
+
     const CostModel& costs_;
     FaultInjector* faults_ = nullptr;
     std::vector<Time> tx_free_;
     std::vector<Time> rx_free_;
     Time hub_free_ = 0;
+    Time bc_hi_ = 0;
+    Time bc_lo_ = 0;
+    NodeId bc_hi_src_ = kNoNode;
     std::uint64_t total_bytes_ = 0;
     std::uint64_t stream_bytes_ = 0;
     std::uint64_t transfers_ = 0;

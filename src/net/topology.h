@@ -56,7 +56,9 @@ struct Topology
     /**
      * The paper's standard processor-count ladder on an 8x4 machine:
      * 1; 2 on separate nodes; 4 = 1x4 nodes; 8 = 2x4; 12 = 3x4;
-     * 16 = 2x8; 24 = 3x8; 32 = 4x8.
+     * 16 = 2x8; 24 = 3x8; 32 = 4x8. Beyond the paper, the ladder
+     * extends to hypothetical larger clusters of the same 4-CPU
+     * nodes: 64 = 16x4 up to 1024 = 256x4.
      */
     static Topology
     standard(int nprocs)
@@ -70,8 +72,16 @@ struct Topology
           case 16: return {16, 8};
           case 24: return {24, 8};
           case 32: return {32, 8};
+          case 64: return {64, 16};
+          case 128: return {128, 32};
+          case 256: return {256, 64};
+          case 512: return {512, 128};
+          case 1024: return {1024, 256};
           default:
-            mcdsm_fatal("no standard topology for %d processors", nprocs);
+            mcdsm_fatal("no standard topology for %d processors "
+                        "(ladder: 1,2,4,8,12,16,24,32,64,128,256,512,"
+                        "1024)",
+                        nprocs);
         }
     }
 };

@@ -15,6 +15,41 @@ void __tsan_switch_to_fiber(void* fiber, unsigned flags);
 }
 #endif
 
+#if MCDSM_FAST_FIBER
+// Switch stacks: save the callee-saved registers on the current
+// stack, store the resulting stack pointer through `save`, install
+// `restore` as the stack pointer and pop the registers it holds. The
+// final ret consumes the return address found on the restored stack —
+// either the point where that fiber last called this function, or the
+// entry thunk a fresh fiber's stack was primed with.
+asm(R"(
+    .text
+    .align 16
+    .globl mcdsm_fiber_switch
+    .hidden mcdsm_fiber_switch
+    .type mcdsm_fiber_switch, @function
+mcdsm_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+    .size mcdsm_fiber_switch, .-mcdsm_fiber_switch
+)");
+
+extern "C" void mcdsm_fiber_switch(void** save, void* restore);
+#endif
+
 namespace mcdsm {
 
 namespace {
@@ -91,6 +126,61 @@ Fiber::current()
     return current_fiber;
 }
 
+#if MCDSM_FAST_FIBER
+
+void
+Fiber::trampoline()
+{
+    Fiber* self = current_fiber;
+    self->entry_();
+    self->finished_ = true;
+    mcdsm_fiber_switch(&self->sp_, self->link_sp_);
+    mcdsm_panic("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    mcdsm_assert(!finished_, "resume() on finished fiber");
+    mcdsm_assert(current_fiber == nullptr,
+                 "nested fiber resume is not supported");
+
+    if (!started_) {
+        started_ = true;
+        // Prime the stack so the first switch "returns" into the
+        // trampoline. Layout from the 16-aligned top: one dummy slot
+        // (the trampoline's never-used return address, kept so the
+        // trampoline starts with rsp % 16 == 8, exactly the post-call
+        // alignment the ABI promises), the trampoline address (the
+        // switch's ret target), then six zeroed register slots.
+        auto top = reinterpret_cast<std::uintptr_t>(stack_.data() +
+                                                    stack_.size());
+        top &= ~std::uintptr_t{15};
+        auto sp = reinterpret_cast<void**>(top);
+        *--sp = nullptr;
+        *--sp = reinterpret_cast<void*>(&Fiber::trampoline);
+        for (int i = 0; i < 6; ++i)
+            *--sp = nullptr;
+        sp_ = sp;
+    }
+
+    current_fiber = this;
+    mcdsm_fiber_switch(&link_sp_, sp_);
+    current_fiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber* self = current_fiber;
+    mcdsm_assert(self != nullptr, "yield() outside any fiber");
+    current_fiber = nullptr;
+    mcdsm_fiber_switch(&self->sp_, self->link_sp_);
+    current_fiber = self;
+}
+
+#else // !MCDSM_FAST_FIBER
+
 void
 Fiber::trampoline()
 {
@@ -150,5 +240,7 @@ Fiber::yield()
         mcdsm_panic("swapcontext out of fiber failed");
     current_fiber = self;
 }
+
+#endif // MCDSM_FAST_FIBER
 
 } // namespace mcdsm

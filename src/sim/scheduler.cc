@@ -65,6 +65,16 @@ void
 Scheduler::yield()
 {
     mcdsm_assert(current_ >= 0, "yield() outside any task");
+    // Fast path: if the current task's clock is strictly below every
+    // runnable task's, the run loop would pop it right back — a heap
+    // push+pop and two fiber switches for nothing. A fresh push would
+    // carry the largest seq, so on a clock tie the queued task runs
+    // first and the slow path is required; strictly-below is exact.
+    // Perturbed mode always takes the slow path (each queue pass is a
+    // jitter/tie-break draw that must stay in the schedule).
+    if (!perturb_ &&
+        (ready_.empty() || tasks_[current_]->now < ready_.minKey().time))
+        return;
     switchOut(State::Runnable);
 }
 

@@ -202,6 +202,7 @@ class Scheduler
       public:
         bool empty() const { return v_.empty(); }
         std::size_t size() const { return v_.size(); }
+        const ReadyKey& minKey() const { return v_.front(); }
 
         void
         push(const ReadyKey& k)

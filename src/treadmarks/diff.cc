@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/log.h"
 
 namespace mcdsm {
@@ -39,6 +43,8 @@ vtSum(const VTime& v)
 std::size_t
 Diff::wireBytes() const
 {
+    if (wire_bytes_memo_ != 0)
+        return wire_bytes_memo_;
     std::size_t n = 16;
     std::size_t prev_end = 0;
     bool first = true;
@@ -51,8 +57,85 @@ Diff::wireBytes() const
         prev_end = r.offset + r.len;
         first = false;
     }
+    wire_bytes_memo_ = n;
     return n;
 }
+
+#if defined(__SSE2__)
+
+/*
+ * SIMD scan: build a 64-bit dirty-byte mask per 64-byte group with
+ * four compare+movemask pairs, then emit maximal dirty runs by
+ * walking the mask's bit transitions with ctz. Diffing is the top
+ * host cost of the TreadMarks protocols at large processor counts
+ * (every barrier interval flushes its twins), and this form is both
+ * branch-light on the common all-clean / all-dirty groups and exact
+ * at run boundaries without a per-byte fallback. Output is
+ * byte-for-byte identical to the reference byte scan
+ * (tests/test_parallel.cc checks this on random page/twin pairs).
+ */
+void
+computeRuns(const std::uint8_t* page, const std::uint8_t* twin,
+            FlatRuns& out)
+{
+    static_assert(kPageSize % 64 == 0,
+                  "SIMD scan assumes whole 64-byte groups per page");
+    out.clear();
+    constexpr std::size_t kNoRun = kPageSize;
+    std::size_t run_start = kNoRun;
+    for (std::size_t base = 0; base < kPageSize; base += 64) {
+        std::uint64_t dirty = 0;
+        for (int k = 0; k < 4; ++k) {
+            const __m128i a = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(page + base + 16 * k));
+            const __m128i b = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(twin + base + 16 * k));
+            const unsigned eq = static_cast<unsigned>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(a, b)));
+            dirty |= static_cast<std::uint64_t>(~eq & 0xffffu)
+                     << (16 * k);
+        }
+        if (dirty == 0) {
+            if (run_start != kNoRun) {
+                out.append(static_cast<std::uint16_t>(run_start),
+                           page + run_start, base - run_start);
+                run_start = kNoRun;
+            }
+            continue;
+        }
+        if (dirty == ~std::uint64_t{0}) {
+            if (run_start == kNoRun)
+                run_start = base;
+            continue;
+        }
+        std::size_t pos = 0;
+        while (pos < 64) {
+            if (run_start == kNoRun) {
+                const std::uint64_t d = dirty >> pos;
+                if (d == 0)
+                    break;
+                pos += static_cast<std::size_t>(__builtin_ctzll(d));
+                run_start = base + pos;
+            } else {
+                const std::uint64_t c = ~dirty >> pos;
+                if (c == 0) {
+                    pos = 64; // run continues into the next group
+                    break;
+                }
+                pos += static_cast<std::size_t>(__builtin_ctzll(c));
+                out.append(static_cast<std::uint16_t>(run_start),
+                           page + run_start, base + pos - run_start);
+                run_start = kNoRun;
+            }
+        }
+    }
+    if (run_start != kNoRun) {
+        out.append(static_cast<std::uint16_t>(run_start),
+                   page + run_start, kPageSize - run_start);
+    }
+}
+
+#else // !__SSE2__
 
 namespace {
 
@@ -124,6 +207,8 @@ computeRuns(const std::uint8_t* page, const std::uint8_t* twin,
         i = j;
     }
 }
+
+#endif // __SSE2__
 
 void
 applyRuns(std::uint8_t* page, const FlatRuns& runs)

@@ -8,6 +8,7 @@
 #ifndef MCDSM_TREADMARKS_INTERVALS_H
 #define MCDSM_TREADMARKS_INTERVALS_H
 
+#include <algorithm>
 #include <vector>
 
 #include "common/log.h"
@@ -37,6 +38,14 @@ class IntervalLog
             return false;
         mcdsm_assert(rec->id == col.size(),
                      "interval records must arrive without gaps");
+        if (col.empty()) {
+            // First record of this processor: index its column so the
+            // collect walks only populated columns (most processors
+            // never synchronise with most others at large P).
+            const auto at = std::lower_bound(touched_.begin(),
+                                             touched_.end(), rec->proc);
+            touched_.insert(at, rec->proc);
+        }
         col.push_back(rec);
         return true;
     }
@@ -54,12 +63,16 @@ class IntervalLog
         return cols_[q][id];
     }
 
-    /** All known records with id >= from[q], across processors. */
+    /**
+     * All known records with id >= from[q], across processors, in
+     * ascending (proc, id) order — `touched_` is kept sorted, so the
+     * output matches a full 0..P-1 column scan exactly.
+     */
     std::vector<IntervalRecPtr>
     collectSince(const VTime& from) const
     {
         std::vector<IntervalRecPtr> out;
-        for (std::size_t q = 0; q < cols_.size(); ++q) {
+        for (ProcId q : touched_) {
             for (std::uint32_t i = from[q]; i < cols_[q].size(); ++i)
                 out.push_back(cols_[q][i]);
         }
@@ -71,7 +84,7 @@ class IntervalLog
     bytesSince(const VTime& from) const
     {
         std::size_t n = 0;
-        for (std::size_t q = 0; q < cols_.size(); ++q) {
+        for (ProcId q : touched_) {
             for (std::uint32_t i = from[q]; i < cols_[q].size(); ++i)
                 n += cols_[q][i]->wireBytes();
         }
@@ -80,6 +93,7 @@ class IntervalLog
 
   private:
     std::vector<std::vector<IntervalRecPtr>> cols_;
+    std::vector<ProcId> touched_; ///< sorted ids of non-empty columns
 };
 
 } // namespace mcdsm

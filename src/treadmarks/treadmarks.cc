@@ -40,6 +40,7 @@ void
 TreadMarks::attach(DsmRuntime& rt)
 {
     rt_ = &rt;
+    sparseVt_ = rt.cfg().tmkSparseVt;
     locks_.resize(rt.cfg().numLocks);
     barriers_.resize(rt.cfg().numBarriers);
     flags_.resize(rt.cfg().numFlags);
@@ -49,8 +50,8 @@ TreadMarks::PState&
 TreadMarks::st(ProcCtx& ctx)
 {
     if (!ctx.pstate) {
-        ctx.pstate =
-            std::make_unique<PState>(rt_->nprocs(), rt_->pageCount());
+        ctx.pstate = std::make_unique<PState>(rt_->nprocs(),
+                                              rt_->activePageCount());
     }
     return static_cast<PState&>(*ctx.pstate);
 }
@@ -68,13 +69,54 @@ TreadMarks::flagManager(int flag_id) const
 }
 
 void
+TreadMarks::mergeVt(PState& s, const VTime& b)
+{
+    for (std::size_t q = 0; q < s.vt.size(); ++q) {
+        if (b[q] > s.vt[q]) {
+            s.vtSum += b[q] - s.vt[q];
+            s.vt[q] = b[q];
+        }
+    }
+}
+
+std::size_t
+TreadMarks::vtWireBytes(const VTime& vt) const
+{
+    if (!sparseVt_)
+        return 4 * vt.size();
+    // Sparse delta: 8 bytes (index + value) per nonzero entry, never
+    // more than the dense vector it replaces.
+    std::size_t nnz = 0;
+    for (std::uint32_t v : vt)
+        nnz += v != 0;
+    return std::min(4 * vt.size(), 8 * nnz);
+}
+
+std::uint32_t
+TreadMarks::recVtWords() const
+{
+    return sparseVt_ ? 0
+                     : static_cast<std::uint32_t>(rt_->nprocs());
+}
+
+std::shared_ptr<const VTime>
+TreadMarks::snapshotVt(PState& s)
+{
+    if (s.vtBoxCache == nullptr || s.vtBoxCache.use_count() != 1)
+        s.vtBoxCache = std::make_shared<VTime>(s.vt);
+    else
+        *s.vtBoxCache = s.vt; // equal sizes: memcpy, no allocation
+    return s.vtBoxCache;
+}
+
+void
 TreadMarks::closeInterval(ProcCtx& ctx)
 {
     PState& s = st(ctx);
     if (s.curWrites.empty())
         return;
 
-    auto rec = std::make_shared<IntervalRec>();
+    auto rec = makeRc<IntervalRec>();
     rec->proc = ctx.id;
     rec->id = s.vt[ctx.id];
     rec->pages = s.curWrites;
@@ -83,15 +125,16 @@ TreadMarks::closeInterval(ProcCtx& ctx)
     s.curWrites.clear();
 
     s.vt[ctx.id] += 1;
-    rec->vt = s.vt;
+    s.vtSum += 1;
+    rec->vtWords = recVtWords();
     for (PageNum pn : rec->pages)
-        s.pages[pn].closeKey = vtSum(rec->vt);
-    s.log.add(rec);
+        s.pages[pn].closeKey = s.vtSum;
+    const Time npages = static_cast<Time>(rec->pages.size());
+    s.log.add(std::move(rec));
 
     rt_->charge(ctx, TimeCat::Protocol,
                 rt_->costs().tmkPerInterval +
-                    rt_->costs().tmkPerNotice *
-                        static_cast<Time>(rec->pages.size()));
+                    rt_->costs().tmkPerNotice * npages);
 }
 
 void
@@ -107,7 +150,7 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     if (s.curMark[pn])
         closeInterval(ctx);
 
-    auto d = std::make_shared<Diff>();
+    auto d = makeRc<Diff>();
     d->writer = ctx.id;
     d->page = pn;
     d->seq = ++s.diffSeq;
@@ -129,7 +172,7 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     // rebuild in applyDiffs must replay them in causal position.
     m.applied.push_back(d);
     m.maxKeyApplied = std::max(m.maxKeyApplied, d->orderKey);
-    s.diffCache[pn].push_back(std::move(d));
+    m.ownDiffs.push_back(std::move(d));
     rt_->freeFrame(m.twin);
     m.twin = nullptr;
 
@@ -151,8 +194,8 @@ TreadMarks::mergeNotice(ProcCtx& ctx, PageNum pn, ProcId writer,
     PageMeta& m = s.pages[pn];
     rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerNotice);
 
-    auto cov = m.coveredUpTo.find(writer);
-    if (cov != m.coveredUpTo.end() && id <= cov->second)
+    const std::uint32_t* cov = m.coveredUpTo.find(writer);
+    if (cov != nullptr && id <= *cov)
         return; // already satisfied by an applied diff
 
     m.pending.emplace_back(writer, id);
@@ -175,27 +218,38 @@ TreadMarks::mergeRecords(ProcCtx& ctx,
 {
     PState& s = st(ctx);
 
-    // Per-processor columns must be applied in id order.
-    std::vector<IntervalRecPtr> sorted(recs);
-    std::sort(sorted.begin(), sorted.end(),
-              [](const IntervalRecPtr& a, const IntervalRecPtr& b) {
-                  if (a->proc != b->proc)
-                      return a->proc < b->proc;
-                  return a->id < b->id;
+    // Per-processor columns must be applied in id order. Sort indices
+    // rather than a copy of the shared_ptr vector: a barrier release
+    // at large P carries thousands of records, and the copy's
+    // refcount traffic alone was visible in profiles.
+    std::vector<std::uint32_t> order(recs.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&recs](std::uint32_t a, std::uint32_t b) {
+                  if (recs[a]->proc != recs[b]->proc)
+                      return recs[a]->proc < recs[b]->proc;
+                  return recs[a]->id < recs[b]->id;
               });
 
-    for (const auto& rec : sorted) {
+    for (const std::uint32_t idx : order) {
+        const IntervalRecPtr& rec = recs[idx];
         if (rec->proc == ctx.id)
             continue; // our own past
         if (!s.log.add(rec))
             continue; // already known
+        // Records arrive gapless per column, so the column count is
+        // now rec->id + 1; fold it into the timestamp as we go
+        // instead of re-scanning all P columns afterwards.
+        const std::uint32_t cnt = rec->id + 1;
+        if (cnt > s.vt[rec->proc]) {
+            s.vtSum += cnt - s.vt[rec->proc];
+            s.vt[rec->proc] = cnt;
+        }
         rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerInterval);
         for (PageNum pn : rec->pages)
             mergeNotice(ctx, pn, rec->proc, rec->id);
     }
-
-    for (ProcId q = 0; q < rt_->nprocs(); ++q)
-        s.vt[q] = std::max(s.vt[q], s.log.count(q));
 }
 
 GrantInfo
@@ -204,6 +258,7 @@ TreadMarks::buildGrant(ProcCtx& ctx, const VTime& req_vt)
     PState& s = st(ctx);
     GrantInfo g;
     g.vt = s.vt;
+    g.vtBytes = vtWireBytes(g.vt);
     g.records = s.log.collectSince(req_vt);
     rt_->charge(ctx, TimeCat::Protocol,
                 rt_->costs().tmkPerInterval *
@@ -219,6 +274,7 @@ TreadMarks::buildArrival(ProcCtx& ctx)
     // everything up to the last barrier, so ship everything newer.
     ArrivalInfo info;
     info.vt = s.vt;
+    info.vtBytes = vtWireBytes(info.vt);
     info.records = s.log.collectSince(s.lastBarrierVT);
     rt_->charge(ctx, TimeCat::Protocol,
                 rt_->costs().tmkPerInterval *
@@ -308,8 +364,8 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
     // serviced re-entrantly), hence the loop.
     for (;;) {
         auto unsatisfied = [&](const std::pair<ProcId, std::uint32_t>& p) {
-            auto it = m.coveredUpTo.find(p.first);
-            return it == m.coveredUpTo.end() || p.second > it->second;
+            const std::uint32_t* cov = m.coveredUpTo.find(p.first);
+            return cov == nullptr || p.second > *cov;
         };
         std::erase_if(m.pending, [&](const auto& p) {
             return !unsatisfied(p);
@@ -320,8 +376,8 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
         // Newest diff seq we already hold, per writer with notices.
         std::map<ProcId, std::uint32_t> writers;
         for (const auto& [w, id] : m.pending) {
-            auto it = m.lastSeqApplied.find(w);
-            writers[w] = it == m.lastSeqApplied.end() ? 0 : it->second;
+            const std::uint32_t* last = m.lastSeqApplied.find(w);
+            writers[w] = last == nullptr ? 0 : *last;
         }
 
         for (const auto& [w, since] : writers) {
@@ -428,7 +484,7 @@ TreadMarks::routeLockRequest(ProcCtx& mgr, int lock_id, ProcId requester,
         fwd.a = static_cast<std::uint64_t>(lock_id);
         fwd.b = static_cast<std::uint64_t>(requester);
         fwd.c = obligation;
-        fwd.bytes = 16 + 4 * rt_->nprocs();
+        fwd.bytes = 16 + vtWireBytes(*req_vt);
         fwd.box = req_vt;
         rt_->sendMessage(mgr, owner, std::move(fwd));
     }
@@ -453,10 +509,10 @@ TreadMarks::acquire(ProcCtx& ctx, int lock_id)
 {
     PState& s = st(ctx);
     const ProcId mgr = lockManager(lock_id);
-    const int vt_bytes = 16 + 4 * rt_->nprocs();
+    const std::size_t vt_bytes = 16 + vtWireBytes(s.vt);
 
     if (mgr == ctx.id) {
-        auto vt = std::make_shared<const VTime>(s.vt);
+        auto vt = snapshotVt(s);
         rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerInterval);
         if (routeLockRequest(ctx, lock_id, ctx.id, vt))
             return; // direct self-grant, nothing to merge
@@ -465,7 +521,7 @@ TreadMarks::acquire(ProcCtx& ctx, int lock_id)
         req.type = TmkReqLock;
         req.a = static_cast<std::uint64_t>(lock_id);
         req.bytes = vt_bytes;
-        req.box = std::make_shared<const VTime>(s.vt);
+        req.box = snapshotVt(s);
         rt_->sendMessage(ctx, mgr, std::move(req));
     }
 
@@ -475,7 +531,7 @@ TreadMarks::acquire(ProcCtx& ctx, int lock_id)
     auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
     if (g) {
         mergeRecords(ctx, g->records);
-        vtMax(s.vt, g->vt);
+        mergeVt(s, g->vt);
     }
 }
 
@@ -522,7 +578,7 @@ TreadMarks::barrier(ProcCtx& ctx, int barrier_id)
         });
 
         for (const auto& [q, vt_q] : bar.waiters) {
-            GrantInfo g = buildGrant(ctx, vt_q);
+            GrantInfo g = buildGrant(ctx, *vt_q);
             Message rep;
             rep.type = TmkRepBarrierRelease;
             rep.a = static_cast<std::uint64_t>(barrier_id);
@@ -549,7 +605,7 @@ TreadMarks::barrier(ProcCtx& ctx, int barrier_id)
             ctx, ReplyMatch{TmkRepBarrierRelease, barrier_id, -1});
         auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
         mergeRecords(ctx, g->records);
-        vtMax(s.vt, g->vt);
+        mergeVt(s, g->vt);
         s.lastBarrierVT = g->vt;
     }
 }
@@ -569,7 +625,7 @@ TreadMarks::setFlag(ProcCtx& ctx, int flag_id)
         FlagState& f = flags_[flag_id];
         f.set = true;
         for (const auto& [q, vt_q] : f.waiters) {
-            GrantInfo g = buildGrant(ctx, vt_q);
+            GrantInfo g = buildGrant(ctx, *vt_q);
             Message rep;
             rep.type = TmkRepFlagGrant;
             rep.a = static_cast<std::uint64_t>(flag_id);
@@ -610,8 +666,8 @@ TreadMarks::waitFlag(ProcCtx& ctx, int flag_id)
     Message req;
     req.type = TmkReqFlagWait;
     req.a = static_cast<std::uint64_t>(flag_id);
-    req.bytes = 16 + 4 * rt_->nprocs();
-    req.box = std::make_shared<const VTime>(s.vt);
+    req.bytes = 16 + vtWireBytes(s.vt);
+    req.box = snapshotVt(s);
     rt_->sendMessage(ctx, mgr, std::move(req));
 
     ctx.noteWait("tmk_flag", flag_id);
@@ -619,7 +675,7 @@ TreadMarks::waitFlag(ProcCtx& ctx, int flag_id)
         rt_->waitReply(ctx, ReplyMatch{TmkRepFlagGrant, flag_id, -1});
     auto g = std::static_pointer_cast<const GrantInfo>(rep.box);
     mergeRecords(ctx, g->records);
-    vtMax(s.vt, g->vt);
+    mergeVt(s, g->vt);
 }
 
 // ---------------------------------------------------------------------------
@@ -660,9 +716,12 @@ TreadMarks::serviceRequest(ProcCtx& server, Message& msg)
         mcdsm_assert(server.id == 0, "barrier arrival at non-manager");
         auto info = std::static_pointer_cast<const ArrivalInfo>(msg.box);
         mergeRecords(server, info->records);
-        vtMax(s.vt, info->vt);
+        mergeVt(s, info->vt);
         BarrierState& bar = barriers_[barrier_id];
-        bar.waiters.emplace_back(msg.src, info->vt);
+        // Alias the arrival payload's timestamp instead of copying
+        // it: P-1 arrivals per barrier make an O(P) copy quadratic.
+        bar.waiters.emplace_back(
+            msg.src, std::shared_ptr<const VTime>(info, &info->vt));
         bar.arrived += 1;
         break;
       }
@@ -671,11 +730,11 @@ TreadMarks::serviceRequest(ProcCtx& server, Message& msg)
         const int flag_id = static_cast<int>(msg.a);
         auto info = std::static_pointer_cast<const ArrivalInfo>(msg.box);
         mergeRecords(server, info->records);
-        vtMax(s.vt, info->vt);
+        mergeVt(s, info->vt);
         FlagState& f = flags_[flag_id];
         f.set = true;
         for (const auto& [q, vt_q] : f.waiters) {
-            GrantInfo g = buildGrant(server, vt_q);
+            GrantInfo g = buildGrant(server, *vt_q);
             Message rep;
             rep.type = TmkRepFlagGrant;
             rep.a = msg.a;
@@ -700,7 +759,7 @@ TreadMarks::serviceRequest(ProcCtx& server, Message& msg)
             rep.box = std::make_shared<const GrantInfo>(std::move(g));
             rt_->sendMessage(server, msg.src, std::move(rep));
         } else {
-            f.waiters.emplace_back(msg.src, *req_vt);
+            f.waiters.emplace_back(msg.src, req_vt);
         }
         break;
       }
@@ -714,13 +773,10 @@ TreadMarks::serviceRequest(ProcCtx& server, Message& msg)
 
         auto out = std::make_shared<DiffList>();
         std::size_t bytes = 32;
-        auto it = s.diffCache.find(pn);
-        if (it != s.diffCache.end()) {
-            for (const auto& d : it->second) {
-                if (d->seq > since) {
-                    out->push_back(d);
-                    bytes += d->wireBytes();
-                }
+        for (const auto& d : m.ownDiffs) {
+            if (d->seq > since) {
+                out->push_back(d);
+                bytes += d->wireBytes();
             }
         }
         Message rep;

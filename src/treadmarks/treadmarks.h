@@ -57,11 +57,17 @@ struct GrantInfo
 {
     VTime vt;
     std::vector<IntervalRecPtr> records;
+    /**
+     * Modelled wire bytes of the timestamp part, set by the builder:
+     * 4 * nprocs for the dense encoding, the run-length-compressed
+     * size under DsmConfig::tmkSparseVt.
+     */
+    std::size_t vtBytes = 0;
 
     std::size_t
     wireBytes() const
     {
-        std::size_t n = 16 + 4 * vt.size();
+        std::size_t n = 16 + vtBytes;
         for (const auto& r : records)
             n += r->wireBytes();
         return n;
@@ -108,9 +114,9 @@ class TreadMarks final : public Protocol
          */
         std::uint64_t closeKey = 0;
         /** Newest diff seq applied, per writer. */
-        std::unordered_map<ProcId, std::uint32_t> lastSeqApplied;
+        ProcCounterMap lastSeqApplied;
         /** Intervals covered by applied diffs, per writer. */
-        std::unordered_map<ProcId, std::uint32_t> coveredUpTo;
+        ProcCounterMap coveredUpTo;
         /**
          * Every diff composing this frame (own flushes and remote
          * diffs), kept so an out-of-order arrival can rebuild the
@@ -126,6 +132,12 @@ class TreadMarks final : public Protocol
         /** Largest orderKey in `applied`. */
         std::uint64_t maxKeyApplied = 0;
         bool everMapped = false;
+        /**
+         * Writer-side diff cache for this page, ordered by seq (it
+         * lives here rather than in a per-processor hash map so the
+         * serve path is an indexed load and teardown is free).
+         */
+        std::vector<DiffPtr> ownDiffs;
     };
 
     struct PState final : ProtocolProcState
@@ -136,15 +148,28 @@ class TreadMarks final : public Protocol
         {}
 
         VTime vt;
+        /**
+         * Running component sum of `vt`, maintained by closeInterval
+         * and mergeVt. vtSum(vt) is the causal order key stamped on
+         * every closed interval; keeping it incrementally avoids an
+         * O(P) reduction per interval close.
+         */
+        std::uint64_t vtSum = 0;
         IntervalLog log;
         VTime lastBarrierVT;
         std::vector<PageNum> curWrites;
         std::vector<PageMeta> pages;
         std::vector<std::uint8_t> curMark;
 
-        /** Writer-side diff cache: per page, ordered by seq. */
-        std::unordered_map<PageNum, std::vector<DiffPtr>> diffCache;
         std::uint32_t diffSeq = 0;
+
+        /**
+         * Recycled buffer for the timestamp snapshot shipped with
+         * lock / flag-wait requests (see snapshotVt). At hundreds of
+         * processors the per-request make_shared of a P-word VTime is
+         * a measurable share of synchronization cost.
+         */
+        std::shared_ptr<VTime> vtBoxCache;
 
         /** Completed tenures (release() calls) per lock. */
         std::unordered_map<int, std::uint32_t> lockTenuresDone;
@@ -174,22 +199,38 @@ class TreadMarks final : public Protocol
         std::vector<std::uint32_t> grantsIssued;
     };
 
-    /** Barrier-manager-side state (lives at proc 0). */
+    /**
+     * Barrier-manager-side state (lives at proc 0). Waiter timestamps
+     * are shared (aliased into the arrival message's payload), not
+     * copied: an O(P) vector copy per arrival is an O(P^2) barrier.
+     */
     struct BarrierState
     {
         int arrived = 0;
         long epoch = 0;
-        std::vector<std::pair<ProcId, VTime>> waiters;
+        std::vector<std::pair<ProcId, std::shared_ptr<const VTime>>>
+            waiters;
     };
 
     /** Flag-manager-side state (lives at proc flag%P). */
     struct FlagState
     {
         bool set = false;
-        std::vector<std::pair<ProcId, VTime>> waiters;
+        std::vector<std::pair<ProcId, std::shared_ptr<const VTime>>>
+            waiters;
     };
 
     PState& st(ProcCtx& ctx);
+
+    /**
+     * Immutable snapshot of s.vt to ship as a request box. Reuses the
+     * per-processor buffer when no consumer still holds the previous
+     * snapshot: the sender blocks until the matching grant, and a
+     * grant is only sent after the request (and any forward of it)
+     * has been consumed, so by the next snapshot the old box is
+     * normally sole-owned and assignment recycles its heap block.
+     */
+    static std::shared_ptr<const VTime> snapshotVt(PState& s);
 
     ProcId lockManager(int lock_id) const;
     ProcId flagManager(int flag_id) const;
@@ -230,10 +271,20 @@ class TreadMarks final : public Protocol
     void applyDiffs(ProcCtx& ctx, PageNum pn,
                     std::vector<DiffPtr>& diffs);
 
+    /** Elementwise max into s.vt, keeping s.vtSum consistent. */
+    static void mergeVt(PState& s, const VTime& b);
+
+    /** Wire bytes of a shipped timestamp (dense or sparse mode). */
+    std::size_t vtWireBytes(const VTime& vt) const;
+
+    /** Timestamp words one interval record ships (see IntervalRec). */
+    std::uint32_t recVtWords() const;
+
     DsmRuntime* rt_ = nullptr;
     std::vector<LockState> locks_;
     std::vector<BarrierState> barriers_;
     std::vector<FlagState> flags_;
+    bool sparseVt_ = false;
 };
 
 } // namespace mcdsm

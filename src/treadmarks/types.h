@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rc_ptr.h"
 #include "common/types.h"
 
 namespace mcdsm {
@@ -32,25 +33,76 @@ bool vtLeq(const VTime& a, const VTime& b);
 std::uint64_t vtSum(const VTime& v);
 
 /**
+ * Tiny ProcId -> counter map backed by a flat vector. A page is
+ * typically written by a handful of processors, so lookups are linear
+ * scans over a few entries — far cheaper to build, query and
+ * (crucially) destroy than an unordered_map each, when there are
+ * nprocs * page_count PageMeta instances to tear down at hundreds of
+ * simulated processors. Never iterated, so entry order is irrelevant.
+ */
+class ProcCounterMap
+{
+  public:
+    /** Pointer to the counter for @p key, or nullptr if absent. */
+    const std::uint32_t*
+    find(ProcId key) const
+    {
+        for (const auto& e : v_)
+            if (e.first == key)
+                return &e.second;
+        return nullptr;
+    }
+
+    /** Counter for @p key, inserted as 0 if absent. */
+    std::uint32_t&
+    operator[](ProcId key)
+    {
+        for (auto& e : v_)
+            if (e.first == key)
+                return e.second;
+        v_.emplace_back(key, 0);
+        return v_.back().second;
+    }
+
+  private:
+    std::vector<std::pair<ProcId, std::uint32_t>> v_;
+};
+
+/**
  * One closed interval of one processor, with the pages it wrote
  * (its write notices).
  */
-struct IntervalRec
+struct IntervalRec : RcCounted
 {
     ProcId proc = kNoProc;
     std::uint32_t id = 0; ///< interval index on `proc`
-    VTime vt;             ///< timestamp when the interval was closed
+    /**
+     * Timestamp words this record ships on the wire. Dense encoding
+     * carries the closer's full vector (nprocs words, the paper's
+     * format); the sparse encoding carries none — the (proc, id)
+     * header plus the enclosing grant's timestamp reconstruct the
+     * causal position. Only accounting: the simulator itself never
+     * needed the per-record vector, and storing one was an O(P)
+     * allocation per closed interval.
+     */
+    std::uint32_t vtWords = 0;
     std::vector<PageNum> pages;
 
     /** Modelled wire size of this record. */
     std::size_t
     wireBytes() const
     {
-        return 16 + 4 * vt.size() + 4 * pages.size();
+        return 16 + 4 * std::size_t{vtWords} + 4 * pages.size();
     }
 };
 
-using IntervalRecPtr = std::shared_ptr<const IntervalRec>;
+/**
+ * Record handles use the non-atomic intrusive count (common/rc_ptr.h):
+ * consistency messages fan each record out to every processor, and at
+ * large P the shared_ptr atomic refcount traffic alone was a
+ * measurable slice of host time.
+ */
+using IntervalRecPtr = RcPtr<const IntervalRec>;
 
 /**
  * The runs of a diff in one contiguous byte buffer: a sequence of
@@ -161,7 +213,7 @@ static_assert(kPageSize <= UINT16_MAX,
  * every write up to their creation, and are cached for later
  * requesters.
  */
-struct Diff
+struct Diff : RcCounted
 {
     ProcId writer = kNoProc;
     PageNum page = 0;
@@ -181,11 +233,20 @@ struct Diff
      * stay byte-exact, because diffs of disjoint concurrent writes
      * must compose in any order and shipping a neighbour's gap bytes
      * as data would clobber its concurrent writes.
+     *
+     * Memoized: a diff is immutable once built but its size is
+     * re-charged on every ship, and a cached diff can be shipped to
+     * many requesters. 0 is a safe "unset" sentinel (the header alone
+     * is 16 bytes). Experiments are thread-confined, so the mutable
+     * cache needs no synchronisation.
      */
     std::size_t wireBytes() const;
+
+  private:
+    mutable std::size_t wire_bytes_memo_ = 0;
 };
 
-using DiffPtr = std::shared_ptr<const Diff>;
+using DiffPtr = RcPtr<const Diff>;
 
 /**
  * Compute the diff between @p page and @p twin (both kPageSize) into

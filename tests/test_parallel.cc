@@ -336,16 +336,24 @@ TEST(DiffWireBytes, MergesNearbyRunHeaders)
 {
     const std::vector<std::uint8_t> fill(kPageSize, 0xab);
 
-    Diff d;
-    d.runs.append(0, fill.data(), 32);
-    EXPECT_EQ(d.wireBytes(), 16u + 8 + 32);
+    // wireBytes memoizes its result on first call (a diff is
+    // immutable once the writer builds it), so each run shape gets
+    // its own Diff instead of growing one incrementally.
+    Diff one;
+    one.runs.append(0, fill.data(), 32);
+    EXPECT_EQ(one.wireBytes(), 16u + 8 + 32);
 
     // Gap of 4 (< 8): second header merges, the 4 gap bytes ship as
     // data — 4 bytes instead of a fresh 8-byte header.
-    d.runs.append(36, fill.data(), 10);
-    EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10);
+    Diff merged;
+    merged.runs.append(0, fill.data(), 32);
+    merged.runs.append(36, fill.data(), 10);
+    EXPECT_EQ(merged.wireBytes(), 16u + 8 + 32 + 4 + 10);
 
     // Gap of 8 (>= 8): fresh header is cheaper, no merge.
+    Diff d;
+    d.runs.append(0, fill.data(), 32);
+    d.runs.append(36, fill.data(), 10);
     d.runs.append(54, fill.data(), 6);
     EXPECT_EQ(d.wireBytes(), 16u + 8 + 32 + 4 + 10 + 8 + 6);
 

@@ -60,10 +60,10 @@ TEST(VectorClock, SumMonotoneUnderCausality)
 IntervalRecPtr
 rec(ProcId p, std::uint32_t id, std::vector<PageNum> pages = {})
 {
-    auto r = std::make_shared<IntervalRec>();
+    auto r = makeRc<IntervalRec>();
     r->proc = p;
     r->id = id;
-    r->vt = VTime(4, 0);
+    r->vtWords = 4;
     r->pages = std::move(pages);
     return r;
 }
