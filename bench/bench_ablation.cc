@@ -28,7 +28,7 @@ main(int argc, char** argv)
                 "Ablations: exclusive mode, interrupt latency, "
                 "second-generation Memory Channel",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
                  kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int np = std::stoi(flags.get("procs", "16"));

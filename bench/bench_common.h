@@ -61,6 +61,26 @@ inline constexpr FlagInfo kFlagCheck{
     "invariant, deadlock, or all (bare --check = all); any finding "
     "makes the binary exit 1",
     FlagArg::Optional};
+inline constexpr FlagInfo kFlagNet{
+    "net",
+    "network backend: mc (the paper's Memory Channel, default) or "
+    "rdma (one-sided verbs + NIC atomics + doorbell batching)"};
+
+/** Parse --net into a NetKind (exits 2 on an unknown backend). */
+inline NetKind
+netFrom(const Flags& flags)
+{
+    const std::string name = flags.get("net", "mc");
+    NetKind kind;
+    if (!netFromName(name, &kind)) {
+        std::fprintf(stderr,
+                     "--net: unknown backend '%s' (expected mc or "
+                     "rdma)\n",
+                     name.c_str());
+        std::exit(2);
+    }
+    return kind;
+}
 
 /** Parse --check into a CheckConfig (exits 2 on a bad list). */
 inline CheckConfig
@@ -184,6 +204,7 @@ optsFrom(const Flags& flags)
     RunOpts opts;
     opts.scale = scaleFromName(flags.get("scale", "small"));
     opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.net = netFrom(flags);
     opts.fault = faultFrom(flags);
     opts.checks = checksFrom(flags);
     if (flags.has("trace-out"))

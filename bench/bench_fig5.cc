@@ -20,8 +20,8 @@ main(int argc, char** argv)
                 "Figure 5: speedups of the eight applications for all "
                 "six protocol variants",
                 {kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale,
-                 kFlagSeed, kFlagJobs, kFlagScenario, kFlagFaultSeed,
-                 kFlagTraceOut, kFlagCheck});
+                 kFlagSeed, kFlagJobs, kFlagNet, kFlagScenario,
+                 kFlagFaultSeed, kFlagTraceOut, kFlagCheck});
     RunOpts opts = optsFrom(flags);
 
     const auto apps = appList(flags);

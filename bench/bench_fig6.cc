@@ -22,7 +22,7 @@ main(int argc, char** argv)
                 "Figure 6: execution-time breakdown for the polling "
                 "variants",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
                  kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));

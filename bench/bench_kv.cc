@@ -241,7 +241,7 @@ main(int argc, char** argv)
           "--jobs=4 and require bit-identical results, then exit",
           FlagArg::None},
          kFlagProtocols, {"procs", "processor count (one value)"},
-         kFlagScale, kFlagSeed, kFlagJobs, kFlagScenario,
+         kFlagScale, kFlagSeed, kFlagJobs, kFlagNet, kFlagScenario,
          kFlagFaultSeed, kFlagTraceOut, kFlagCheck});
 
     if (flags.has("check-det"))

@@ -227,6 +227,7 @@ runGrid(const bench::Flags& flags)
     RunOpts opts;
     opts.scale = bench::scaleFromName(flags.get("scale", "tiny"));
     opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.net = bench::netFrom(flags);
     opts.fault = bench::faultFrom(flags);
     if (flags.has("trace-out"))
         opts.traceCapacity = std::size_t{1} << 18;
@@ -513,8 +514,8 @@ main(int argc, char** argv)
               "compare allocs-per-fault against the baseline grid "
               "JSON at FILE; exit 1 on >10% regression"},
              kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale, kFlagSeed,
-             kFlagJobs, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
-             kFlagCheck});
+             kFlagJobs, kFlagNet, kFlagScenario, kFlagFaultSeed,
+             kFlagTraceOut, kFlagCheck});
         return mcdsm::runGrid(flags);
     }
     // Otherwise: the google-benchmark micro suite.

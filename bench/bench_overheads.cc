@@ -19,7 +19,7 @@ main(int argc, char** argv)
     handleUsage(flags,
                 "Section 4.1 instrumentation overheads: polling and "
                 "write doubling on one processor",
-                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
+                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs, kFlagNet,
                  kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
                  kFlagCheck});
     RunOpts opts = optsFrom(flags);

@@ -144,6 +144,7 @@ run(const Flags& flags)
     RunOpts opts;
     opts.scale = scaleFromName(flags.get("scale", "tiny"));
     opts.seed = std::stoull(flags.get("seed", "1"));
+    opts.net = netFrom(flags);
     opts.fault = faultFrom(flags);
     if (flags.has("trace-out"))
         opts.traceCapacity = std::size_t{1} << 18;
@@ -229,6 +230,7 @@ run(const Flags& flags)
                      repeat);
         std::fprintf(f, "  \"sparseVt\": %s,\n",
                      flags.has("sparse-vt") ? "true" : "false");
+        std::fprintf(f, "  \"net\": \"%s\",\n", netName(opts.net));
         std::fprintf(f, "  \"configs\": [\n");
         for (std::size_t i = 0; i < specs.size(); ++i) {
             const ExpResult& r = results[i];
@@ -246,12 +248,16 @@ run(const Flags& flags)
                 "\"simSeconds\": %.9f, \"seqSimSeconds\": %.9f, "
                 "\"speedup\": %.4f, \"simEvents\": %llu, "
                 "\"eventsPerHostSec\": %.1f, "
+                "\"netBytes\": %llu, \"oneSidedBytes\": %llu, "
                 "\"checksumBits\": \"0x%016llx\"}%s\n",
                 r.app.c_str(), protocolName(r.protocol), r.nprocs,
                 host_secs[i], r.seconds(), seq,
                 r.seconds() > 0 ? seq / r.seconds() : 0.0,
                 static_cast<unsigned long long>(ev),
                 host_secs[i] > 0 ? ev / host_secs[i] : 0.0,
+                static_cast<unsigned long long>(r.stats.mcBytes),
+                static_cast<unsigned long long>(
+                    r.stats.netOneSidedBytes),
                 static_cast<unsigned long long>(cks_bits),
                 i + 1 < specs.size() ? "," : "");
         }
@@ -330,7 +336,7 @@ main(int argc, char** argv)
          {"perf-gate",
           "fail if total events/host-cpu-s drops below the floor "
           "committed in FILE (ci/perf_baseline.json)"},
-         kFlagScale, kFlagSeed, kFlagJobs, kFlagScenario,
+         kFlagScale, kFlagSeed, kFlagJobs, kFlagNet, kFlagScenario,
          kFlagFaultSeed, kFlagTraceOut});
     return run(flags);
 }

@@ -153,7 +153,7 @@ main(int argc, char** argv)
           "verify null-plan bit-equality and --jobs invariance, then "
           "exit", FlagArg::None},
          kFlagApps, {"procs", "processor count (one value)"}, kFlagScale,
-         kFlagSeed, kFlagJobs, kFlagFaultSeed, kFlagTraceOut,
+         kFlagSeed, kFlagJobs, kFlagNet, kFlagFaultSeed, kFlagTraceOut,
          kFlagCheck});
 
     if (flags.has("check-null"))

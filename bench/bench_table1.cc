@@ -14,6 +14,8 @@
 namespace mcdsm::bench {
 namespace {
 
+/** Network backend for every measurement (--net, default mc). */
+NetKind g_net = NetKind::Mc;
 /** Fault plan applied to every measurement (default: null plan). */
 FaultPlan g_fault;
 /** Verification analyses applied to every measurement (--check). */
@@ -28,6 +30,7 @@ cfgFor(ProtocolKind k, int nprocs)
     cfg.protocol = k;
     cfg.topo = Topology::standard(nprocs);
     cfg.maxSharedBytes = 8 << 20;
+    cfg.net = g_net;
     cfg.fault = g_fault;
     cfg.checks = g_checks;
     return cfg;
@@ -132,7 +135,8 @@ main(int argc, char** argv)
     handleUsage(flags,
                 "Table 1: minimum cost of basic operations for all six "
                 "protocol variants",
-                {kFlagScenario, kFlagFaultSeed, kFlagCheck});
+                {kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagCheck});
+    g_net = netFrom(flags);
     g_fault = faultFrom(flags);
     g_checks = checksFrom(flags);
 

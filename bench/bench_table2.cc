@@ -14,7 +14,7 @@ main(int argc, char** argv)
     Flags flags(argc, argv);
     handleUsage(flags,
                 "Table 2: data-set sizes and sequential execution time",
-                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs,
+                {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs, kFlagNet,
                  kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
                  kFlagCheck});
     RunOpts opts = optsFrom(flags);

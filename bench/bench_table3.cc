@@ -17,7 +17,7 @@ main(int argc, char** argv)
                 "Table 3: communication statistics for the polling "
                 "variants",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
-                 kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
+                 kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
                  kFlagCheck});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
@@ -98,6 +98,30 @@ main(int argc, char** argv)
                       })),
                       TextTable::count(s.messages),
                       TextTable::count(bytes / 1024)});
+        }
+        t.print();
+    }
+
+    // RDMA verb block: one-sided traffic vs what remains on the
+    // message path. All-zero (and omitted) on --net=mc.
+    if (opts.net == NetKind::Rdma) {
+        std::printf("\n");
+        TextTable t({"RDMA", "System", "1-sided KB", "Msg KB", "Reads",
+                     "Writes", "CAS", "FAA", "Doorbells"});
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& app = apps[i % apps.size()];
+            const bool csm = i < apps.size();
+            const RunStats& s = results[i].stats;
+            const std::uint64_t msg_bytes =
+                s.mcBytes - std::min(s.mcBytes, s.netOneSidedBytes);
+            t.addRow({app, csm ? "CSM" : "TMK",
+                      TextTable::count(s.netOneSidedBytes / 1024),
+                      TextTable::count(msg_bytes / 1024),
+                      TextTable::count(s.rdmaReads),
+                      TextTable::count(s.rdmaWrites),
+                      TextTable::count(s.rdmaCasOps),
+                      TextTable::count(s.rdmaFaaOps),
+                      TextTable::count(s.rdmaDoorbells)});
         }
         t.print();
     }

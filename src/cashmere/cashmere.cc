@@ -80,10 +80,21 @@ Cashmere::homeOf(ProcCtx& ctx, PageNum pn)
         // requires the directory-entry lock (paper: the only locked
         // directory operation).
         if (dir_->assignHome(pn, ctx.node)) {
-            rt_->charge(ctx, TimeCat::Protocol,
-                        rt_->costs().dirModifyLocked);
-            rt_->mc().broadcast(ctx.node, dirEntryBytes_,
-                                rt_->sched().now());
+            if (rt_->rdmaDirAtomics()) {
+                // The first-touch claim is one NIC-resident CAS on
+                // the entry word at its directory node — no entry
+                // lock, no broadcast of the updated entry.
+                rt_->charge(ctx, TimeCat::Protocol,
+                            rt_->costs().dirModify);
+                const NodeId dn = dirNodeOf(pn);
+                if (dn != ctx.node)
+                    rt_->rdmaWaitUntil(ctx, rt_->rdmaCas(ctx, dn));
+            } else {
+                rt_->charge(ctx, TimeCat::Protocol,
+                            rt_->costs().dirModifyLocked);
+                rt_->net().broadcast(ctx.node, dirEntryBytes_,
+                                     rt_->sched().now());
+            }
             ctx.stats.dirUpdates += 1;
         }
     }
@@ -106,6 +117,19 @@ Cashmere::loadPage(ProcCtx& ctx, PageNum pn)
         std::memcpy(ctx.frame(pn), canon, kPageSize);
         const Time lat = ctx.cache.touchRange(pageBase(pn), kPageSize);
         rt_->charge(ctx, TimeCat::Protocol, lat);
+        return;
+    }
+
+    if (rt_->rdmaPageRead()) {
+        // One-sided page fetch: the requester's NIC pulls the
+        // canonical copy straight out of the home's memory — no
+        // request message, no handler occupancy at the home.
+        ctx.noteWait("csm_fetch", pn, home);
+        rt_->rdmaWaitUntil(ctx, rt_->rdmaRead(ctx, home, kPageSize));
+        std::memcpy(ctx.frame(pn), canon, kPageSize);
+        const Time lat = ctx.cache.touchRange(pageBase(pn), kPageSize);
+        rt_->charge(ctx, TimeCat::Protocol, lat);
+        ctx.stats.pageTransfers += 1;
         return;
     }
 
@@ -137,12 +161,20 @@ Cashmere::onReadFault(ProcCtx& ctx, PageNum pn)
     const CostModel& c = rt_->costs();
     DirEntry& e = dir_->entry(pn);
 
-    // Join the sharing set (ll/sc on our node's directory word,
-    // broadcast of the updated word).
+    // Join the sharing set. On MC: ll/sc on our node's directory
+    // word, broadcast of the updated word. On RDMA with atomics: a
+    // posted fetch-and-add of our presence bit at the entry's
+    // directory node — fire-and-forget, nothing to broadcast.
     e.addSharer(ctx.id);
     ctx.stats.dirUpdates += 1;
     rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
-    rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+    if (rt_->rdmaDirAtomics()) {
+        const NodeId dn = dirNodeOf(pn);
+        if (dn != ctx.node)
+            rt_->rdmaFaa(ctx, dn);
+    } else {
+        rt_->net().broadcast(ctx.node, 8, rt_->sched().now());
+    }
 
     // If some other processor held the page exclusive, post an NLE
     // descriptor to it and clear exclusive mode.
@@ -150,12 +182,21 @@ Cashmere::onReadFault(ProcCtx& ctx, PageNum pn)
         ProcCtx& owner = rt_->procCtx(e.exclusive);
         st(owner).nle.push_back(pn);
         e.exclusive = kNoProc;
-        rt_->charge(ctx, TimeCat::Protocol,
-                    c.dirScan + c.mcLockUncontended);
+        if (rt_->rdmaDirAtomics()) {
+            // Clearing exclusive mode is a CAS on the entry word; no
+            // entry lock needed.
+            rt_->charge(ctx, TimeCat::Protocol, c.dirScan);
+            const NodeId dn = dirNodeOf(pn);
+            if (dn != ctx.node)
+                rt_->rdmaWaitUntil(ctx, rt_->rdmaCas(ctx, dn));
+        } else {
+            rt_->charge(ctx, TimeCat::Protocol,
+                        c.dirScan + c.mcLockUncontended);
+        }
         const NodeId owner_node = rt_->topo().nodeOf(owner.id);
         if (owner_node != ctx.node) {
-            rt_->mc().streamWrite(ctx.node, owner_node, 16,
-                                  rt_->sched().now());
+            rt_->net().streamWrite(ctx.node, owner_node, 16,
+                                   rt_->sched().now());
         }
     }
 
@@ -215,8 +256,8 @@ Cashmere::afterWrite(ProcCtx& ctx, GAddr a, std::size_t size)
     std::memcpy(canon + off, frame + off, size);
     const NodeId home = dir_->home(pn);
     if (home != ctx.node) {
-        const Time arr = rt_->mc().streamWrite(ctx.node, home, size,
-                                               rt_->sched().now());
+        const Time arr = rt_->net().streamWrite(ctx.node, home, size,
+                                                rt_->sched().now());
         ctx.writeThroughDone = std::max(ctx.writeThroughDone, arr);
     }
 }
@@ -231,7 +272,15 @@ Cashmere::processWriteNotices(ProcCtx& ctx)
         e.removeSharer(ctx.id);
         ctx.stats.dirUpdates += 1;
         rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
-        rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+        if (rt_->rdmaDirAtomics()) {
+            // Dropping our presence bit is a posted FAA at the
+            // directory node (no broadcast, no reply needed).
+            const NodeId dn = dirNodeOf(pn);
+            if (dn != ctx.node)
+                rt_->rdmaFaa(ctx, dn);
+        } else {
+            rt_->net().broadcast(ctx.node, 8, rt_->sched().now());
+        }
 
         if (ctx.pt.protection(pn) != ProtNone) {
             std::uint8_t* frame = ctx.frame(pn);
@@ -257,7 +306,16 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
     if (!from_nle)
         s.dirtyPending[pn] = 0;
 
-    rt_->charge(ctx, TimeCat::Protocol, c.dirScan);
+    if (rt_->rdmaDirAtomics() && dirNodeOf(pn) != ctx.node) {
+        // The entry lives only at its directory node now (no
+        // broadcast replica to scan locally): pull it with a
+        // one-sided read before walking the sharer set.
+        ctx.noteWait("csm_dir_read", pn, dirNodeOf(pn));
+        rt_->rdmaWaitUntil(
+            ctx, rt_->rdmaRead(ctx, dirNodeOf(pn), dirEntryBytes_));
+    } else {
+        rt_->charge(ctx, TimeCat::Protocol, c.dirScan);
+    }
 
     const int others = e.otherSharers(ctx.id);
     if (others > 0) {
@@ -276,8 +334,8 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
             rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
             const NodeId qnode = rt_->topo().nodeOf(q);
             if (qnode != ctx.node) {
-                rt_->mc().streamWrite(ctx.node, qnode, 16,
-                                      rt_->sched().now());
+                rt_->net().streamWrite(ctx.node, qnode, 16,
+                                       rt_->sched().now());
             }
         });
     }
@@ -295,7 +353,16 @@ Cashmere::postWriteNotices(ProcCtx& ctx, PageNum pn, bool from_nle)
             e.exclusive = ctx.id;
             ctx.stats.dirUpdates += 1;
             rt_->charge(ctx, TimeCat::Protocol, c.dirModify);
-            rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+            if (rt_->rdmaDirAtomics()) {
+                // Winning exclusive mode must be atomic against a
+                // concurrent sharer joining: CAS, and wait for the
+                // old value before trusting the transition.
+                const NodeId dn = dirNodeOf(pn);
+                if (dn != ctx.node)
+                    rt_->rdmaWaitUntil(ctx, rt_->rdmaCas(ctx, dn));
+            } else {
+                rt_->net().broadcast(ctx.node, 8, rt_->sched().now());
+            }
         }
         return;
     }
@@ -342,7 +409,7 @@ void
 Cashmere::lockAcquire(ProcCtx& ctx, McLock& lk)
 {
     rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcLockUncontended);
-    rt_->mc().broadcast(ctx.node, 8, rt_->sched().now());
+    rt_->net().broadcast(ctx.node, 8, rt_->sched().now());
     if (lk.holder == kNoProc) {
         lk.holder = ctx.id;
         // If the previous release is not yet MC-visible, our array
@@ -366,7 +433,7 @@ Cashmere::lockRelease(ProcCtx& ctx, McLock& lk)
     mcdsm_assert(lk.holder == ctx.id, "releasing a lock we do not hold");
     const Time now = rt_->sched().now();
     rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcPerWriteCpu);
-    rt_->mc().broadcast(ctx.node, 8, now);
+    rt_->net().broadcast(ctx.node, 8, now);
 
     if (!lk.waiters.empty()) {
         const ProcId next = lk.waiters.front();
@@ -410,8 +477,8 @@ Cashmere::barrier(ProcCtx& ctx, int barrier_id)
     // parent node's notification region; see barrierParent above).
     rt_->charge(ctx, TimeCat::Protocol, c.mcPerWriteCpu);
     if (ctx.node != root) {
-        rt_->mc().streamWrite(ctx.node, barrierParent(ctx.node), 8,
-                              rt_->sched().now());
+        rt_->net().streamWrite(ctx.node, barrierParent(ctx.node), 8,
+                               rt_->sched().now());
     }
 
     const long my_epoch = bar.epoch;
@@ -423,7 +490,7 @@ Cashmere::barrier(ProcCtx& ctx, int barrier_id)
         // tree: depth hops of MC latency each way.
         bar.releaseAt = rt_->sched().now() +
                         2 * barrierDepth_ * c.mcLatency;
-        rt_->mc().broadcast(root, 8, rt_->sched().now());
+        rt_->net().broadcast(root, 8, rt_->sched().now());
         for (ProcId q = 0; q < P; ++q) {
             if (q != ctx.id)
                 rt_->sched().wake(rt_->procCtx(q).task, bar.releaseAt);
@@ -448,7 +515,7 @@ Cashmere::setFlag(ProcCtx& ctx, int flag_id)
     McFlag& f = flags_[flag_id];
     const Time now = rt_->sched().now();
     rt_->charge(ctx, TimeCat::Protocol, rt_->costs().mcPerWriteCpu);
-    rt_->mc().broadcast(ctx.node, 8, now);
+    rt_->net().broadcast(ctx.node, 8, now);
     f.set = true;
     f.visibleAt = now + rt_->costs().mcLatency;
     for (TaskId t : f.waiters)

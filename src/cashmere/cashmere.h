@@ -121,6 +121,20 @@ class Cashmere final : public Protocol
     NodeId homeOf(ProcCtx& ctx, PageNum pn);
     std::uint8_t* canonicalFrame(PageNum pn);
 
+    /**
+     * Node holding a superpage's directory entry in the RDMA era.
+     * With NIC atomics the directory is partitioned round-robin by
+     * superpage instead of broadcast-replicated: presence-bit updates
+     * become a CAS/FAA at this node rather than a cluster broadcast.
+     */
+    NodeId
+    dirNodeOf(PageNum pn) const
+    {
+        return static_cast<NodeId>(
+            (pn / static_cast<PageNum>(dir_->superpagePages())) %
+            static_cast<PageNum>(rt_->topo().nodes));
+    }
+
     /** Fetch (or directly map) the page data and map it read-only. */
     void loadPage(ProcCtx& ctx, PageNum pn);
 

@@ -53,6 +53,19 @@ struct CostModel
                               ///< of address arithmetic plus the store
                               ///< (write-buffered, no stall)
 
+    // ---- RDMA-verbs network (net/rdma.h) ----------------------------------
+    // A modern-interconnect counterpoint to Memory Channel, sized
+    // after user-level verbs on early InfiniBand-class hardware: ~1 us
+    // one-way latency, ~GB/s links, NIC-resident atomics. Not from
+    // the paper; EXPERIMENTS.md "Network eras" discusses sensitivity.
+    Time rdmaLatency = 900;     ///< one-way NIC-to-NIC propagation
+    double rdmaLinkBw = 1.2;    ///< per-port bandwidth (B/ns == GB/s)
+    double rdmaAggBw = 9.6;     ///< switch aggregate bandwidth
+    Time rdmaPerVerbCpu = 150;  ///< post one WQE + reap its CQE
+    Time rdmaDoorbellCost = 450; ///< per-doorbell MMIO write (amortised
+                                 ///< across a batched op region)
+    Time rdmaNicAtomic = 250;   ///< CAS/FAA processing at the target NIC
+
     // ---- intra-node (SMP shared memory) -----------------------------------
     Time smpMessageLatency = 1 * kMicrosecond; ///< message buffer in
                                                ///< ordinary shared memory

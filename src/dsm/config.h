@@ -15,6 +15,7 @@
 #include "common/costs.h"
 #include "fault/fault_plan.h"
 #include "mem/buffer_pool.h"
+#include "net/backend.h"
 #include "net/mailbox.h"
 #include "net/topology.h"
 
@@ -95,6 +96,30 @@ struct DsmConfig
     Topology topo{1, 1};
     CostModel costs{};
     CacheConfig cache{};
+
+    /**
+     * Network backend (net/backend.h): the paper's Memory Channel or
+     * the RDMA-verbs model. The default reproduces the paper; every
+     * protocol variant runs on either backend.
+     */
+    NetKind net = NetKind::Mc;
+
+    /**
+     * Protocol fast paths enabled when the backend supports one-sided
+     * operations (no effect on Memory Channel, which has none):
+     *  - rdmaPageRead: Cashmere fetches pages and scans remote
+     *    directory entries with one-sided reads instead of
+     *    request/reply messages through a handler;
+     *  - rdmaDirAtomics: directory presence-bit/home updates use
+     *    NIC-resident CAS/FAA at a partitioned directory node instead
+     *    of broadcast writes;
+     *  - rdmaPullDiffs: TreadMarks pulls already-flushed diffs with
+     *    doorbell-batched reads instead of TmkReqDiffs messages.
+     * Individually switchable so ablations can price each idea.
+     */
+    bool rdmaPageRead = true;
+    bool rdmaDirAtomics = true;
+    bool rdmaPullDiffs = true;
 
     /** Capacity of the shared segment. */
     std::size_t maxSharedBytes = std::size_t{64} << 20;

@@ -38,14 +38,16 @@ timeCatName(TimeCat c)
 DsmRuntime::DsmRuntime(const DsmConfig& cfg,
                        std::unique_ptr<Protocol> protocol)
     : cfg_(cfg), costs_(cfg.costs), pool_(&prof_, cfg.memPool),
-      mc_(costs_, cfg.topo.nodes),
       protocol_(std::move(protocol)),
+      batch_ops_(cfg.topo.nodes, 0),
       req_mode_(reqModeOf(cfg.protocol)),
       page_count_(cfg.maxSharedBytes >> kPageShift)
 {
-    // Cost sweeps apply before anything (MemoryChannel, caches,
-    // protocol constants) reads the model; the null plan leaves
-    // costs_ untouched.
+    // Cost sweeps apply before anything (backends, caches, protocol
+    // constants) reads the model; the null plan leaves costs_
+    // untouched. Backends hold the model by reference and read it
+    // lazily, so constructing net_ after this point is not required
+    // for correctness — but keeping the order makes it obvious.
     if (cfg_.fault.costActive()) {
         if (!applyCostFactor(costs_, cfg_.fault.costField,
                              cfg_.fault.costFactor)) {
@@ -53,10 +55,14 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
                         cfg_.fault.costField.c_str());
         }
     }
+    net_ = makeNetworkBackend(cfg_.net, costs_, cfg_.topo.nodes);
+    rdma_page_read_ = net_->supportsOneSided() && cfg_.rdmaPageRead;
+    rdma_dir_atomics_ = net_->supportsOneSided() && cfg_.rdmaDirAtomics;
+    rdma_pull_diffs_ = net_->supportsOneSided() && cfg_.rdmaPullDiffs;
     if (cfg_.fault.active()) {
         faults_ = std::make_unique<FaultInjector>(cfg_.fault, cfg_.topo);
         if (faults_->perturbsNetwork())
-            mc_.attachFaults(faults_.get());
+            net_->attachFaults(faults_.get());
         if (faults_->perturbsNodes()) {
             straggler_mode_ = cfg_.fault.stragglerCompute != 1.0;
             node_costs_.reserve(cfg_.topo.nodes);
@@ -68,7 +74,8 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
         }
     }
 
-    mail_ = std::make_unique<MailboxSystem>(sched_, mc_, costs_, cfg_.topo);
+    mail_ = std::make_unique<MailboxSystem>(sched_, *net_, costs_,
+                                            cfg_.topo);
     init_.assign(page_count_, nullptr);
     trace_ = TraceRing(cfg_.traceCapacity);
 
@@ -615,9 +622,15 @@ DsmRuntime::collectStats()
         elapsed = std::max(elapsed, s.endTime);
     }
     stats_.elapsed = elapsed;
-    stats_.mcBytes = mc_.totalBytes();
-    stats_.mcStreamBytes = mc_.streamBytes();
+    stats_.mcBytes = net_->totalBytes();
+    stats_.mcStreamBytes = net_->streamBytes();
     stats_.messages = mail_->totalMessages();
+    stats_.netOneSidedBytes = net_->oneSidedBytes();
+    stats_.rdmaReads = net_->readVerbs();
+    stats_.rdmaWrites = net_->writeVerbs();
+    stats_.rdmaCasOps = net_->casVerbs();
+    stats_.rdmaFaaOps = net_->faaVerbs();
+    stats_.rdmaDoorbells = net_->doorbells();
     if (checks_)
         checks_->finish();
     stats_.racesDetected =

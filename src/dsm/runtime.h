@@ -26,8 +26,8 @@
 #include "fault/fault_injector.h"
 #include "mem/alloc_profiler.h"
 #include "mem/buffer_pool.h"
+#include "net/backend.h"
 #include "net/mailbox.h"
-#include "net/memory_channel.h"
 #include "sim/scheduler.h"
 
 namespace mcdsm {
@@ -288,8 +288,112 @@ class DsmRuntime
     }
     const Topology& topo() const { return cfg_.topo; }
     Scheduler& sched() { return sched_; }
-    MemoryChannel& mc() { return mc_; }
+    NetworkBackend& net() { return *net_; }
     MailboxSystem& mail() { return *mail_; }
+
+    // ---- one-sided verbs (RDMA backend; see DESIGN.md §13) -------------
+    /**
+     * True when the backend is one-sided capable AND the matching
+     * DsmConfig switch is on — protocols key their fast paths off
+     * these, so every variant still runs on Memory Channel.
+     */
+    bool rdmaPageRead() const { return rdma_page_read_; }
+    bool rdmaDirAtomics() const { return rdma_dir_atomics_; }
+    bool rdmaPullDiffs() const { return rdma_pull_diffs_; }
+
+    /**
+     * Issue a one-sided read of @p bytes from @p remote into @p ctx's
+     * node. Charges rdmaPerVerbCpu as Protocol, records the trace
+     * event, and returns the completion time (-1 inside a doorbell
+     * batch: the caller learns completion from rdmaBatchEnd).
+     * The caller is responsible for waiting (rdmaWaitUntil) and for
+     * copying the simulated data — by determinism of the simulation,
+     * remote frames are directly readable host-side.
+     */
+    Time
+    rdmaRead(ProcCtx& ctx, NodeId remote, std::size_t bytes)
+    {
+        charge(ctx, TimeCat::Protocol, costs_.rdmaPerVerbCpu);
+        const Time done =
+            net_->readRemote(ctx.node, remote, bytes, sched_.now());
+        trace_.record(sched_.now(), ctx.id, TraceKind::RdmaRead, bytes,
+                      remote);
+        return done;
+    }
+
+    /** One-sided write of @p bytes to @p remote (posted). */
+    Time
+    rdmaWrite(ProcCtx& ctx, NodeId remote, std::size_t bytes)
+    {
+        charge(ctx, TimeCat::Protocol, costs_.rdmaPerVerbCpu);
+        const Time done =
+            net_->writeRemote(ctx.node, remote, bytes, sched_.now());
+        trace_.record(sched_.now(), ctx.id, TraceKind::RdmaWrite, bytes,
+                      remote);
+        return done;
+    }
+
+    /** NIC-resident compare-and-swap at @p remote. */
+    Time
+    rdmaCas(ProcCtx& ctx, NodeId remote)
+    {
+        charge(ctx, TimeCat::Protocol, costs_.rdmaPerVerbCpu);
+        const Time done = net_->atomicCas(ctx.node, remote, sched_.now());
+        trace_.record(sched_.now(), ctx.id, TraceKind::RdmaCas,
+                      NetworkBackend::kAtomicWireBytes, remote);
+        return done;
+    }
+
+    /** NIC-resident fetch-and-add at @p remote. */
+    Time
+    rdmaFaa(ProcCtx& ctx, NodeId remote)
+    {
+        charge(ctx, TimeCat::Protocol, costs_.rdmaPerVerbCpu);
+        const Time done = net_->atomicFaa(ctx.node, remote, sched_.now());
+        trace_.record(sched_.now(), ctx.id, TraceKind::RdmaFaa,
+                      NetworkBackend::kAtomicWireBytes, remote);
+        return done;
+    }
+
+    /** Open a doorbell-batched op region for @p ctx's node. */
+    void
+    rdmaBatchBegin(ProcCtx& ctx)
+    {
+        net_->batchBegin(ctx.node);
+        batch_ops_[ctx.node] = 0;
+    }
+
+    /**
+     * Ring the doorbell: flush the batched region. @return completion
+     * time of the slowest op (0 if the region was empty).
+     */
+    Time
+    rdmaBatchEnd(ProcCtx& ctx)
+    {
+        const Time done = net_->batchEnd(ctx.node, sched_.now());
+        trace_.record(sched_.now(), ctx.id, TraceKind::RdmaDoorbell,
+                      batch_ops_[ctx.node]);
+        return done;
+    }
+
+    /** Count an op inside an open batch (for the doorbell trace arg). */
+    void
+    rdmaBatchNote(ProcCtx& ctx)
+    {
+        batch_ops_[ctx.node] += 1;
+    }
+
+    /**
+     * Spin until virtual time @p done (verb completion); the wait is
+     * charged as CommWait. No-op if @p done has already passed.
+     */
+    void
+    rdmaWaitUntil(ProcCtx& ctx, Time done)
+    {
+        const Time now = sched_.now();
+        if (done > now)
+            charge(ctx, TimeCat::CommWait, done - now);
+    }
 
     int nprocs() const { return cfg_.topo.nprocs; }
     std::size_t pageCount() const { return page_count_; }
@@ -526,9 +630,17 @@ class DsmRuntime
     AllocProfiler prof_;
     BufferPool pool_;
     Scheduler sched_;
-    MemoryChannel mc_;
+    std::unique_ptr<NetworkBackend> net_;
     std::unique_ptr<MailboxSystem> mail_;
     std::unique_ptr<Protocol> protocol_;
+
+    /** Pending-op counts of open doorbell batches (per node). */
+    std::vector<std::uint64_t> batch_ops_;
+
+    /** cfg switches ANDed with net_->supportsOneSided(), cached. */
+    bool rdma_page_read_ = false;
+    bool rdma_dir_atomics_ = false;
+    bool rdma_pull_diffs_ = false;
 
     ReqMode req_mode_;
     bool int_mode_ = false;

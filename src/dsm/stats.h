@@ -212,12 +212,22 @@ struct RunStats
     /** Wall (virtual) time of the parallel section: max end time. */
     Time elapsed = 0;
 
-    /** Total bytes through the Memory Channel hub. */
+    /** Total bytes through the network backend (hub or switch). */
     std::uint64_t mcBytes = 0;
     /** Of which: write-through (doubled-write) traffic. */
     std::uint64_t mcStreamBytes = 0;
     /** Total mailbox messages (both systems; "Messages" in Table 3). */
     std::uint64_t messages = 0;
+
+    // ---- RDMA-verb wire accounting (all 0 on --net=mc) ----------------
+    /** Of mcBytes: moved by one-sided verbs rather than messages. */
+    std::uint64_t netOneSidedBytes = 0;
+    std::uint64_t rdmaReads = 0;
+    std::uint64_t rdmaWrites = 0;
+    std::uint64_t rdmaCasOps = 0;
+    std::uint64_t rdmaFaaOps = 0;
+    /** Doorbell MMIO writes rung (batched regions ring one). */
+    std::uint64_t rdmaDoorbells = 0;
 
     /**
      * Data races detected (always 0 unless DsmConfig::raceDetect;

@@ -19,6 +19,11 @@ traceKindName(TraceKind k)
       case TraceKind::MessageSend: return "message_send";
       case TraceKind::RequestService: return "request_service";
       case TraceKind::KvRequest: return "kv_request";
+      case TraceKind::RdmaRead: return "rdma_read";
+      case TraceKind::RdmaWrite: return "rdma_write";
+      case TraceKind::RdmaCas: return "rdma_cas";
+      case TraceKind::RdmaFaa: return "rdma_faa";
+      case TraceKind::RdmaDoorbell: return "rdma_doorbell";
     }
     return "?";
 }

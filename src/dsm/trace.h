@@ -32,6 +32,13 @@ enum class TraceKind : std::uint8_t {
     RequestService,
     /** Completed serving request: arg = latency (ns), peer = shard. */
     KvRequest,
+    // RDMA verbs (--net=rdma): arg = bytes, peer = remote node.
+    RdmaRead,
+    RdmaWrite,
+    RdmaCas,
+    RdmaFaa,
+    /** Doorbell-batch flush: arg = ops posted, peer = -1. */
+    RdmaDoorbell,
 };
 
 const char* traceKindName(TraceKind k);

@@ -33,6 +33,10 @@ constexpr TimeField kTimeFields[] = {
     {"remoteSignalLatency", &CostModel::remoteSignalLatency},
     {"mcLatency", &CostModel::mcLatency},
     {"mcPerWriteCpu", &CostModel::mcPerWriteCpu},
+    {"rdmaLatency", &CostModel::rdmaLatency},
+    {"rdmaPerVerbCpu", &CostModel::rdmaPerVerbCpu},
+    {"rdmaDoorbellCost", &CostModel::rdmaDoorbellCost},
+    {"rdmaNicAtomic", &CostModel::rdmaNicAtomic},
     {"smpMessageLatency", &CostModel::smpMessageLatency},
     {"mcLockUncontended", &CostModel::mcLockUncontended},
     {"dirModify", &CostModel::dirModify},
@@ -54,6 +58,8 @@ constexpr DoubleField kDoubleFields[] = {
     {"nsPerOp", &CostModel::nsPerOp},
     {"mcLinkBw", &CostModel::mcLinkBw},
     {"mcAggBw", &CostModel::mcAggBw},
+    {"rdmaLinkBw", &CostModel::rdmaLinkBw},
+    {"rdmaAggBw", &CostModel::rdmaAggBw},
     {"busBw", &CostModel::busBw},
     {"diffApplyPerByte", &CostModel::diffApplyPerByte},
 };

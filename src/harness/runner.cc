@@ -71,6 +71,7 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     cfg.topo = (protocol == ProtocolKind::None) ? Topology(1, 1)
                                                 : Topology::standard(nprocs);
     cfg.seed = opts.seed;
+    cfg.net = opts.net;
     cfg.raceDetect = opts.raceDetect;
     cfg.checks = opts.checks;
     cfg.schedSeed = opts.schedSeed;

@@ -57,6 +57,9 @@ struct RunOpts
     /** Start from this config (protocol/topo overwritten). */
     std::optional<DsmConfig> base;
 
+    /** Network backend: Memory Channel (default) or RDMA verbs. */
+    NetKind net = NetKind::Mc;
+
     /** Run under the vector-clock race detector. */
     bool raceDetect = false;
     /** Verification analyses to enable (race/lockset/invariant/deadlock). */

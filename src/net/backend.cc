@@ -1,0 +1,90 @@
+#include "net/backend.h"
+
+#include "common/log.h"
+#include "net/memory_channel.h"
+#include "net/rdma.h"
+
+namespace mcdsm {
+
+const char*
+netName(NetKind k)
+{
+    switch (k) {
+      case NetKind::Mc: return "mc";
+      case NetKind::Rdma: return "rdma";
+    }
+    return "?";
+}
+
+bool
+netFromName(const std::string& name, NetKind* out)
+{
+    if (name == "mc") {
+        *out = NetKind::Mc;
+        return true;
+    }
+    if (name == "rdma") {
+        *out = NetKind::Rdma;
+        return true;
+    }
+    return false;
+}
+
+NetworkBackend::NetworkBackend(const CostModel& costs, int nodes)
+    : costs_(costs), nodes_(nodes)
+{
+    mcdsm_assert(nodes > 0, "network backend needs at least one node");
+}
+
+// Message-era backends reject the verb set loudly: protocol fast
+// paths must gate on supportsOneSided() before issuing verbs.
+Time
+NetworkBackend::readRemote(NodeId, NodeId, std::size_t, Time)
+{
+    mcdsm_panic("backend '%s-era' has no one-sided read verb",
+                supportsOneSided() ? "rdma" : "message");
+}
+
+Time
+NetworkBackend::writeRemote(NodeId, NodeId, std::size_t, Time)
+{
+    mcdsm_panic("backend has no one-sided write verb");
+}
+
+Time
+NetworkBackend::atomicCas(NodeId, NodeId, Time)
+{
+    mcdsm_panic("backend has no CAS verb");
+}
+
+Time
+NetworkBackend::atomicFaa(NodeId, NodeId, Time)
+{
+    mcdsm_panic("backend has no FAA verb");
+}
+
+void
+NetworkBackend::batchBegin(NodeId)
+{
+    mcdsm_panic("backend has no doorbell batching");
+}
+
+Time
+NetworkBackend::batchEnd(NodeId, Time)
+{
+    mcdsm_panic("backend has no doorbell batching");
+}
+
+std::unique_ptr<NetworkBackend>
+makeNetworkBackend(NetKind kind, const CostModel& costs, int nodes)
+{
+    switch (kind) {
+      case NetKind::Mc:
+        return std::make_unique<MemoryChannel>(costs, nodes);
+      case NetKind::Rdma:
+        return std::make_unique<RdmaBackend>(costs, nodes);
+    }
+    mcdsm_panic("unknown network kind");
+}
+
+} // namespace mcdsm

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Network-backend interface: the timing/accounting contract every
+ * interconnect model implements.
+ *
+ * Two backends exist:
+ *  - MemoryChannel (net/memory_channel.h): the paper's machine —
+ *    remote writes only, 5.2 us latency, ~30 MB/s links;
+ *  - RdmaBackend (net/rdma.h): a modern RDMA-verbs network with
+ *    one-sided remote reads/writes, NIC-resident CAS/FAA atomics and
+ *    doorbell-batched op regions.
+ *
+ * The message-era operations (transfer / broadcast / streamWrite) are
+ * the ones the original protocols were written against; the one-sided
+ * verb set is only meaningful on backends where supportsOneSided()
+ * returns true, and the protocol fast paths that use it are gated on
+ * that plus per-feature DsmConfig switches. All byte accounting lives
+ * in this base class so RunStats is filled uniformly regardless of
+ * backend.
+ */
+
+#ifndef MCDSM_NET_BACKEND_H
+#define MCDSM_NET_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/costs.h"
+#include "common/types.h"
+
+namespace mcdsm {
+
+class FaultInjector;
+
+/** Which interconnect model a run simulates. */
+enum class NetKind {
+    Mc,   ///< first-generation Memory Channel (the paper's machine)
+    Rdma, ///< RDMA verbs: one-sided read/write, CAS/FAA, doorbells
+};
+
+const char* netName(NetKind k);
+
+/** Parse "mc" / "rdma". @return false on an unknown name. */
+bool netFromName(const std::string& name, NetKind* out);
+
+class NetworkBackend
+{
+  public:
+    NetworkBackend(const CostModel& costs, int nodes);
+    virtual ~NetworkBackend() = default;
+
+    NetworkBackend(const NetworkBackend&) = delete;
+    NetworkBackend& operator=(const NetworkBackend&) = delete;
+
+    /**
+     * Attach a fault injector (src/fault/): subsequent operations see
+     * per-link bandwidth factors, background switch/hub load and
+     * bounded delivery jitter. Unattached (the default), each model
+     * is bit-identical to its healthy machine. Byte accounting is
+     * never affected by injection.
+     */
+    void attachFaults(FaultInjector* faults) { faults_ = faults; }
+
+    // ---- message-era operations ---------------------------------------
+    /**
+     * Account a bulk transfer (page copy, message) of @p bytes from
+     * node @p src to node @p dst, initiated at @p send_time.
+     * @return time at which the data is fully visible at @p dst.
+     */
+    virtual Time transfer(NodeId src, NodeId dst, std::size_t bytes,
+                          Time send_time) = 0;
+
+    /**
+     * Account a broadcast write of @p bytes (e.g. a directory update).
+     * @return time at which all nodes have seen the data.
+     */
+    virtual Time broadcast(NodeId src, std::size_t bytes,
+                           Time send_time) = 0;
+
+    /**
+     * Account fine-grain write-through traffic (doubled writes).
+     * Same queueing as transfer(); split out so callers can keep
+     * separate statistics and so tests can target it.
+     */
+    virtual Time streamWrite(NodeId src, NodeId dst, std::size_t bytes,
+                             Time send_time) = 0;
+
+    // ---- one-sided verbs (RDMA-era backends only) ----------------------
+    /** True if the one-sided verb set below is usable. */
+    virtual bool supportsOneSided() const { return false; }
+
+    /** Wire bytes one atomic op moves (request + response words). */
+    static constexpr std::size_t kAtomicWireBytes = 16;
+
+    /**
+     * One-sided read: node @p src pulls @p bytes from node @p from
+     * with no CPU involvement at @p from. Issued at @p t.
+     * @return completion time at the requester (CQE reaped).
+     * Inside a batchBegin/batchEnd region the op is queued unposted
+     * and -1 is returned; batchEnd() reports the flush completion.
+     */
+    virtual Time readRemote(NodeId src, NodeId from, std::size_t bytes,
+                            Time t);
+
+    /**
+     * One-sided (posted) write of @p bytes from @p src into @p to.
+     * @return time the data is visible at @p to.
+     */
+    virtual Time writeRemote(NodeId src, NodeId to, std::size_t bytes,
+                             Time t);
+
+    /**
+     * NIC-resident compare-and-swap on a word at node @p at.
+     * @return completion time at the requester (old value available).
+     */
+    virtual Time atomicCas(NodeId src, NodeId at, Time t);
+
+    /** NIC-resident fetch-and-add; same timing contract as CAS. */
+    virtual Time atomicFaa(NodeId src, NodeId at, Time t);
+
+    /**
+     * Open a doorbell-batched op region for @p src: verbs issued
+     * until batchEnd() share a single doorbell (the per-QP MMIO
+     * write), amortising its cost across the batch.
+     */
+    virtual void batchBegin(NodeId src);
+
+    /**
+     * Ring the doorbell for @p src's queued ops at time @p t.
+     * @return completion time of the last op in the batch (0 when
+     * the batch was empty).
+     */
+    virtual Time batchEnd(NodeId src, Time t);
+
+    // ---- accounting -----------------------------------------------------
+    /** Total bytes moved through the network. */
+    std::uint64_t totalBytes() const { return total_bytes_; }
+    /** Bytes moved by streamWrite (write-through). */
+    std::uint64_t streamBytes() const { return stream_bytes_; }
+    std::uint64_t transferCount() const { return transfers_; }
+    /** Bytes moved by one-sided verbs (subset of totalBytes). */
+    std::uint64_t oneSidedBytes() const { return one_sided_bytes_; }
+    std::uint64_t readVerbs() const { return read_verbs_; }
+    std::uint64_t writeVerbs() const { return write_verbs_; }
+    std::uint64_t casVerbs() const { return cas_verbs_; }
+    std::uint64_t faaVerbs() const { return faa_verbs_; }
+    std::uint64_t doorbells() const { return doorbells_; }
+
+    int nodes() const { return nodes_; }
+
+  protected:
+    const CostModel& costs_;
+    const int nodes_;
+    FaultInjector* faults_ = nullptr;
+
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t stream_bytes_ = 0;
+    std::uint64_t transfers_ = 0;
+    std::uint64_t one_sided_bytes_ = 0;
+    std::uint64_t read_verbs_ = 0;
+    std::uint64_t write_verbs_ = 0;
+    std::uint64_t cas_verbs_ = 0;
+    std::uint64_t faa_verbs_ = 0;
+    std::uint64_t doorbells_ = 0;
+};
+
+/** Construct the backend for @p kind over @p costs / @p nodes. */
+std::unique_ptr<NetworkBackend>
+makeNetworkBackend(NetKind kind, const CostModel& costs, int nodes);
+
+} // namespace mcdsm
+
+#endif // MCDSM_NET_BACKEND_H

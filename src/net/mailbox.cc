@@ -6,9 +6,9 @@
 
 namespace mcdsm {
 
-MailboxSystem::MailboxSystem(Scheduler& sched, MemoryChannel& mc,
+MailboxSystem::MailboxSystem(Scheduler& sched, NetworkBackend& net,
                              const CostModel& costs, const Topology& topo)
-    : sched_(sched), mc_(mc), costs_(costs), topo_(topo),
+    : sched_(sched), net_(net), costs_(costs), topo_(topo),
       queues_(endpointCount()), tasks_(endpointCount(), -1),
       sent_count_(endpointCount(), 0), sent_bytes_(endpointCount(), 0),
       node_of_(endpointCount())
@@ -63,8 +63,8 @@ MailboxSystem::send(ProcId src, ProcId dst, Message msg,
     if (same_node) {
         arrival = send_time + costs_.smpMessageLatency;
     } else {
-        arrival = mc_.transfer(src_node, dst_node,
-                               wire_bytes + 32 /* header */, send_time);
+        arrival = net_.transfer(src_node, dst_node,
+                                wire_bytes + 32 /* header */, send_time);
     }
 
     msg.src = src;

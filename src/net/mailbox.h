@@ -26,7 +26,7 @@
 #include "common/costs.h"
 #include "common/types.h"
 #include "mem/buffer_pool.h"
-#include "net/memory_channel.h"
+#include "net/backend.h"
 #include "net/topology.h"
 #include "sim/scheduler.h"
 
@@ -76,7 +76,7 @@ struct Message
 class MailboxSystem
 {
   public:
-    MailboxSystem(Scheduler& sched, MemoryChannel& mc,
+    MailboxSystem(Scheduler& sched, NetworkBackend& net,
                   const CostModel& costs, const Topology& topo);
 
     /** Endpoint id of node @p n's dedicated protocol processor. */
@@ -217,7 +217,7 @@ class MailboxSystem
     };
 
     Scheduler& sched_;
-    MemoryChannel& mc_;
+    NetworkBackend& net_;
     const CostModel& costs_;
     Topology topo_;
 

@@ -8,10 +8,8 @@
 namespace mcdsm {
 
 MemoryChannel::MemoryChannel(const CostModel& costs, int nodes)
-    : costs_(costs), tx_free_(nodes, 0), rx_free_(nodes, 0)
-{
-    mcdsm_assert(nodes > 0, "MemoryChannel needs at least one node");
-}
+    : NetworkBackend(costs, nodes), tx_free_(nodes, 0), rx_free_(nodes, 0)
+{}
 
 Time
 MemoryChannel::occupy(NodeId src, NodeId dst, std::size_t bytes,

@@ -24,25 +24,16 @@
 
 #include "common/costs.h"
 #include "common/types.h"
+#include "net/backend.h"
 
 namespace mcdsm {
 
 class FaultInjector;
 
-class MemoryChannel
+class MemoryChannel final : public NetworkBackend
 {
   public:
     MemoryChannel(const CostModel& costs, int nodes);
-
-    /**
-     * Attach a fault injector (src/fault/): subsequent transfers see
-     * per-link bandwidth factors (steady degradation and brown-out
-     * windows), background hub load, and bounded delivery jitter.
-     * Unattached (the default), the model is bit-identical to the
-     * healthy machine. Byte accounting (totalBytes / streamBytes) is
-     * never affected by injection.
-     */
-    void attachFaults(FaultInjector* faults) { faults_ = faults; }
 
     /**
      * Account a bulk transfer (page copy, message) of @p bytes from
@@ -50,14 +41,14 @@ class MemoryChannel
      * @return time at which the data is fully visible at @p dst.
      */
     Time transfer(NodeId src, NodeId dst, std::size_t bytes,
-                  Time send_time);
+                  Time send_time) override;
 
     /**
      * Account a broadcast write of @p bytes (e.g. a directory update):
      * occupies the source link and the hub once; all receive links.
      * @return time at which all nodes have seen the data.
      */
-    Time broadcast(NodeId src, std::size_t bytes, Time send_time);
+    Time broadcast(NodeId src, std::size_t bytes, Time send_time) override;
 
     /**
      * Account fine-grain write-through traffic (doubled writes).
@@ -65,19 +56,12 @@ class MemoryChannel
      * separate statistics and so tests can target it.
      */
     Time
-    streamWrite(NodeId src, NodeId dst, std::size_t bytes, Time send_time)
+    streamWrite(NodeId src, NodeId dst, std::size_t bytes,
+                Time send_time) override
     {
         stream_bytes_ += bytes;
         return occupy(src, dst, bytes, send_time);
     }
-
-    /** Total bytes moved through the hub. */
-    std::uint64_t totalBytes() const { return total_bytes_; }
-    /** Bytes moved by streamWrite (write-through). */
-    std::uint64_t streamBytes() const { return stream_bytes_; }
-    std::uint64_t transferCount() const { return transfers_; }
-
-    int nodes() const { return static_cast<int>(tx_free_.size()); }
 
   private:
     Time occupy(NodeId src, NodeId dst, std::size_t bytes, Time send_time);
@@ -116,17 +100,12 @@ class MemoryChannel
         }
     }
 
-    const CostModel& costs_;
-    FaultInjector* faults_ = nullptr;
     std::vector<Time> tx_free_;
     std::vector<Time> rx_free_;
     Time hub_free_ = 0;
     Time bc_hi_ = 0;
     Time bc_lo_ = 0;
     NodeId bc_hi_src_ = kNoNode;
-    std::uint64_t total_bytes_ = 0;
-    std::uint64_t stream_bytes_ = 0;
-    std::uint64_t transfers_ = 0;
 };
 
 } // namespace mcdsm

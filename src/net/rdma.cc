@@ -1,0 +1,249 @@
+#include "net/rdma.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "fault/fault_injector.h"
+
+namespace mcdsm {
+
+RdmaBackend::RdmaBackend(const CostModel& costs, int nodes)
+    : NetworkBackend(costs, nodes), tx_free_(nodes, 0), rx_free_(nodes, 0),
+      batching_(nodes, 0), batch_(nodes)
+{}
+
+Time
+RdmaBackend::occupy(NodeId data_src, NodeId data_dst, std::size_t bytes,
+                    Time t0)
+{
+    mcdsm_assert(data_src >= 0 && data_src < nodes(), "bad src node");
+    mcdsm_assert(data_dst >= 0 && data_dst < nodes(), "bad dst node");
+
+    Time start = std::max({t0, tx_free_[data_src], switch_free_});
+    if (data_src != data_dst)
+        start = std::max(start, rx_free_[data_dst]);
+
+    // Fault injection samples link state at the transfer's start time;
+    // with no injector attached the arithmetic below is exactly the
+    // healthy model's.
+    double link_bw = costs_.rdmaLinkBw;
+    double agg_bw = costs_.rdmaAggBw;
+    Time jitter = 0;
+    if (faults_ != nullptr) [[unlikely]] {
+        link_bw *= faults_->linkFactor(data_src, start);
+        agg_bw *= faults_->hubFactor();
+        jitter = faults_->latencyJitter(data_src);
+    }
+
+    const Time link_time =
+        static_cast<Time>(static_cast<double>(bytes) / link_bw);
+    const Time agg_time =
+        static_cast<Time>(static_cast<double>(bytes) / agg_bw);
+
+    const Time tx_done = start + link_time;
+    tx_free_[data_src] = tx_done;
+    switch_free_ = start + agg_time;
+    Time done = std::max(tx_done, switch_free_);
+    if (faults_ != nullptr && data_src != data_dst) [[unlikely]] {
+        // Receive leg: a degraded destination port drains no faster
+        // than its own bandwidth allows.
+        const Time rx_time = static_cast<Time>(
+            static_cast<double>(bytes) /
+            (costs_.rdmaLinkBw * faults_->linkFactor(data_dst, start)));
+        done = std::max(done, start + rx_time);
+    }
+    done += jitter;
+    if (data_src != data_dst) {
+        rx_free_[data_dst] = done;
+    } else {
+        // Loop-back through the local HCA: the data crosses the host
+        // bus twice; the receive leg shares the same port budget.
+        tx_free_[data_src] = done + link_time;
+        done = tx_free_[data_src];
+    }
+    return done;
+}
+
+Time
+RdmaBackend::complete(Op op, NodeId src, NodeId peer, std::size_t bytes,
+                      Time t)
+{
+    switch (op) {
+      case Op::Read:
+        // Request propagates to the responder NIC, the data flows
+        // back (occupying the responder's tx port), the completion
+        // propagates with the tail of the data. No responder CPU.
+        return occupy(peer, src, bytes, t + costs_.rdmaLatency) +
+               costs_.rdmaLatency;
+      case Op::Write:
+        // Posted write: returns remote-visibility time (data landed
+        // at the target). The initiator does not wait for an ack.
+        return occupy(src, peer, bytes, t) + costs_.rdmaLatency;
+      case Op::Cas:
+      case Op::Faa:
+        // The request word reaches the target NIC, the atomic unit
+        // executes it against host memory, the old value returns.
+        return occupy(src, peer, kAtomicWireBytes, t) +
+               costs_.rdmaLatency + costs_.rdmaNicAtomic +
+               costs_.rdmaLatency;
+    }
+    mcdsm_panic("unknown rdma op");
+}
+
+void
+RdmaBackend::account(Op op, std::size_t bytes)
+{
+    total_bytes_ += bytes;
+    one_sided_bytes_ += bytes;
+    transfers_ += 1;
+    switch (op) {
+      case Op::Read: read_verbs_ += 1; break;
+      case Op::Write: write_verbs_ += 1; break;
+      case Op::Cas: cas_verbs_ += 1; break;
+      case Op::Faa: faa_verbs_ += 1; break;
+    }
+}
+
+Time
+RdmaBackend::readRemote(NodeId src, NodeId from, std::size_t bytes, Time t)
+{
+    mcdsm_assert(src != from, "one-sided read of the local node");
+    account(Op::Read, bytes);
+    if (batching_[src]) {
+        batch_[src].push_back({Op::Read, from, bytes});
+        return -1;
+    }
+    doorbells_ += 1;
+    return complete(Op::Read, src, from, bytes,
+                    t + costs_.rdmaDoorbellCost);
+}
+
+Time
+RdmaBackend::writeRemote(NodeId src, NodeId to, std::size_t bytes, Time t)
+{
+    mcdsm_assert(src != to, "one-sided write to the local node");
+    account(Op::Write, bytes);
+    if (batching_[src]) {
+        batch_[src].push_back({Op::Write, to, bytes});
+        return -1;
+    }
+    doorbells_ += 1;
+    return complete(Op::Write, src, to, bytes,
+                    t + costs_.rdmaDoorbellCost);
+}
+
+Time
+RdmaBackend::atomicCas(NodeId src, NodeId at, Time t)
+{
+    mcdsm_assert(src != at, "NIC atomic on the local node");
+    account(Op::Cas, kAtomicWireBytes);
+    if (batching_[src]) {
+        batch_[src].push_back({Op::Cas, at, kAtomicWireBytes});
+        return -1;
+    }
+    doorbells_ += 1;
+    return complete(Op::Cas, src, at, kAtomicWireBytes,
+                    t + costs_.rdmaDoorbellCost);
+}
+
+Time
+RdmaBackend::atomicFaa(NodeId src, NodeId at, Time t)
+{
+    mcdsm_assert(src != at, "NIC atomic on the local node");
+    account(Op::Faa, kAtomicWireBytes);
+    if (batching_[src]) {
+        batch_[src].push_back({Op::Faa, at, kAtomicWireBytes});
+        return -1;
+    }
+    doorbells_ += 1;
+    return complete(Op::Faa, src, at, kAtomicWireBytes,
+                    t + costs_.rdmaDoorbellCost);
+}
+
+void
+RdmaBackend::batchBegin(NodeId src)
+{
+    mcdsm_assert(!batching_[src], "nested doorbell batch");
+    batching_[src] = 1;
+}
+
+Time
+RdmaBackend::batchEnd(NodeId src, Time t)
+{
+    mcdsm_assert(batching_[src], "batchEnd without batchBegin");
+    batching_[src] = 0;
+    if (batch_[src].empty())
+        return 0;
+    // One doorbell covers the whole region; the NIC then walks the
+    // work queue in post order, so the ops serialise on the source
+    // port exactly as the sequential occupy calls model.
+    doorbells_ += 1;
+    const Time rang = t + costs_.rdmaDoorbellCost;
+    Time done = 0;
+    for (const BatchedOp& op : batch_[src])
+        done = std::max(done, complete(op.op, src, op.peer, op.bytes,
+                                       rang));
+    batch_[src].clear();
+    return done;
+}
+
+Time
+RdmaBackend::transfer(NodeId src, NodeId dst, std::size_t bytes,
+                      Time send_time)
+{
+    total_bytes_ += bytes;
+    transfers_ += 1;
+    // Send/recv over a reliable-connected QP: one doorbell, data to
+    // the receive buffer, completion visible latency later.
+    return occupy(src, dst, bytes,
+                  send_time + costs_.rdmaDoorbellCost) +
+           costs_.rdmaLatency;
+}
+
+Time
+RdmaBackend::broadcast(NodeId src, std::size_t bytes, Time send_time)
+{
+    // No hardware multicast: (nodes-1) posted writes serialised on
+    // the source port, one doorbell for the batch. Receive-port
+    // occupancy of the tiny per-node copies is not materialised
+    // (unlike MC, the switch is not the bottleneck for word-sized
+    // broadcasts); the completion reflects the source-port drain.
+    const auto fanout = static_cast<std::uint64_t>(nodes() - 1);
+    total_bytes_ += bytes * fanout;
+    transfers_ += 1;
+    if (fanout == 0)
+        return send_time + costs_.rdmaLatency;
+
+    Time start = std::max({send_time + costs_.rdmaDoorbellCost,
+                           tx_free_[src], switch_free_});
+    double link_bw = costs_.rdmaLinkBw;
+    double agg_bw = costs_.rdmaAggBw;
+    Time jitter = 0;
+    if (faults_ != nullptr) [[unlikely]] {
+        link_bw *= faults_->linkFactor(src, start);
+        agg_bw *= faults_->hubFactor();
+        jitter = faults_->latencyJitter(src);
+    }
+    const double total = static_cast<double>(bytes * fanout);
+    const Time tx_done = start + static_cast<Time>(total / link_bw);
+    tx_free_[src] = tx_done;
+    switch_free_ = start + static_cast<Time>(total / agg_bw);
+    return std::max(tx_done, switch_free_) + jitter +
+           costs_.rdmaLatency;
+}
+
+Time
+RdmaBackend::streamWrite(NodeId src, NodeId dst, std::size_t bytes,
+                         Time send_time)
+{
+    stream_bytes_ += bytes;
+    total_bytes_ += bytes;
+    transfers_ += 1;
+    // Write-through traffic maps to posted RDMA writes; fine-grain
+    // stores coalesce in the write-combining doorbell page, so no
+    // per-store doorbell cost is charged here (the CPU-side cost
+    // stays with the protocol's mcPerWriteCpu charge).
+    return occupy(src, dst, bytes, send_time) + costs_.rdmaLatency;
+}
+
+} // namespace mcdsm

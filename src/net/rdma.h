@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Timing model of an RDMA-verbs network — the "modern interconnect"
+ * counterpoint to the paper's Memory Channel (ROADMAP item 2).
+ *
+ * Modelled properties (after the SMART DSM verb set and user-level
+ * DSM work on modern interconnects, see PAPERS.md / SNIPPETS.md §2):
+ *  - one-sided remote reads AND writes (the paper's central
+ *    constraint — "no remote reads" — is lifted);
+ *  - NIC-resident atomics: compare-and-swap and fetch-and-add
+ *    execute at the target NIC with no target-CPU involvement;
+ *  - doorbell batching: posting N work requests costs one MMIO
+ *    doorbell write when issued inside a batchBegin/batchEnd region;
+ *  - ~1 us one-way latency, ~GB/s per-port bandwidth, a switch with
+ *    ~8x aggregate bandwidth (vs. MC's hub at ~1x a single link).
+ *
+ * The queueing skeleton mirrors MemoryChannel: a next-free time per
+ * transmit port, per receive port, and for the switch, with
+ * cut-through occupancy on all three. Unlike MC, broadcasts are
+ * modelled as (nodes-1) posted writes serialised on the source port
+ * (no hardware multicast), and reads occupy the *responder's*
+ * transmit port — the data flows toward the requester.
+ *
+ * Fault injection reuses the Memory Channel hooks: linkFactor scales
+ * port bandwidth, hubFactor the switch, latencyJitter bounds delivery
+ * jitter. Byte accounting is never affected by injection.
+ */
+
+#ifndef MCDSM_NET_RDMA_H
+#define MCDSM_NET_RDMA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+#include "net/backend.h"
+
+namespace mcdsm {
+
+class RdmaBackend final : public NetworkBackend
+{
+  public:
+    RdmaBackend(const CostModel& costs, int nodes);
+
+    bool supportsOneSided() const override { return true; }
+
+    // ---- message-era operations (send/recv over RC queue pairs) ------
+    Time transfer(NodeId src, NodeId dst, std::size_t bytes,
+                  Time send_time) override;
+    Time broadcast(NodeId src, std::size_t bytes, Time send_time) override;
+    Time streamWrite(NodeId src, NodeId dst, std::size_t bytes,
+                     Time send_time) override;
+
+    // ---- one-sided verbs ----------------------------------------------
+    Time readRemote(NodeId src, NodeId from, std::size_t bytes,
+                    Time t) override;
+    Time writeRemote(NodeId src, NodeId to, std::size_t bytes,
+                     Time t) override;
+    Time atomicCas(NodeId src, NodeId at, Time t) override;
+    Time atomicFaa(NodeId src, NodeId at, Time t) override;
+
+    void batchBegin(NodeId src) override;
+    Time batchEnd(NodeId src, Time t) override;
+
+  private:
+    enum class Op : std::uint8_t { Read, Write, Cas, Faa };
+
+    /**
+     * Occupy the three resources for @p bytes flowing from
+     * @p data_src to @p data_dst starting no earlier than @p t0.
+     * @return when the last byte lands at @p data_dst.
+     */
+    Time occupy(NodeId data_src, NodeId data_dst, std::size_t bytes,
+                Time t0);
+
+    /** Completion time of one posted op whose doorbell rang at @p t. */
+    Time complete(Op op, NodeId src, NodeId peer, std::size_t bytes,
+                  Time t);
+
+    /** Count an op's bytes/verbs (done at issue, batched or not). */
+    void account(Op op, std::size_t bytes);
+
+    struct BatchedOp
+    {
+        Op op;
+        NodeId peer;
+        std::size_t bytes;
+    };
+
+    std::vector<Time> tx_free_;
+    std::vector<Time> rx_free_;
+    Time switch_free_ = 0;
+
+    /** Open batch region per source node (empty vector = not batching). */
+    std::vector<std::uint8_t> batching_;
+    std::vector<std::vector<BatchedOp>> batch_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_NET_RDMA_H

@@ -72,10 +72,8 @@ void
 TreadMarks::mergeVt(PState& s, const VTime& b)
 {
     for (std::size_t q = 0; q < s.vt.size(); ++q) {
-        if (b[q] > s.vt[q]) {
-            s.vtSum += b[q] - s.vt[q];
+        if (b[q] > s.vt[q])
             s.vt[q] = b[q];
-        }
     }
 }
 
@@ -125,10 +123,7 @@ TreadMarks::closeInterval(ProcCtx& ctx)
     s.curWrites.clear();
 
     s.vt[ctx.id] += 1;
-    s.vtSum += 1;
     rec->vtWords = recVtWords();
-    for (PageNum pn : rec->pages)
-        s.pages[pn].closeKey = s.vtSum;
     const Time npages = static_cast<Time>(rec->pages.size());
     s.log.add(std::move(rec));
 
@@ -155,7 +150,9 @@ TreadMarks::flushTwin(ProcCtx& ctx, PageNum pn)
     d->page = pn;
     d->seq = ++s.diffSeq;
     d->coversUpTo = s.vt[ctx.id] == 0 ? 0 : s.vt[ctx.id] - 1;
-    d->orderKey = m.closeKey;
+    // Lamport stamp (see PState::lclock): strictly greater than every
+    // diff stamp whose data this twin's writes could depend on.
+    d->orderKey = s.lclock;
     computeRuns(ctx.frame(pn), m.twin, d->runs);
 
     const std::size_t bytes = d->dataBytes();
@@ -242,10 +239,8 @@ TreadMarks::mergeRecords(ProcCtx& ctx,
         // now rec->id + 1; fold it into the timestamp as we go
         // instead of re-scanning all P columns afterwards.
         const std::uint32_t cnt = rec->id + 1;
-        if (cnt > s.vt[rec->proc]) {
-            s.vtSum += cnt - s.vt[rec->proc];
+        if (cnt > s.vt[rec->proc])
             s.vt[rec->proc] = cnt;
-        }
         rt_->charge(ctx, TimeCat::Protocol, rt_->costs().tmkPerInterval);
         for (PageNum pn : rec->pages)
             mergeNotice(ctx, pn, rec->proc, rec->id);
@@ -313,14 +308,24 @@ TreadMarks::applyDiffs(ProcCtx& ctx, PageNum pn,
     if (fresh.empty())
         return;
 
+    // Any write this processor performs from here on depends (via
+    // happens-before) on the data just merged, so the diff of its
+    // next twin must stamp strictly after everything applied here.
+    // This apply edge is what makes orderKey a true Lamport clock
+    // for conflicting diffs — see PState::lclock.
+    for (const auto& d : fresh)
+        s.lclock = std::max(s.lclock, d->orderKey + 1);
+
     // A server ships every cached diff newer than the requester's seq,
     // which can include intervals the requester has no notices for
     // yet. A *causally older* diff can therefore still arrive at a
     // later fault; applied blindly it would roll freshly-applied bytes
     // back to stale values. Detect that case and rebuild the frame
-    // from the initial image in causal order instead. (Concurrent
-    // intervals touch disjoint bytes in a data-race-free program, so
-    // any total order consistent with orderKey reproduces the frame.)
+    // from the initial image in causal order instead. (Diffs with
+    // overlapping bytes stamp in strict happens-before order, and
+    // concurrent diffs touch disjoint bytes in a data-race-free
+    // program, so any total order consistent with orderKey
+    // reproduces the frame.)
     if (!m.applied.empty() &&
         fresh.front()->orderKey < m.maxKeyApplied) {
         m.applied.insert(m.applied.end(), fresh.begin(), fresh.end());
@@ -380,19 +385,45 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
             writers[w] = last == nullptr ? 0 : *last;
         }
 
+        std::vector<DiffPtr> collected;
+        std::vector<ProcId> msg_writers;
         for (const auto& [w, since] : writers) {
+            // Pull fast path: a writer whose twin for this page is
+            // already flushed has every shippable diff sitting in its
+            // cache, so the requester can pull them with one-sided
+            // reads — no request message, no handler dispatch, no
+            // writer CPU. (An un-flushed twin still needs the message
+            // path: only the writer can close its open interval.)
+            const NodeId wnode = rt_->topo().nodeOf(w);
+            PageMeta& wm = st(rt_->procCtx(w)).pages[pn];
+            if (rt_->rdmaPullDiffs() && wnode != ctx.node &&
+                wm.twin == nullptr) {
+                ctx.noteWait("tmk_pull", pn, w);
+                // Descriptor read first: the writer's per-page diff
+                // directory (seq high-water mark + cache index).
+                rt_->rdmaWaitUntil(ctx, rt_->rdmaRead(ctx, wnode, 64));
+                // Then the diffs themselves, one doorbell for all.
+                rt_->rdmaBatchBegin(ctx);
+                for (const auto& d : wm.ownDiffs) {
+                    if (d->seq > since) {
+                        collected.push_back(d);
+                        rt_->rdmaRead(ctx, wnode, d->wireBytes());
+                        rt_->rdmaBatchNote(ctx);
+                    }
+                }
+                rt_->rdmaWaitUntil(ctx, rt_->rdmaBatchEnd(ctx));
+                continue;
+            }
             Message req;
             req.type = TmkReqDiffs;
             req.a = pn;
             req.b = since;
             req.bytes = 16;
             rt_->sendMessage(ctx, w, std::move(req));
+            msg_writers.push_back(w);
         }
 
-        std::vector<DiffPtr> collected;
-        for (const auto& [w, since] : writers) {
-            (void)since;
-            const ProcId writer = w;
+        for (const ProcId writer : msg_writers) {
             ctx.noteWait("tmk_diffs", pn, writer);
             Message rep = rt_->waitReply(
                 ctx,

@@ -104,15 +104,6 @@ class TreadMarks final : public Protocol
         /** Write notices received but not yet applied: (writer, id). */
         std::vector<std::pair<ProcId, std::uint32_t>> pending;
         std::uint8_t* twin = nullptr;
-        /**
-         * vtSum of the last closed interval that wrote this page; the
-         * orderKey of the next flushed diff. Diffs are created lazily,
-         * so the writer's clock at flush time may have advanced past
-         * knowledge a causally-later writer acted on — stamping at
-         * flush time would let an older diff sort after (and clobber)
-         * a newer one at a reader.
-         */
-        std::uint64_t closeKey = 0;
         /** Newest diff seq applied, per writer. */
         ProcCounterMap lastSeqApplied;
         /** Intervals covered by applied diffs, per writer. */
@@ -149,12 +140,23 @@ class TreadMarks final : public Protocol
 
         VTime vt;
         /**
-         * Running component sum of `vt`, maintained by closeInterval
-         * and mergeVt. vtSum(vt) is the causal order key stamped on
-         * every closed interval; keeping it incrementally avoids an
-         * O(P) reduction per interval close.
+         * Lamport clock for diff ordering. Advanced past every diff
+         * stamp this processor applies (applyDiffs), so the orderKey
+         * a later flushTwin assigns is strictly greater than the
+         * stamp of any diff whose data this processor has seen. In a
+         * data-race-free program two diffs with overlapping bytes are
+         * always ordered by happens-before, and every such edge runs
+         * through a notice and a diff application at the later writer
+         * (or predates its twin epoch) — so conflicting diffs carry
+         * strictly increasing stamps, and sorting by orderKey at a
+         * reader reproduces the frame regardless of arrival order.
+         * The page's vector-timestamp sum (the previous stamp) lacked
+         * exactly this apply edge: a twin that survives an interval
+         * close lumps writes from several causal positions into one
+         * diff, and a sum taken at one of them could tie with — and
+         * clobber — a causally-later writer's diff at a reader.
          */
-        std::uint64_t vtSum = 0;
+        std::uint64_t lclock = 0;
         IntervalLog log;
         VTime lastBarrierVT;
         std::vector<PageNum> curWrites;

@@ -219,7 +219,13 @@ struct Diff : RcCounted
     PageNum page = 0;
     std::uint32_t seq = 0;         ///< per-writer creation counter
     std::uint32_t coversUpTo = 0;  ///< all intervals <= this are covered
-    std::uint64_t orderKey = 0;    ///< vtSum at creation (causal order)
+    /**
+     * Writer's Lamport clock at creation. Strictly greater than the
+     * stamp of any diff whose data the writer had applied, so diffs
+     * with overlapping bytes (always happens-before ordered in a
+     * data-race-free program) sort in causal order at every reader.
+     */
+    std::uint64_t orderKey = 0;
 
     FlatRuns runs;
 
