@@ -29,7 +29,7 @@ main(int argc, char** argv)
                 "second-generation Memory Channel",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
                  kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
-                 kFlagCheck});
+                 kFlagCheck, kFlagSimThreads});
     RunOpts opts = optsFrom(flags);
     const int np = std::stoi(flags.get("procs", "16"));
     const auto apps =

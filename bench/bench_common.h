@@ -61,6 +61,11 @@ inline constexpr FlagInfo kFlagCheck{
     "invariant, deadlock, or all (bare --check = all); any finding "
     "makes the binary exit 1",
     FlagArg::Optional};
+inline constexpr FlagInfo kFlagSimThreads{
+    "sim-threads",
+    "host threads per simulation (conservative-PDES engine; default "
+    "0 = legacy sequential loop; any N >= 1 is bit-identical to "
+    "N = 1)"};
 inline constexpr FlagInfo kFlagNet{
     "net",
     "network backend: mc (the paper's Memory Channel, default) or "
@@ -198,6 +203,13 @@ procList(const Flags& flags, const char* def = "1,2,4,8,16,24,32")
     return out;
 }
 
+/** Parse --sim-threads (0 = legacy sequential loop). */
+inline int
+simThreadsFrom(const Flags& flags)
+{
+    return std::max(0, std::stoi(flags.get("sim-threads", "0")));
+}
+
 inline RunOpts
 optsFrom(const Flags& flags)
 {
@@ -207,6 +219,7 @@ optsFrom(const Flags& flags)
     opts.net = netFrom(flags);
     opts.fault = faultFrom(flags);
     opts.checks = checksFrom(flags);
+    opts.simThreads = simThreadsFrom(flags);
     if (flags.has("trace-out"))
         opts.traceCapacity = std::size_t{1} << 18;
     return opts;
@@ -224,7 +237,15 @@ jobsFrom(const Flags& flags)
     const std::string v = flags.get("jobs", "");
     if (!v.empty())
         return std::max(1, std::stoi(v));
-    return jobsFromEnv(defaultJobs());
+    int jobs = jobsFromEnv(defaultJobs());
+    // Compose --jobs x --sim-threads without oversubscribing the
+    // host: each experiment already uses sim-threads workers, so the
+    // default batch width shrinks to keep jobs * sim-threads within
+    // the hardware budget. An explicit --jobs always wins.
+    const int st = simThreadsFrom(flags);
+    if (st > 1)
+        jobs = std::max(1, jobs / st);
+    return jobs;
 }
 
 } // namespace mcdsm::bench

@@ -21,7 +21,7 @@ main(int argc, char** argv)
                 "six protocol variants",
                 {kFlagApps, kFlagProtocols, kFlagProcs, kFlagScale,
                  kFlagSeed, kFlagJobs, kFlagNet, kFlagScenario,
-                 kFlagFaultSeed, kFlagTraceOut, kFlagCheck});
+                 kFlagFaultSeed, kFlagTraceOut, kFlagCheck, kFlagSimThreads});
     RunOpts opts = optsFrom(flags);
 
     const auto apps = appList(flags);

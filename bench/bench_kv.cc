@@ -242,7 +242,7 @@ main(int argc, char** argv)
           FlagArg::None},
          kFlagProtocols, {"procs", "processor count (one value)"},
          kFlagScale, kFlagSeed, kFlagJobs, kFlagNet, kFlagScenario,
-         kFlagFaultSeed, kFlagTraceOut, kFlagCheck});
+         kFlagFaultSeed, kFlagTraceOut, kFlagCheck, kFlagSimThreads});
 
     if (flags.has("check-det"))
         return checkDeterminism(flags);

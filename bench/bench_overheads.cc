@@ -21,7 +21,7 @@ main(int argc, char** argv)
                 "write doubling on one processor",
                 {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs, kFlagNet,
                  kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
-                 kFlagCheck});
+                 kFlagCheck, kFlagSimThreads});
     RunOpts opts = optsFrom(flags);
 
     CostModel costs;

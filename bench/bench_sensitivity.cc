@@ -154,7 +154,7 @@ main(int argc, char** argv)
           "exit", FlagArg::None},
          kFlagApps, {"procs", "processor count (one value)"}, kFlagScale,
          kFlagSeed, kFlagJobs, kFlagNet, kFlagFaultSeed, kFlagTraceOut,
-         kFlagCheck});
+         kFlagCheck, kFlagSimThreads});
 
     if (flags.has("check-null"))
         return checkNull(flags);

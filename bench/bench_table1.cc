@@ -20,6 +20,8 @@ NetKind g_net = NetKind::Mc;
 FaultPlan g_fault;
 /** Verification analyses applied to every measurement (--check). */
 CheckConfig g_checks;
+/** Host threads per simulation (--sim-threads, default legacy). */
+int g_simThreads = 0;
 std::uint64_t g_violations = 0;
 std::string g_checkReport;
 
@@ -33,6 +35,7 @@ cfgFor(ProtocolKind k, int nprocs)
     cfg.net = g_net;
     cfg.fault = g_fault;
     cfg.checks = g_checks;
+    cfg.simThreads = g_simThreads;
     return cfg;
 }
 
@@ -135,10 +138,12 @@ main(int argc, char** argv)
     handleUsage(flags,
                 "Table 1: minimum cost of basic operations for all six "
                 "protocol variants",
-                {kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagCheck});
+                {kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagCheck,
+                 kFlagSimThreads});
     g_net = netFrom(flags);
     g_fault = faultFrom(flags);
     g_checks = checksFrom(flags);
+    g_simThreads = simThreadsFrom(flags);
 
     std::printf("Table 1: cost of basic operations (microseconds)\n");
     std::printf("(paper: Table 1; barrier column shows 2-proc with "

@@ -16,7 +16,7 @@ main(int argc, char** argv)
                 "Table 2: data-set sizes and sequential execution time",
                 {kFlagApps, kFlagScale, kFlagSeed, kFlagJobs, kFlagNet,
                  kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
-                 kFlagCheck});
+                 kFlagCheck, kFlagSimThreads});
     RunOpts opts = optsFrom(flags);
 
     std::printf("Table 2: data set sizes and sequential execution time\n");

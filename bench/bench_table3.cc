@@ -18,7 +18,7 @@ main(int argc, char** argv)
                 "variants",
                 {kFlagApps, kFlagProcs, kFlagScale, kFlagSeed, kFlagJobs,
                  kFlagNet, kFlagScenario, kFlagFaultSeed, kFlagTraceOut,
-                 kFlagCheck});
+                 kFlagCheck, kFlagSimThreads});
     RunOpts opts = optsFrom(flags);
     const int procs = std::stoi(flags.get("procs", "32"));
 

@@ -193,9 +193,8 @@ RaceChecker::afterAcquire(ProcId p, int lock_id)
 {
     if (p < 0 || p >= nprocs_)
         return;
-    auto it = locks_.find(lock_id);
-    if (it != locks_.end())
-        joinInto(vc_[p], it->second);
+    if (const VC* lv = locks_.find(lock_id))
+        joinInto(vc_[p], *lv);
     setSyncCtx(p, strprintf("acquire(lock %d)", lock_id));
 }
 
@@ -204,7 +203,9 @@ RaceChecker::beforeRelease(ProcId p, int lock_id)
 {
     if (p < 0 || p >= nprocs_)
         return;
-    VC& lv = locks_.try_emplace(lock_id, VC(nprocs_, 0)).first->second;
+    VC& lv = locks_[lock_id];
+    if (lv.empty())
+        lv.assign(nprocs_, 0);
     joinInto(lv, vc_[p]);
     vc_[p][p] += 1;
     setSyncCtx(p, strprintf("release(lock %d)", lock_id));
@@ -215,8 +216,7 @@ RaceChecker::barrierEnter(ProcId p, int barrier_id)
 {
     if (p < 0 || p >= nprocs_)
         return;
-    BarrierState& b =
-        barriers_.try_emplace(barrier_id, BarrierState{}).first->second;
+    BarrierState& b = barriers_[barrier_id];
     if (b.pending.empty())
         b.pending.assign(nprocs_, 0);
     joinInto(b.pending, vc_[p]);
@@ -251,7 +251,9 @@ RaceChecker::beforeFlagSet(ProcId p, int flag_id)
 {
     if (p < 0 || p >= nprocs_)
         return;
-    VC& fv = flags_.try_emplace(flag_id, VC(nprocs_, 0)).first->second;
+    VC& fv = flags_[flag_id];
+    if (fv.empty())
+        fv.assign(nprocs_, 0);
     joinInto(fv, vc_[p]);
     vc_[p][p] += 1;
     setSyncCtx(p, strprintf("setFlag(%d)", flag_id));
@@ -262,11 +264,11 @@ RaceChecker::afterFlagWait(ProcId p, int flag_id)
 {
     if (p < 0 || p >= nprocs_)
         return;
-    auto it = flags_.find(flag_id);
+    const VC* fv = flags_.find(flag_id);
     // The protocol only returns from waitFlag after some setFlag, so
     // the flag's clock must exist.
-    mcdsm_assert(it != flags_.end(), "flag wait without any set");
-    joinInto(vc_[p], it->second);
+    mcdsm_assert(fv != nullptr, "flag wait without any set");
+    joinInto(vc_[p], *fv);
     setSyncCtx(p, strprintf("waitFlag(%d)", flag_id));
 }
 

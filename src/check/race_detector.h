@@ -36,9 +36,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace mcdsm {
@@ -143,9 +143,9 @@ class RaceChecker
     std::size_t chunks_per_page_;
     std::size_t max_reports_;
 
-    std::vector<VC> vc_;                     ///< per-proc vector clock
-    std::unordered_map<int, VC> locks_;      ///< lock id -> released VC
-    std::unordered_map<int, VC> flags_;      ///< flag id -> released VC
+    std::vector<VC> vc_;           ///< per-proc vector clock
+    FlatIntMap<VC> locks_;         ///< lock id -> released VC
+    FlatIntMap<VC> flags_;         ///< flag id -> released VC
 
     struct BarrierState
     {
@@ -153,7 +153,7 @@ class RaceChecker
         VC released; ///< published clock of the completed episode
         int arrived = 0;
     };
-    std::unordered_map<int, BarrierState> barriers_;
+    FlatIntMap<BarrierState> barriers_;
 
     std::vector<std::unique_ptr<Chunk[]>> pages_;
     std::vector<SharedRead> sharedReads_;

@@ -29,9 +29,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -86,9 +86,8 @@ class SyncClock
     afterAcquire(ProcId p, int lock_id)
     {
         if (lock_edges_) {
-            auto it = locks_.find(lock_id);
-            if (it != locks_.end())
-                join(vc_[p], it->second);
+            if (const VC* lv = locks_.find(lock_id))
+                join(vc_[p], *lv);
         }
         setCtx(p, strprintf("acquire(lock %d)", lock_id));
     }
@@ -97,8 +96,9 @@ class SyncClock
     beforeRelease(ProcId p, int lock_id)
     {
         if (lock_edges_) {
-            VC& lv =
-                locks_.try_emplace(lock_id, VC(nprocs_, 0)).first->second;
+            VC& lv = locks_[lock_id];
+            if (lv.empty())
+                lv.assign(nprocs_, 0);
             join(lv, vc_[p]);
             vc_[p][p] += 1;
         }
@@ -108,9 +108,7 @@ class SyncClock
     void
     barrierEnter(ProcId p, int barrier_id)
     {
-        BarrierState& b =
-            barriers_.try_emplace(barrier_id, BarrierState{})
-                .first->second;
+        BarrierState& b = barriers_[barrier_id];
         if (b.pending.empty())
             b.pending.assign(nprocs_, 0);
         join(b.pending, vc_[p]);
@@ -136,7 +134,9 @@ class SyncClock
     void
     beforeFlagSet(ProcId p, int flag_id)
     {
-        VC& fv = flags_.try_emplace(flag_id, VC(nprocs_, 0)).first->second;
+        VC& fv = flags_[flag_id];
+        if (fv.empty())
+            fv.assign(nprocs_, 0);
         join(fv, vc_[p]);
         vc_[p][p] += 1;
         setCtx(p, strprintf("setFlag(%d)", flag_id));
@@ -145,9 +145,9 @@ class SyncClock
     void
     afterFlagWait(ProcId p, int flag_id)
     {
-        auto it = flags_.find(flag_id);
-        mcdsm_assert(it != flags_.end(), "flag wait without any set");
-        join(vc_[p], it->second);
+        const VC* fv = flags_.find(flag_id);
+        mcdsm_assert(fv != nullptr, "flag wait without any set");
+        join(vc_[p], *fv);
         setCtx(p, strprintf("waitFlag(%d)", flag_id));
     }
 
@@ -176,9 +176,9 @@ class SyncClock
     int nprocs_;
     bool lock_edges_;
     std::vector<VC> vc_;
-    std::unordered_map<int, VC> locks_;
-    std::unordered_map<int, VC> flags_;
-    std::unordered_map<int, BarrierState> barriers_;
+    FlatIntMap<VC> locks_;
+    FlatIntMap<VC> flags_;
+    FlatIntMap<BarrierState> barriers_;
 
     std::vector<std::string> ctx_;
     std::vector<std::uint32_t> cur_ctx_;

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * FlatIntMap — a minimal open-addressing hash table keyed by a
+ * non-negative int, for the checker hot paths in src/check/.
+ *
+ * std::unordered_map costs a heap node per element plus a pointer
+ * chase per probe; on the per-sync-op paths of the race detector,
+ * lockset checker and SyncClock (lock/flag/barrier id → vector clock)
+ * that shows up both in the allocation gate and in --check=all wall
+ * clock. Sync-object ids are small dense-ish integers, so a flat
+ * power-of-two table with linear probing makes every lookup one or
+ * two cache lines and every insert allocation-free until the next
+ * capacity doubling.
+ *
+ * Deliberately tiny: no erase (checker state only grows), keys are
+ * >= 0 (-1 is the empty-slot sentinel), values must be movable.
+ * Pointers/references into the table are invalidated by rehash, same
+ * as the iterator rules callers already lived under.
+ */
+
+#ifndef MCDSM_COMMON_FLAT_MAP_H
+#define MCDSM_COMMON_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+template <typename V>
+class FlatIntMap
+{
+  public:
+    FlatIntMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value for @p key, or nullptr if absent. */
+    V*
+    find(int key)
+    {
+        if (slots_.empty())
+            return nullptr;
+        for (std::size_t i = probe(key);; i = (i + 1) & mask_) {
+            Slot& s = slots_[i];
+            if (s.key == key)
+                return &s.value;
+            if (s.key == kEmpty)
+                return nullptr;
+        }
+    }
+
+    const V*
+    find(int key) const
+    {
+        return const_cast<FlatIntMap*>(this)->find(key);
+    }
+
+    /**
+     * Value for @p key, default-constructing it on first use — the
+     * try_emplace(key, V{}) / operator[] shape the checkers need.
+     */
+    V&
+    operator[](int key)
+    {
+        mcdsm_assert(key >= 0, "FlatIntMap keys must be >= 0");
+        if (size_ + 1 > (slots_.size() * 7) / 10)
+            grow();
+        for (std::size_t i = probe(key);; i = (i + 1) & mask_) {
+            Slot& s = slots_[i];
+            if (s.key == key)
+                return s.value;
+            if (s.key == kEmpty) {
+                s.key = key;
+                size_ += 1;
+                return s.value;
+            }
+        }
+    }
+
+    /** Visit every (key, value) pair in unspecified order. */
+    template <typename F>
+    void
+    forEach(F&& fn) const
+    {
+        for (const Slot& s : slots_) {
+            if (s.key != kEmpty)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    static constexpr int kEmpty = -1;
+
+    struct Slot
+    {
+        int key = kEmpty;
+        V value{};
+    };
+
+    std::size_t
+    probe(int key) const
+    {
+        // Fibonacci multiplicative hash: adjacent ids (the common
+        // case for lock/flag/barrier numbering) spread across the
+        // table instead of forming one probe run.
+        const std::uint64_t h =
+            static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+        return static_cast<std::size_t>(h >> 32) & mask_;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        const std::size_t cap = old.empty() ? 16 : old.size() * 2;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        for (Slot& s : old) {
+            if (s.key == kEmpty)
+                continue;
+            for (std::size_t i = probe(s.key);; i = (i + 1) & mask_) {
+                if (slots_[i].key == kEmpty) {
+                    slots_[i].key = s.key;
+                    slots_[i].value = std::move(s.value);
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_COMMON_FLAT_MAP_H

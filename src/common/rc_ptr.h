@@ -10,11 +10,21 @@
  * consistency records out to every processor — a TreadMarks barrier
  * at P processors copies O(P^2) record pointers, and at P >= 256 the
  * refcount traffic alone was a measurable slice of host time.
+ *
+ * Exception: the intra-simulation parallel engine (--sim-threads)
+ * spreads ONE simulation over several host threads, and TreadMarks
+ * interval/diff records travel between processors by pointer. The
+ * first such run flips a sticky process-wide flag
+ * (RcCounted::enableAtomicMode()) that switches inc/dec to atomic
+ * RMWs. The flag is one relaxed load on the hot path; plain
+ * single-thread batches that never start an engine keep the cheap
+ * non-atomic arithmetic.
  */
 
 #ifndef MCDSM_COMMON_RC_PTR_H
 #define MCDSM_COMMON_RC_PTR_H
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
@@ -30,9 +40,31 @@ class RcCounted
     RcCounted(const RcCounted&) {}
     RcCounted& operator=(const RcCounted&) { return *this; }
 
+    /**
+     * Switch every RcPtr in the process to atomic refcounting,
+     * permanently. Sticky by design: objects created before the flip
+     * may still be alive, and a mixed-mode object must never see a
+     * non-atomic update once engine threads can touch it. Safe
+     * because experiments never share refcounted objects, so an
+     * object's updates are either all pre-flip (single-threaded) or
+     * all post-flip (atomic).
+     */
+    static void
+    enableAtomicMode()
+    {
+        atomic_mode_.store(true, std::memory_order_relaxed);
+    }
+
+    static bool
+    atomicMode()
+    {
+        return atomic_mode_.load(std::memory_order_relaxed);
+    }
+
   private:
     template <typename T> friend class RcPtr;
-    mutable std::uint32_t rc_ = 0;
+    mutable std::atomic<std::uint32_t> rc_{0};
+    inline static std::atomic<bool> atomic_mode_{false};
 };
 
 /**
@@ -105,16 +137,35 @@ template <typename T> class RcPtr
     void
     inc() const
     {
-        if (p_ != nullptr)
-            p_->rc_ += 1;
+        if (p_ == nullptr)
+            return;
+        auto& rc = p_->rc_;
+        if (RcCounted::atomicMode())
+            rc.fetch_add(1, std::memory_order_relaxed);
+        else
+            rc.store(rc.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
     }
 
     void
     dec() const
     {
         T* p = p_;
-        if (p != nullptr && --p->rc_ == 0)
-            delete p;
+        if (p == nullptr)
+            return;
+        auto& rc = p->rc_;
+        if (RcCounted::atomicMode()) {
+            // acq_rel so the deleting thread observes every write made
+            // under references the other threads just dropped.
+            if (rc.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                delete p;
+        } else {
+            const std::uint32_t n =
+                rc.load(std::memory_order_relaxed) - 1;
+            rc.store(n, std::memory_order_relaxed);
+            if (n == 0)
+                delete p;
+        }
     }
 
     template <typename U> friend class RcPtr;

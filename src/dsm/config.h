@@ -195,6 +195,20 @@ struct DsmConfig
     Time schedMaxJitter = 200;
 
     /**
+     * Host worker threads executing THIS simulation (conservative
+     * PDES, src/sim/engine.h). 0 = the legacy sequential event loop;
+     * any value >= 1 runs the parallel engine (1 = single worker,
+     * engine scheduling semantics but no host threads spawned).
+     * Results are bit-identical for every value >= 1; the engine's
+     * tie-break differs from the legacy loop's FIFO seq, so 0 is
+     * kept as its own mode for the recorded goldens. Incompatible
+     * features (checkers, race detection, schedule perturbation,
+     * tracing, Cashmere's directly-polled MC words) force a silent
+     * fall-back to the legacy loop; see DsmRuntime.
+     */
+    int simThreads = 0;
+
+    /**
      * Protocol event-trace ring capacity (0 = tracing disabled).
      * See dsm/trace.h; DsmRuntime::trace() exposes the ring.
      */

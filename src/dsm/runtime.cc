@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/rc_ptr.h"
 #include "dsm/proc.h"
+#include "sim/engine.h"
 
 namespace mcdsm {
 
@@ -76,8 +78,28 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
 
     mail_ = std::make_unique<MailboxSystem>(sched_, *net_, costs_,
                                             cfg_.topo);
-    init_.assign(page_count_, nullptr);
+    init_ = std::vector<std::atomic<std::uint8_t*>>(page_count_);
     trace_ = TraceRing(cfg_.traceCapacity);
+
+    // Parallel engine setup must precede protocol_->attach(): the
+    // engine forces the rdma pull-diffs fast path off (it reads the
+    // writer's protocol state directly across processors) and
+    // protocols may cache the flag at attach time.
+    if (engineEligible()) {
+        engine_workers_ =
+            std::min(cfg_.simThreads, std::max(1, cfg_.topo.nodes));
+        engine_ = std::make_unique<Engine>(sched_, engine_workers_,
+                                           net_->minCrossNodeLatency());
+        mail_->enableEngine(engine_.get(), engine_workers_);
+        engine_->setDrainHook([this] { mail_->drainStaged(); });
+        rdma_pull_diffs_ = false;
+        if (engine_workers_ > 1) {
+            // Shared structures crossed by more than one host thread;
+            // single-worker engine runs keep the cheap paths.
+            RcCounted::enableAtomicMode();
+            pool_.setSerialized(true);
+        }
+    }
 
     int_mode_ = (req_mode_ == ReqMode::Interrupt);
     polls_while_waiting_ = pollsWhileWaiting(cfg_.protocol);
@@ -123,6 +145,34 @@ DsmRuntime::DsmRuntime(const DsmConfig& cfg,
 
 DsmRuntime::~DsmRuntime() = default;
 
+/**
+ * The parallel engine covers the core experiment grid. Excluded, with
+ * silent fallback to the legacy loop (so --sim-threads can be set
+ * globally for a batch):
+ *  - verification analyses and tracing: the checkers and the trace
+ *    ring are cross-processor shared state with order-sensitive
+ *    internals;
+ *  - schedule perturbation: jitter draws come from one sequential PRNG;
+ *  - Cashmere: its home-node directory is read and written directly
+ *    across processors rather than through messages;
+ *  - the pp request mode: protocol-processor fibers poll peer queues
+ *    outside the mailbox wake discipline.
+ */
+bool
+DsmRuntime::engineEligible() const
+{
+    return cfg_.simThreads >= 1 && !cfg_.checks.any() &&
+           !cfg_.raceDetect && cfg_.traceCapacity == 0 &&
+           cfg_.schedSeed == 0 && !isCashmere(cfg_.protocol) &&
+           req_mode_ != ReqMode::ProtocolProcessor;
+}
+
+int
+DsmRuntime::activeWorkers() const
+{
+    return engine_ != nullptr ? engine_->activeCount() : active_workers_;
+}
+
 GAddr
 DsmRuntime::alloc(std::size_t bytes, std::size_t align)
 {
@@ -161,11 +211,21 @@ std::uint8_t*
 DsmRuntime::initFrame(PageNum pn)
 {
     mcdsm_assert(pn < page_count_, "page out of range");
-    if (!init_[pn]) {
-        init_[pn] = pool_.acquire(MemSite::Frame);
-        std::memset(init_[pn], 0, kPageSize);
+    std::uint8_t* f = init_[pn].load(std::memory_order_acquire);
+    if (f != nullptr)
+        return f;
+    // Double-checked creation: under the parallel engine two
+    // processors can demand the same page's init image at once. The
+    // frame contents are the same (zeros, or pre-run hostWrite data
+    // published before tasks start), so whoever wins is immaterial.
+    std::lock_guard<std::mutex> lk(init_mu_);
+    f = init_[pn].load(std::memory_order_relaxed);
+    if (f == nullptr) {
+        f = pool_.acquire(MemSite::Frame);
+        std::memset(f, 0, kPageSize);
+        init_[pn].store(f, std::memory_order_release);
     }
-    return init_[pn];
+    return f;
 }
 
 void
@@ -191,8 +251,10 @@ DsmRuntime::hostRead(GAddr a, void* dst, std::size_t bytes) const
         const PageNum pn = pageOf(a);
         const std::size_t off = pageOffset(a);
         const std::size_t chunk = std::min(bytes, kPageSize - off);
-        if (init_[pn])
-            std::memcpy(d, init_[pn] + off, chunk);
+        const std::uint8_t* f =
+            init_[pn].load(std::memory_order_acquire);
+        if (f != nullptr)
+            std::memcpy(d, f + off, chunk);
         else
             std::memset(d, 0, chunk);
         a += chunk;
@@ -421,9 +483,9 @@ DsmRuntime::waitEvent(ProcCtx& ctx, const std::function<bool()>& ready)
 void
 DsmRuntime::lingerLoop(ProcCtx& ctx)
 {
-    while (active_workers_ > 0) {
+    while (activeWorkers() > 0) {
         serviceArrived(ctx, true);
-        if (active_workers_ == 0)
+        if (activeWorkers() == 0)
             break;
         const Time next = nextActionable(ctx, true);
         if (next >= 0 && next > sched_.now())
@@ -449,7 +511,7 @@ DsmRuntime::ppLoop(ProcCtx& pp)
         }
         if (serviced)
             continue;
-        if (active_workers_ == 0)
+        if (activeWorkers() == 0)
             return;
         const Time next = mail_->earliestArrival(pp.id);
         if (next >= 0 && next > sched_.now()) {
@@ -482,7 +544,16 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
                 }
                 protocol_->procEnd(*ctx);
                 ctx->stats.endTime = sched_.now();
-                if (--active_workers_ == 0) {
+                if (engine_ != nullptr) {
+                    // Engine mode: the decrement lands at the next
+                    // epoch barrier so every worker sees the same
+                    // count for a whole epoch; the engine performs
+                    // the shutdown storm when it reaches zero. Every
+                    // finisher lingers — the loop exits right after
+                    // the barrier that applies the last finish.
+                    engine_->noteFinish();
+                    lingerLoop(*ctx);
+                } else if (--active_workers_ == 0) {
                     // Unblock lingering workers and idle protocol
                     // processors for shutdown.
                     for (const auto& other : procs_) {
@@ -501,6 +572,8 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
             });
         ctx->task = task;
         mail_->bindTask(ctx->id, task);
+        if (engine_ != nullptr)
+            engine_->assignTask(task, ctx->node % engine_workers_);
     }
 
     if (req_mode_ == ReqMode::ProtocolProcessor) {
@@ -513,7 +586,14 @@ DsmRuntime::run(const std::function<void(Proc&)>& worker)
         }
     }
 
-    if (!sched_.run()) {
+    bool all_finished;
+    if (engine_ != nullptr) {
+        engine_->setInitialActive(nprocs());
+        all_finished = engine_->run();
+    } else {
+        all_finished = sched_.run();
+    }
+    if (!all_finished) {
         for (const auto& ctx : procs_) {
             if (ctx->task >= 0) {
                 std::string types;
@@ -570,6 +650,13 @@ DsmRuntime::recordRequest(ProcCtx& ctx, int phase, int shard,
     mcdsm_assert(phase >= 0 &&
                      phase < static_cast<int>(service_.size()),
                  "recordRequest: phase %d not declared", phase);
+    // The accumulators are cross-processor shared state; under the
+    // engine several host threads record at once. Every update is
+    // commutative (sums, counts, histogram buckets), so the totals
+    // are deterministic regardless of arrival order.
+    std::unique_lock<std::mutex> lk(record_mu_, std::defer_lock);
+    if (engine_ != nullptr)
+        lk.lock();
     ServicePhaseAccum& ph = service_[phase];
     mcdsm_assert(shard >= 0 &&
                      shard < static_cast<int>(ph.stats.shards.size()),

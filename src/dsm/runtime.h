@@ -9,9 +9,11 @@
 #ifndef MCDSM_DSM_RUNTIME_H
 #define MCDSM_DSM_RUNTIME_H
 
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "check/suite.h"
@@ -33,6 +35,7 @@
 namespace mcdsm {
 
 class Proc;
+class Engine;
 
 /** Message types >= kReplyBase are replies; below are requests. */
 constexpr int kReplyBase = 1000;
@@ -484,7 +487,11 @@ class DsmRuntime
     /** Init-image frame for a page (allocates zero-filled on demand). */
     std::uint8_t* initFrame(PageNum pn);
     /** True if the page was ever touched by hostWrite/initFrame. */
-    bool hasInitFrame(PageNum pn) const { return init_[pn] != nullptr; }
+    bool
+    hasInitFrame(PageNum pn) const
+    {
+        return init_[pn].load(std::memory_order_acquire) != nullptr;
+    }
 
     /** The per-simulation buffer pool (message payloads, frames). */
     BufferPool& bufPool() { return pool_; }
@@ -512,7 +519,15 @@ class DsmRuntime
                        Time lock_wait, bool contended);
 
     /** Number of workers that have not finished yet. */
-    int activeWorkers() const { return active_workers_; }
+    int activeWorkers() const;
+
+    /**
+     * True when this run executes on the parallel conservative-PDES
+     * engine (cfg.simThreads >= 1 and the configuration is eligible;
+     * see DESIGN.md §14). Ineligible configurations silently fall
+     * back to the legacy sequential loop.
+     */
+    bool engineActive() const { return engine_ != nullptr; }
 
     /** Protocol event trace (empty unless cfg.traceCapacity > 0). */
     const TraceRing& trace() const { return trace_; }
@@ -661,8 +676,22 @@ class DsmRuntime
     std::size_t alloc_bytes_ = 0;
 
     std::vector<std::unique_ptr<ProcCtx>> procs_; ///< incl. pp contexts
-    /** Init-image frames (pool blocks; reclaimed with the pool). */
-    std::vector<std::uint8_t*> init_;
+    /**
+     * Init-image frames (pool blocks; reclaimed with the pool).
+     * Atomic entries: under the parallel engine two processors can
+     * race to materialise frames; init_mu_ serialises creation and
+     * the acquire/release pair publishes the zero-fill.
+     */
+    std::vector<std::atomic<std::uint8_t*>> init_;
+    std::mutex init_mu_;
+    /** Serialises recordRequest accumulators under the engine. */
+    std::mutex record_mu_;
+
+    /** Parallel engine (null: legacy sequential loop). */
+    std::unique_ptr<Engine> engine_;
+    int engine_workers_ = 0;
+
+    bool engineEligible() const;
 
     int active_workers_ = 0;
     bool ran_ = false;

@@ -76,6 +76,7 @@ runExperiment(const std::string& app_name, ProtocolKind protocol,
     cfg.checks = opts.checks;
     cfg.schedSeed = opts.schedSeed;
     cfg.schedMaxJitter = opts.schedMaxJitter;
+    cfg.simThreads = opts.simThreads;
     cfg.fault = opts.fault;
     cfg.memPool = opts.memPool;
     if (opts.traceCapacity > 0)

@@ -69,6 +69,12 @@ struct RunOpts
     /** Jitter bound for perturbed schedules (ns). */
     Time schedMaxJitter = 200;
 
+    /**
+     * Host threads for one simulation (0 = legacy sequential loop,
+     * N >= 1 = conservative-PDES engine; see DsmConfig::simThreads).
+     */
+    int simThreads = 0;
+
     /** Fault / perturbation plan (default: null plan, no injector). */
     FaultPlan fault{};
     /** Trace-ring capacity; > 0 fills ExpResult::trace. */

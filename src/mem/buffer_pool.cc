@@ -45,6 +45,40 @@ BufferPool::refill()
 std::uint8_t*
 BufferPool::acquire(MemSite site)
 {
+    if (serialized_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        return acquireLocked(site);
+    }
+    return acquireLocked(site);
+}
+
+void
+BufferPool::release(std::uint8_t* p, MemSite site)
+{
+    if (serialized_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        releaseLocked(p, site);
+        return;
+    }
+    releaseLocked(p, site);
+}
+
+void
+BufferPool::countLargeHeap(MemSite site, std::size_t n)
+{
+    if (prof_ == nullptr)
+        return;
+    if (serialized_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        prof_->countHeap(site, n);
+        return;
+    }
+    prof_->countHeap(site, n);
+}
+
+std::uint8_t*
+BufferPool::acquireLocked(MemSite site)
+{
     outstanding_ += 1;
     if (!pooled_) {
         auto* p = new std::uint8_t[kPageSize];
@@ -64,7 +98,7 @@ BufferPool::acquire(MemSite site)
 }
 
 void
-BufferPool::release(std::uint8_t* p, MemSite site)
+BufferPool::releaseLocked(std::uint8_t* p, MemSite site)
 {
     mcdsm_assert(p != nullptr, "release of null block");
     mcdsm_assert(outstanding_ > 0, "release without acquire");
@@ -94,8 +128,7 @@ PoolBuf::assign(BufferPool& pool, MemSite site, const std::uint8_t* src,
         data_ = pool.acquire(site);
     } else {
         data_ = new std::uint8_t[n];
-        if (pool.profiler())
-            pool.profiler()->countHeap(site, n);
+        pool.countLargeHeap(site, n);
     }
     std::memcpy(data_, src, n);
     size_ = n;

@@ -27,6 +27,7 @@
 #define MCDSM_MEM_BUFFER_POOL_H
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -68,11 +69,28 @@ class BufferPool
     void setPoison(bool on) { poison_ = on; }
     bool poisonEnabled() const { return poison_; }
 
+    /**
+     * Serialize acquire/release (and profiler counting) behind a
+     * mutex. The parallel engine (--sim-threads) shares one runtime —
+     * and thus one pool — across host threads; everything else keeps
+     * the lock-free thread-confined contract above. Counter updates
+     * are commutative, so totals stay deterministic either way.
+     */
+    void setSerialized(bool on) { serialized_ = on; }
+
+    /** Profiler heap-count for the > kPageSize PoolBuf path, under
+     *  the same serialization regime as acquire/release. */
+    void countLargeHeap(MemSite site, std::size_t n);
+
   private:
     void refill();
+    std::uint8_t* acquireLocked(MemSite site);
+    void releaseLocked(std::uint8_t* p, MemSite site);
 
     AllocProfiler* prof_;
     bool pooled_;
+    bool serialized_ = false;
+    std::mutex mu_;
 #ifdef NDEBUG
     bool poison_ = false;
 #else

@@ -62,6 +62,18 @@ class NetworkBackend
      */
     void attachFaults(FaultInjector* faults) { faults_ = faults; }
 
+    /**
+     * Lower bound on the delivery time of any cross-node operation:
+     * a transfer sent at time T is never visible at another node
+     * before T + minCrossNodeLatency(). This is the lookahead the
+     * conservative-PDES engine (src/sim/engine.h) turns into its
+     * execution horizon, so it must hold under every load and fault
+     * condition the backend models (queueing and degradation only
+     * ever add delay on top of the base latency; jitter is
+     * non-negative).
+     */
+    virtual Time minCrossNodeLatency() const = 0;
+
     // ---- message-era operations ---------------------------------------
     /**
      * Account a bulk transfer (page copy, message) of @p bytes from

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "sim/engine.h"
 
 namespace mcdsm {
 
@@ -37,6 +38,65 @@ MailboxSystem::bindTask(ProcId endpoint, TaskId task)
     tasks_[endpoint] = task;
 }
 
+void
+MailboxSystem::enableEngine(Engine* engine, int workers)
+{
+    engine_ = engine;
+    staged_.resize(static_cast<std::size_t>(workers));
+    send_idx_.assign(static_cast<std::size_t>(endpointCount()), 0);
+}
+
+void
+MailboxSystem::enqueue(ProcId dst, Queued item)
+{
+    auto& q = queues_[dst];
+    if (q.empty() || !queuedBefore(item, q.v.back())) {
+        // Common case: the new message sorts last.
+        q.v.push_back(std::move(item));
+    } else {
+        auto it = std::upper_bound(
+            q.v.begin() + static_cast<std::ptrdiff_t>(q.head), q.v.end(),
+            item, queuedBefore);
+        q.v.insert(it, std::move(item));
+    }
+}
+
+void
+MailboxSystem::drainStaged()
+{
+    std::size_t n = 0;
+    for (const auto& v : staged_)
+        n += v.size();
+    if (n == 0)
+        return;
+    drain_buf_.clear();
+    drain_buf_.reserve(n);
+    for (auto& v : staged_) {
+        for (Staged& s : v)
+            drain_buf_.push_back(std::move(s));
+        v.clear();
+    }
+    // (sk, idx) is a total order: a slice key names one task at one
+    // clock, and idx counts that sender's sends.
+    std::sort(drain_buf_.begin(), drain_buf_.end(),
+              [](const Staged& a, const Staged& b) {
+                  if (a.sk != b.sk)
+                      return a.sk < b.sk;
+                  return a.idx < b.idx;
+              });
+    for (Staged& s : drain_buf_) {
+        const Time arrival =
+            net_.transfer(s.src_node, s.dst_node,
+                          s.wire_bytes + 32 /* header */, s.send_time);
+        s.msg.arrival = arrival;
+        const ProcId dst = s.dst;
+        enqueue(dst, Queued{arrival, s.sk, s.idx, std::move(s.msg)});
+        if (tasks_[dst] >= 0)
+            sched_.wakeIfBlocked(tasks_[dst], arrival);
+    }
+    drain_buf_.clear();
+}
+
 Time
 MailboxSystem::send(ProcId src, ProcId dst, Message msg,
                     Transport transport)
@@ -59,6 +119,35 @@ MailboxSystem::send(ProcId src, ProcId dst, Message msg,
     sched_.advance(cpu);
     const Time send_time = sched_.now();
 
+    msg.src = src;
+    msg.transport = transport;
+    msg.sameNode = same_node;
+    msg.bytes = wire_bytes;
+
+    sent_count_[src] += 1;
+    sent_bytes_[src] += wire_bytes;
+    total_messages_.fetch_add(1, std::memory_order_relaxed);
+
+    if (engine_ != nullptr && !same_node) {
+        // Engine mode: the receiver lives on another worker's node, so
+        // neither its queue nor the network backend may be touched
+        // from this thread. Stage the send; the epoch barrier computes
+        // the arrival and delivers. No caller inspects the arrival
+        // time of a cross-node send (receivers derive timing from the
+        // delivered message), so report "unknown".
+        Staged s;
+        s.sk = engine_->currentSliceKey();
+        s.idx = send_idx_[src]++;
+        s.dst = dst;
+        s.src_node = src_node;
+        s.dst_node = dst_node;
+        s.wire_bytes = wire_bytes;
+        s.send_time = send_time;
+        s.msg = std::move(msg);
+        staged_[Engine::currentWorker()].push_back(std::move(s));
+        return -1;
+    }
+
     Time arrival;
     if (same_node) {
         arrival = send_time + costs_.smpMessageLatency;
@@ -66,34 +155,20 @@ MailboxSystem::send(ProcId src, ProcId dst, Message msg,
         arrival = net_.transfer(src_node, dst_node,
                                 wire_bytes + 32 /* header */, send_time);
     }
-
-    msg.src = src;
     msg.arrival = arrival;
-    msg.transport = transport;
-    msg.sameNode = same_node;
-    msg.bytes = wire_bytes;
 
-    sent_count_[src] += 1;
-    sent_bytes_[src] += wire_bytes;
-    total_messages_ += 1;
-
-    auto& q = queues_[dst];
-    Queued item{arrival, seq_++, std::move(msg)};
-    if (q.empty() || q.v.back().arrival <= arrival) {
-        // Common case: the new message arrives last (seq_ is
-        // monotone, so equal arrivals keep send order).
-        q.v.push_back(std::move(item));
+    std::uint64_t sk = 0;
+    std::uint64_t sq;
+    if (engine_ != nullptr) {
+        // Same-node, same worker: deliver inline, but tie-break by
+        // (slice key, sender index) — the global counter's value
+        // would depend on the host-thread interleaving.
+        sk = engine_->currentSliceKey();
+        sq = send_idx_[src]++;
     } else {
-        auto it = std::upper_bound(
-            q.v.begin() + static_cast<std::ptrdiff_t>(q.head),
-            q.v.end(), item,
-            [](const Queued& a, const Queued& b) {
-                if (a.arrival != b.arrival)
-                    return a.arrival < b.arrival;
-                return a.seq < b.seq;
-            });
-        q.v.insert(it, std::move(item));
+        sq = seq_++;
     }
+    enqueue(dst, Queued{arrival, sk, sq, std::move(msg)});
 
     if (tasks_[dst] >= 0)
         sched_.wakeIfBlocked(tasks_[dst], arrival);

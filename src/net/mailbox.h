@@ -18,6 +18,7 @@
 #ifndef MCDSM_NET_MAILBOX_H
 #define MCDSM_NET_MAILBOX_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -31,6 +32,8 @@
 #include "sim/scheduler.h"
 
 namespace mcdsm {
+
+class Engine;
 
 /** Which wire a message travels on. */
 enum class Transport { McBuffer, Udp };
@@ -166,7 +169,30 @@ class MailboxSystem
 
     std::uint64_t messagesSentBy(ProcId p) const { return sent_count_[p]; }
     std::uint64_t bytesSentBy(ProcId p) const { return sent_bytes_[p]; }
-    std::uint64_t totalMessages() const { return total_messages_; }
+    std::uint64_t
+    totalMessages() const
+    {
+        return total_messages_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Switch to parallel-engine mode: cross-node sends are staged in
+     * per-worker buffers instead of being delivered inline, and queue
+     * tie-breaks use (sender slice key, per-sender send index) instead
+     * of the global send counter — the counter's value would depend on
+     * how slices interleave across host threads.
+     */
+    void enableEngine(Engine* engine, int workers);
+
+    /**
+     * Deliver every staged cross-node message, in the global
+     * deterministic order (sender slice key, per-sender send index).
+     * Called from the engine's epoch barrier (single-threaded): the
+     * network backend computes arrivals in an order independent of the
+     * worker count, so its internal state (channel occupancy, fault
+     * jitter draws) evolves identically for every --sim-threads value.
+     */
+    void drainStaged();
 
   private:
     /**
@@ -180,9 +206,44 @@ class MailboxSystem
     struct Queued
     {
         Time arrival;
-        std::uint64_t seq; ///< global send order; ties broken FIFO
+        /// Sender slice key in engine mode; 0 in the legacy loop.
+        std::uint64_t sk;
+        /// Legacy: global send order. Engine: per-sender send index.
+        std::uint64_t seq;
         Message msg;
     };
+
+    /**
+     * Queue order: arrival, then sender slice key, then seq. The
+     * legacy loop stamps sk = 0 and a globally monotone seq, so the
+     * comparison degenerates to the historical (arrival, send order).
+     * In engine mode (sk, seq) identifies the send uniquely and is
+     * independent of how slices were spread over host threads.
+     */
+    static bool
+    queuedBefore(const Queued& a, const Queued& b)
+    {
+        if (a.arrival != b.arrival)
+            return a.arrival < b.arrival;
+        if (a.sk != b.sk)
+            return a.sk < b.sk;
+        return a.seq < b.seq;
+    }
+
+    /** A cross-node send awaiting the epoch barrier (engine mode). */
+    struct Staged
+    {
+        std::uint64_t sk;  ///< sender slice key
+        std::uint64_t idx; ///< per-sender send index
+        ProcId dst;
+        NodeId src_node;
+        NodeId dst_node;
+        std::size_t wire_bytes;
+        Time send_time;
+        Message msg;
+    };
+
+    void enqueue(ProcId dst, Queued item);
 
     /**
      * Per-endpoint queue: the live messages are v[head..v.size()).
@@ -227,7 +288,16 @@ class MailboxSystem
     std::vector<std::uint64_t> sent_bytes_;
     std::vector<NodeId> node_of_; ///< endpoint -> node lookup
     std::uint64_t seq_ = 0;
-    std::uint64_t total_messages_ = 0;
+    /// Atomic: same-node sends bump it concurrently in engine mode.
+    std::atomic<std::uint64_t> total_messages_{0};
+
+    Engine* engine_ = nullptr;
+    /// Staged cross-node sends, one buffer per engine worker.
+    std::vector<std::vector<Staged>> staged_;
+    /// Per-endpoint send index (engine-mode queue tie-break).
+    std::vector<std::uint64_t> send_idx_;
+    /// Barrier-time merge scratch (capacity retained across epochs).
+    std::vector<Staged> drain_buf_;
 };
 
 } // namespace mcdsm

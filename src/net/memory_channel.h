@@ -36,6 +36,13 @@ class MemoryChannel final : public NetworkBackend
     MemoryChannel(const CostModel& costs, int nodes);
 
     /**
+     * Every MC delivery path ends in `+ costs_.mcLatency` after
+     * non-negative queueing/jitter terms, so the process-to-process
+     * latency is an exact lower bound.
+     */
+    Time minCrossNodeLatency() const override { return costs_.mcLatency; }
+
+    /**
      * Account a bulk transfer (page copy, message) of @p bytes from
      * node @p src to node @p dst, initiated at @p send_time.
      * @return time at which the data is fully visible at @p dst.

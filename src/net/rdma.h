@@ -45,6 +45,13 @@ class RdmaBackend final : public NetworkBackend
 
     bool supportsOneSided() const override { return true; }
 
+    /**
+     * Every verb and send/recv completion includes at least one
+     * one-way wire latency on top of non-negative port/switch
+     * occupancy, so rdmaLatency lower-bounds cross-node visibility.
+     */
+    Time minCrossNodeLatency() const override { return costs_.rdmaLatency; }
+
     // ---- message-era operations (send/recv over RC queue pairs) ------
     Time transfer(NodeId src, NodeId dst, std::size_t bytes,
                   Time send_time) override;

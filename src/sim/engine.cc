@@ -1,0 +1,242 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/log.h"
+
+namespace mcdsm {
+
+thread_local int Engine::tl_worker_ = -1;
+
+namespace {
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+} // namespace
+
+Engine::Engine(Scheduler& sched, int workers, Time lookahead)
+    : sched_(sched), lookahead_(lookahead),
+      workers_(static_cast<std::size_t>(workers))
+{
+    mcdsm_assert(workers >= 1, "engine needs at least one worker");
+    mcdsm_assert(lookahead > 0,
+                 "conservative engine needs positive lookahead");
+    mcdsm_assert(!sched.perturbed(),
+                 "parallel engine excludes schedule perturbation");
+}
+
+Engine::~Engine()
+{
+    mcdsm_assert(threads_.empty(), "engine destroyed mid-run");
+}
+
+void
+Engine::assignTask(TaskId id, int worker)
+{
+    mcdsm_assert(worker >= 0 && worker < workerCount(),
+                 "bad engine worker index");
+    if (static_cast<std::size_t>(id) >= task_worker_.size())
+        task_worker_.resize(static_cast<std::size_t>(id) + 1, -1);
+    task_worker_[id] = worker;
+}
+
+void
+Engine::setDrainHook(std::function<void()> drain)
+{
+    drain_ = std::move(drain);
+}
+
+void
+Engine::setInitialActive(int n)
+{
+    active_ = n;
+    storm_done_ = false;
+}
+
+std::uint64_t
+Engine::currentSliceKey() const
+{
+    mcdsm_assert(tl_worker_ >= 0, "slice key requested off-engine");
+    return workers_[tl_worker_].curKey;
+}
+
+void
+Engine::noteFinish()
+{
+    mcdsm_assert(tl_worker_ >= 0, "noteFinish off-engine");
+    workers_[tl_worker_].pendingFinish += 1;
+}
+
+void
+Engine::pushReady(TaskId id, Time t)
+{
+    mcdsm_assert(static_cast<std::size_t>(id) < task_worker_.size() &&
+                     task_worker_[id] >= 0,
+                 "ready task has no engine worker");
+    const int w = task_worker_[id];
+    // During an epoch only the owner may touch a worker's heap; a
+    // cross-worker wake here would mean some protocol path signals a
+    // remote task without going through the (staged) mailbox.
+    mcdsm_assert(!in_epoch_ || w == tl_worker_,
+                 "cross-worker wake during an engine epoch");
+    auto& heap = workers_[w].heap;
+    heap.push_back(packKey(t, id));
+    std::push_heap(heap.begin(), heap.end(),
+                   std::greater<std::uint64_t>());
+}
+
+void
+Engine::runEpoch(int w, Time horizon)
+{
+    Worker& wk = workers_[w];
+    auto& heap = wk.heap;
+    while (!heap.empty() && keyTime(heap.front()) < horizon) {
+        std::pop_heap(heap.begin(), heap.end(),
+                      std::greater<std::uint64_t>());
+        const std::uint64_t key = heap.back();
+        heap.pop_back();
+        const TaskId id = keyTask(key);
+        wk.curKey = key;
+
+        Scheduler::Task& t = *sched_.tasks_[id];
+        mcdsm_assert(t.state == Scheduler::State::Runnable,
+                     "ready task not runnable");
+        mcdsm_assert(t.now == keyTime(key),
+                     "task clock moved while queued");
+        t.state = Scheduler::State::Running;
+        Scheduler::tl_current_ = id;
+        t.fiber->resume();
+        Scheduler::tl_current_ = -1;
+
+        if (t.fiber->finished())
+            t.state = Scheduler::State::Finished;
+        // Otherwise switchOut() already re-queued or parked the task.
+    }
+}
+
+void
+Engine::workerMain(int w)
+{
+    tl_worker_ = w;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Time horizon;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_start_.wait(lk,
+                           [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            horizon = horizon_;
+        }
+        runEpoch(w, horizon);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--running_ == 0)
+                cv_done_.notify_one();
+        }
+    }
+}
+
+bool
+Engine::run()
+{
+    mcdsm_assert(sched_.engine_ == nullptr && !sched_.running_,
+                 "recursive engine run()");
+    sched_.engine_ = this;
+    sched_.running_ = true;
+
+    // Adopt the tasks spawned through the legacy ready heap. The
+    // spawn-time FIFO seq is discarded: the engine's total order is
+    // (clock, task id).
+    while (!sched_.ready_.empty()) {
+        const auto k = sched_.ready_.popMin();
+        pushReady(k.id, k.time);
+    }
+
+    const int nw = workerCount();
+    if (nw > 1) {
+        threads_.reserve(static_cast<std::size_t>(nw) - 1);
+        for (int w = 1; w < nw; ++w)
+            threads_.emplace_back([this, w] { workerMain(w); });
+    }
+    tl_worker_ = 0;
+
+    for (;;) {
+        // Barrier section: workers parked, the coordinator alone may
+        // touch any heap, task or mailbox queue.
+        if (drain_)
+            drain_();
+
+        int finished_now = 0;
+        for (Worker& wk : workers_) {
+            finished_now += wk.pendingFinish;
+            wk.pendingFinish = 0;
+        }
+        if (finished_now > 0) {
+            active_ -= finished_now;
+            mcdsm_assert(active_ >= 0, "finish count underflow");
+            if (active_ == 0 && !storm_done_) {
+                // Shutdown storm: unblock lingering workers (the
+                // legacy loop's last finisher does this inline).
+                storm_done_ = true;
+                for (TaskId id = 0; id < sched_.taskCount(); ++id) {
+                    Scheduler::Task& t = *sched_.tasks_[id];
+                    if (t.state != Scheduler::State::Finished)
+                        sched_.wake(id, t.now);
+                }
+            }
+        }
+
+        std::uint64_t m = kNoKey;
+        for (const Worker& wk : workers_) {
+            if (!wk.heap.empty())
+                m = std::min(m, wk.heap.front());
+        }
+        if (m == kNoKey)
+            break; // no runnable task anywhere; staged is drained
+
+        const Time horizon = keyTime(m) + lookahead_;
+        in_epoch_ = true;
+        if (nw > 1) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                horizon_ = horizon;
+                epoch_ += 1;
+                running_ = nw - 1;
+            }
+            cv_start_.notify_all();
+        }
+        runEpoch(0, horizon);
+        if (nw > 1) {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_done_.wait(lk, [&] { return running_ == 0; });
+        }
+        in_epoch_ = false;
+    }
+
+    if (nw > 1) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_start_.notify_all();
+        for (std::thread& th : threads_)
+            th.join();
+        threads_.clear();
+    }
+    tl_worker_ = -1;
+
+    bool all_finished = true;
+    for (const auto& t : sched_.tasks_) {
+        if (t->state == Scheduler::State::Finished)
+            sched_.max_finish_ = std::max(sched_.max_finish_, t->now);
+        else
+            all_finished = false;
+    }
+    sched_.running_ = false;
+    sched_.engine_ = nullptr;
+    return all_finished;
+}
+
+} // namespace mcdsm

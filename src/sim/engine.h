@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Conservative parallel-discrete-event engine: executes ONE simulation
+ * across several host worker threads, bit-identically for every worker
+ * count >= 1.
+ *
+ * The legacy Scheduler::run() loop pops the global minimum (clock,
+ * seq, id) and resumes that fiber — one slice at a time. The engine
+ * exploits the lookahead the network model guarantees: every
+ * cross-node message sent at time T arrives no earlier than T + L,
+ * where L = NetworkBackend::minCrossNodeLatency(). Execution proceeds
+ * in horizon epochs:
+ *
+ *   1. Drain: staged cross-node messages from the previous epoch are
+ *      delivered in a deterministic global order (sender slice key,
+ *      per-sender send index), computing arrivals through the backend
+ *      in that same order so its internal state (hub occupancy, fault
+ *      jitter draws) evolves identically for every worker count.
+ *   2. Horizon: M = min ready key across all workers; H = M.time + L.
+ *   3. Epoch: in parallel, every worker runs each of its ready slices
+ *      with clock < H, in (clock, task) order. Slices may send:
+ *      same-node messages are delivered immediately (sender and
+ *      receiver share a worker, because tasks are partitioned by
+ *      node), cross-node messages are staged for the next drain.
+ *
+ * Why this is bit-identical for every N >= 1: within an epoch a slice
+ * interacts only with state owned by its own worker (its fiber, its
+ * mailbox queue, same-node peers — all functions of the node
+ * partition, not of N), plus staging buffers that are merged in a
+ * global deterministic order at the barrier. A cross-node message
+ * staged during the epoch is stamped >= H (sender clock >= M, arrival
+ * >= clock + L >= M + L = H), so delivering it at the next barrier
+ * delays no slice that was entitled to observe it — slices below the
+ * horizon could not see it in any serial order either. The engine
+ * with one worker therefore executes the exact same slice sequence,
+ * message order and arrival times as the engine with eight.
+ *
+ * The engine's canonical order (clock, task id) differs from the
+ * legacy loop's (clock, FIFO seq, id) tie-break and from its
+ * send-time delivery, so --sim-threads=0 (the legacy loop) is its own
+ * mode and all recorded goldens are untouched; invariance is defined
+ * and tested as engine-N == engine-1.
+ */
+
+#ifndef MCDSM_SIM_ENGINE_H
+#define MCDSM_SIM_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/scheduler.h"
+
+namespace mcdsm {
+
+class Engine
+{
+  public:
+    /**
+     * @param sched the scheduler owning the task fibers
+     * @param workers host threads (>= 1); worker 0 is the calling
+     *        thread, workers 1..N-1 are spawned for the run
+     * @param lookahead minimum cross-node delivery latency (> 0);
+     *        sets the horizon width of every epoch
+     */
+    Engine(Scheduler& sched, int workers, Time lookahead);
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /** Owner worker of @p id; must be set for every spawned task. */
+    void assignTask(TaskId id, int worker);
+
+    /**
+     * Hook called at every epoch barrier, before the horizon is
+     * recomputed: deliver staged cross-node messages (the mailbox
+     * owns the staging buffers; see MailboxSystem::drainStaged).
+     */
+    void setDrainHook(std::function<void()> drain);
+
+    /** Initial count for the active-worker counter (see noteFinish). */
+    void setInitialActive(int n);
+
+    /**
+     * Run all tasks to completion (replaces Scheduler::run()).
+     * @return true if every task finished; false on deadlock.
+     */
+    bool run();
+
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Slice key of the slice executing on this thread: the (clock,
+     * task) pair under which it was popped, packed. Identifies the
+     * slice's position in the engine's canonical total order; the
+     * mailbox stamps staged messages with it.
+     */
+    std::uint64_t currentSliceKey() const;
+
+    /** Worker index of the calling thread (-1 off-engine). */
+    static int currentWorker() { return tl_worker_; }
+
+    /**
+     * Called by a finishing proc fiber. The decrement is applied at
+     * the next barrier, so activeCount() is stable for a whole epoch
+     * — every worker observes the same value regardless of how slices
+     * interleave across threads in wall-clock time. When the count
+     * reaches zero the engine wakes every unfinished task (the
+     * shutdown storm the legacy run loop performs inline).
+     */
+    void noteFinish();
+
+    /** Unfinished proc workers; constant within an epoch. */
+    int activeCount() const { return active_; }
+
+    /**
+     * Pack a slice key. Task clocks are nanoseconds — 2^47 ns is more
+     * than a simulated day — and ids fit 16 bits (<= 1024 procs plus
+     * per-node protocol processors).
+     */
+    static std::uint64_t
+    packKey(Time t, TaskId id)
+    {
+        mcdsm_assert(t >= 0 && t < (Time{1} << 47),
+                     "slice clock overflows packed key");
+        mcdsm_assert(id >= 0 && id < (1 << 16),
+                     "task id overflows packed key");
+        return (static_cast<std::uint64_t>(t) << 16) |
+               static_cast<std::uint64_t>(id);
+    }
+
+    static Time keyTime(std::uint64_t k) { return static_cast<Time>(k >> 16); }
+    static TaskId keyTask(std::uint64_t k)
+    {
+        return static_cast<TaskId>(k & 0xffff);
+    }
+
+  private:
+    friend class Scheduler;
+
+    struct Worker
+    {
+        /** Min-heap of packed (clock, task) keys (std::greater). */
+        std::vector<std::uint64_t> heap;
+        /** Key of the slice this worker is currently executing. */
+        std::uint64_t curKey = 0;
+        /** Finishes observed this epoch; applied at the barrier. */
+        int pendingFinish = 0;
+    };
+
+    /** Called via Scheduler (switchOut / makeRunnable) in engine mode. */
+    void pushReady(TaskId id, Time t);
+
+    void runEpoch(int w, Time horizon);
+    void workerMain(int w);
+
+    Scheduler& sched_;
+    Time lookahead_;
+    std::vector<Worker> workers_;
+    std::vector<int> task_worker_;
+    std::function<void()> drain_;
+
+    int active_ = 0;
+    bool storm_done_ = false;
+
+    // Epoch barrier for workers 1..N-1 (worker 0 is the coordinator).
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    std::vector<std::thread> threads_;
+    std::uint64_t epoch_ = 0;
+    Time horizon_ = 0;
+    int running_ = 0;
+    bool stop_ = false;
+    /// True while workers execute an epoch (coordinator-written at
+    /// the barrier; guards the cross-worker-wake assertion).
+    bool in_epoch_ = false;
+
+    static thread_local int tl_worker_;
+};
+
+} // namespace mcdsm
+
+#endif // MCDSM_SIM_ENGINE_H

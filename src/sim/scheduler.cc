@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "sim/engine.h"
 
 namespace mcdsm {
+
+thread_local TaskId Scheduler::tl_current_ = -1;
 
 TaskId
 Scheduler::spawn(std::string name, std::function<void(TaskId)> fn,
@@ -54,35 +57,45 @@ Scheduler::run()
 void
 Scheduler::switchOut(State next_state)
 {
-    Task& t = *tasks_[current_];
+    const TaskId me = cur();
+    Task& t = *tasks_[me];
     t.state = next_state;
-    if (next_state == State::Runnable)
-        ready_.push({t.now, nextSeq(), current_});
+    if (next_state == State::Runnable) {
+        if (engine_ != nullptr)
+            engine_->pushReady(me, t.now);
+        else
+            ready_.push({t.now, nextSeq(), me});
+    }
     Fiber::yield();
 }
 
 void
 Scheduler::yield()
 {
-    mcdsm_assert(current_ >= 0, "yield() outside any task");
+    mcdsm_assert(cur() >= 0, "yield() outside any task");
     // Fast path: if the current task's clock is strictly below every
     // runnable task's, the run loop would pop it right back — a heap
     // push+pop and two fiber switches for nothing. A fresh push would
     // carry the largest seq, so on a clock tie the queued task runs
     // first and the slow path is required; strictly-below is exact.
     // Perturbed mode always takes the slow path (each queue pass is a
-    // jitter/tie-break draw that must stay in the schedule).
-    if (!perturb_ &&
+    // jitter/tie-break draw that must stay in the schedule). Engine
+    // mode also always takes the slow path: a worker's heap holds only
+    // its own tasks, so "strictly below every runnable task" cannot be
+    // decided locally — skipping the switch based on the local heap
+    // would change slice boundaries with the worker count.
+    if (!perturb_ && engine_ == nullptr &&
         (ready_.empty() || tasks_[current_]->now < ready_.minKey().time))
         return;
+    yield_switches_.fetch_add(1, std::memory_order_relaxed);
     switchOut(State::Runnable);
 }
 
 void
 Scheduler::block()
 {
-    mcdsm_assert(current_ >= 0, "block() outside any task");
-    Task& t = *tasks_[current_];
+    mcdsm_assert(cur() >= 0, "block() outside any task");
+    Task& t = *tasks_[cur()];
 
     // Perturbation point: nudging the blocking task's clock forward
     // reshuffles which task is the minimum when it re-enters the
@@ -117,7 +130,10 @@ Scheduler::makeRunnable(TaskId id)
                  t.state == State::Finished ? "finished" : "running",
                  t.name.c_str());
     t.state = State::Runnable;
-    ready_.push({t.now, nextSeq(), id});
+    if (engine_ != nullptr)
+        engine_->pushReady(id, t.now);
+    else
+        ready_.push({t.now, nextSeq(), id});
 }
 
 void

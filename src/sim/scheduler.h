@@ -33,6 +33,7 @@
 #define MCDSM_SIM_SCHEDULER_H
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -47,6 +48,8 @@ namespace mcdsm {
 
 /** Handle identifying a scheduled task. */
 using TaskId = int;
+
+class Engine;
 
 class Scheduler
 {
@@ -74,7 +77,7 @@ class Scheduler
     Time
     now() const
     {
-        return tasks_[current_]->now;
+        return tasks_[cur()]->now;
     }
 
     /** Virtual clock of any task. */
@@ -84,7 +87,7 @@ class Scheduler
     void
     advance(Time dt)
     {
-        tasks_[current_]->now += dt;
+        tasks_[cur()]->now += dt;
     }
 
     /**
@@ -120,7 +123,7 @@ class Scheduler
     }
 
     /** TaskId of the currently executing task. */
-    TaskId currentTask() const { return current_; }
+    TaskId currentTask() const { return cur(); }
 
     /** Number of spawned tasks. */
     int taskCount() const { return static_cast<int>(tasks_.size()); }
@@ -156,7 +159,23 @@ class Scheduler
     /** True if perturb() was called. */
     bool perturbed() const { return perturb_; }
 
+    /**
+     * Number of yield() calls that took the slow path (switched out
+     * through the ready queue). Regression observable for the
+     * strictly-earliest fast path: it must be bypassed whenever the
+     * schedule is perturbed (each queue pass is a PRNG draw that must
+     * stay in the schedule) or an engine is attached (a worker cannot
+     * decide "earliest" from its local heap alone).
+     */
+    std::uint64_t
+    yieldSwitches() const
+    {
+        return yield_switches_.load(std::memory_order_relaxed);
+    }
+
   private:
+    friend class Engine;
+
     enum class State { Runnable, Running, Blocked, Finished };
 
     struct Task
@@ -266,6 +285,19 @@ class Scheduler
             prng_.nextBounded(static_cast<std::uint64_t>(max_jitter_) + 1));
     }
 
+    /**
+     * Current task id. In engine mode several host threads each run a
+     * task at once, so "current" is thread-local; the legacy run loop
+     * keeps the plain member (fibers may migrate between spawning
+     * thread and resuming thread, but within the legacy loop both are
+     * the same thread).
+     */
+    TaskId
+    cur() const
+    {
+        return engine_ != nullptr ? tl_current_ : current_;
+    }
+
     std::vector<std::unique_ptr<Task>> tasks_;
     /// Runnable tasks ordered by (clock, insertion order).
     ReadyHeap ready_;
@@ -274,9 +306,16 @@ class Scheduler
     Time max_finish_ = 0;
     bool running_ = false;
 
+    /// Non-null while Engine::run() executes this scheduler's tasks.
+    Engine* engine_ = nullptr;
+    static thread_local TaskId tl_current_;
+
     bool perturb_ = false;
     Rng prng_{0};
     Time max_jitter_ = 0;
+
+    /// Atomic: engine workers yield concurrently (relaxed; a count).
+    std::atomic<std::uint64_t> yield_switches_{0};
 };
 
 } // namespace mcdsm

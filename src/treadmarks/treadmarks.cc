@@ -395,24 +395,30 @@ TreadMarks::onReadFault(ProcCtx& ctx, PageNum pn)
             // writer CPU. (An un-flushed twin still needs the message
             // path: only the writer can close its open interval.)
             const NodeId wnode = rt_->topo().nodeOf(w);
-            PageMeta& wm = st(rt_->procCtx(w)).pages[pn];
-            if (rt_->rdmaPullDiffs() && wnode != ctx.node &&
-                wm.twin == nullptr) {
-                ctx.noteWait("tmk_pull", pn, w);
-                // Descriptor read first: the writer's per-page diff
-                // directory (seq high-water mark + cache index).
-                rt_->rdmaWaitUntil(ctx, rt_->rdmaRead(ctx, wnode, 64));
-                // Then the diffs themselves, one doorbell for all.
-                rt_->rdmaBatchBegin(ctx);
-                for (const auto& d : wm.ownDiffs) {
-                    if (d->seq > since) {
-                        collected.push_back(d);
-                        rt_->rdmaRead(ctx, wnode, d->wireBytes());
-                        rt_->rdmaBatchNote(ctx);
+            if (rt_->rdmaPullDiffs() && wnode != ctx.node) {
+                // Only touch the writer's state under the pull flag:
+                // with the flag off (always the case under the
+                // parallel engine) the writer may live on another
+                // host thread, and even st() can allocate.
+                PageMeta& wm = st(rt_->procCtx(w)).pages[pn];
+                if (wm.twin == nullptr) {
+                    ctx.noteWait("tmk_pull", pn, w);
+                    // Descriptor read first: the writer's per-page
+                    // diff directory (seq high-water mark + index).
+                    rt_->rdmaWaitUntil(ctx,
+                                       rt_->rdmaRead(ctx, wnode, 64));
+                    // Then the diffs, one doorbell for all.
+                    rt_->rdmaBatchBegin(ctx);
+                    for (const auto& d : wm.ownDiffs) {
+                        if (d->seq > since) {
+                            collected.push_back(d);
+                            rt_->rdmaRead(ctx, wnode, d->wireBytes());
+                            rt_->rdmaBatchNote(ctx);
+                        }
                     }
+                    rt_->rdmaWaitUntil(ctx, rt_->rdmaBatchEnd(ctx));
+                    continue;
                 }
-                rt_->rdmaWaitUntil(ctx, rt_->rdmaBatchEnd(ctx));
-                continue;
             }
             Message req;
             req.type = TmkReqDiffs;

@@ -132,6 +132,66 @@ TEST(ScaleDeterminism, JobsInvarianceAt64And128)
 }
 
 // ---------------------------------------------------------------------------
+// jobs x sim-threads invariance matrix
+// ---------------------------------------------------------------------------
+
+TEST(ScaleDeterminism, JobsTimesSimThreadsMatrix)
+{
+    // Every (jobs, sim-threads) cell in {1,2,4} x {1,2,4} must produce
+    // bit-identical results to the serial engine (sim-threads=1): the
+    // epoch-barrier engine is defined to be worker-count-invariant, and
+    // per-run isolation makes it jobs-invariant. Covers both fabrics
+    // (Memory Channel and RDMA verbs) and the kv service workload.
+    RunOpts opts;
+    opts.scale = AppScale::Tiny;
+    std::vector<ExpSpec> specs;
+    for (int np : {64, 128}) {
+        specs.push_back({"sor", ProtocolKind::TmkMcPoll, np, opts});
+        specs.push_back({"kv", ProtocolKind::TmkMcPoll, np, opts});
+        RunOpts rdma = opts;
+        rdma.net = NetKind::Rdma;
+        specs.push_back({"sor", ProtocolKind::TmkMcPoll, np, rdma});
+    }
+
+    auto withSimThreads = [&](int st) {
+        std::vector<ExpSpec> out = specs;
+        for (auto& s : out)
+            s.opts.simThreads = st;
+        return out;
+    };
+
+    const auto base = runExperiments(withSimThreads(1), 1);
+    for (int jobs : {1, 2, 4}) {
+        for (int st : {1, 2, 4}) {
+            if (jobs == 1 && st == 1)
+                continue;
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                         " sim-threads=" + std::to_string(st));
+            const auto cell = runExperiments(withSimThreads(st), jobs);
+            ASSERT_EQ(cell.size(), base.size());
+            for (std::size_t i = 0; i < base.size(); ++i) {
+                SCOPED_TRACE(base[i].app + " x " +
+                             std::to_string(base[i].nprocs));
+                EXPECT_EQ(cell[i].elapsed, base[i].elapsed);
+                EXPECT_EQ(cell[i].stats.messages, base[i].stats.messages);
+                EXPECT_EQ(cell[i].stats.mcBytes, base[i].stats.mcBytes);
+                EXPECT_EQ(cell[i].stats.mcStreamBytes,
+                          base[i].stats.mcStreamBytes);
+                EXPECT_EQ(cell[i].stats.netOneSidedBytes,
+                          base[i].stats.netOneSidedBytes);
+                EXPECT_EQ(cell[i].stats.rdmaReads, base[i].stats.rdmaReads);
+                EXPECT_EQ(cell[i].stats.rdmaWrites,
+                          base[i].stats.rdmaWrites);
+                EXPECT_EQ(std::memcmp(&cell[i].appResult.checksum,
+                                      &base[i].appResult.checksum,
+                                      sizeof(double)),
+                          0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Small-P goldens across the metadata restructuring
 // ---------------------------------------------------------------------------
 
